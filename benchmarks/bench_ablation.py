@@ -1,0 +1,32 @@
+"""Benchmark E11 — design ablation.
+
+Trains the full PR-A2 model against stripped variants (frozen
+embeddings, random-init embeddings, unidirectional GRU, final-state
+pooling, pure pointwise loss, multi-task head) on the same data, and
+prints the grid.  DESIGN.md calls out each of these choices; this bench
+quantifies them.
+"""
+
+import pytest
+
+from repro.experiments import ablation_grid, render_table
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_grid(benchmark, pipeline, bench_config):
+    results = benchmark.pedantic(ablation_grid, args=(pipeline,),
+                                 rounds=1, iterations=1)
+    rows = [[name, m.mae, m.mare, m.tau, m.rho] for name, m in results.items()]
+    print()
+    print(render_table("Ablation E11: PathRank design choices",
+                       ["configuration", "MAE", "MARE", "tau", "rho"], rows))
+    assert "PR-A2 (full)" in results
+    if bench_config.name == "smoke":
+        return  # shape claims are meaningless at integration scale
+    full_tau = results["PR-A2 (full)"].tau
+    # The full model should be competitive with every ablation.
+    for name, metrics in results.items():
+        assert full_tau > metrics.tau - 0.15, (
+            f"full model tau={full_tau:.4f} collapsed against {name} "
+            f"(tau={metrics.tau:.4f})"
+        )

@@ -1,0 +1,98 @@
+"""Benchmarks E4-E8 — the figure-style sweeps and baseline comparison.
+
+The poster's result tables vary the embedding size M and the candidate
+strategy; these benches densify those axes (M, k, diversity threshold ξ,
+training fraction) and regenerate the baseline comparison behind the
+paper's motivation (classic criteria rank candidate paths poorly).
+"""
+
+import pytest
+
+from repro.experiments import (
+    baseline_comparison,
+    diversity_threshold_sweep,
+    embedding_size_sweep,
+    k_sweep,
+    render_table,
+    training_fraction_sweep,
+)
+
+
+def _print_sweep(title, points):
+    rows = [[p.value, p.metrics.mae, p.metrics.mare, p.metrics.tau, p.metrics.rho]
+            for p in points]
+    print()
+    print(render_table(title, [points[0].axis, "MAE", "MARE", "tau", "rho"], rows))
+
+
+@pytest.mark.benchmark(group="fig-embedding-size")
+def test_fig_embedding_size(benchmark, pipeline, bench_config):
+    sizes = (16, 32, 64, 128) if bench_config.name == "paper" else (16, 32, 64)
+    points = benchmark.pedantic(
+        embedding_size_sweep, args=(pipeline,), kwargs={"sizes": sizes},
+        rounds=1, iterations=1,
+    )
+    _print_sweep("Figure E4: embedding size M sweep", points)
+    assert len(points) == len(sizes)
+    # Shape: the largest M should not be the worst configuration.
+    taus = [p.metrics.tau for p in points]
+    assert taus[-1] > min(taus) - 1e-9
+
+
+@pytest.mark.benchmark(group="fig-k")
+def test_fig_k_sweep(benchmark, pipeline, bench_config):
+    ks = (3, 5, 8) if bench_config.name != "paper" else (3, 5, 8, 10)
+    points = benchmark.pedantic(
+        k_sweep, args=(pipeline,), kwargs={"ks": ks}, rounds=1, iterations=1,
+    )
+    _print_sweep("Figure E5: candidate count k sweep", points)
+    for point in points:
+        assert -1.0 <= point.metrics.tau <= 1.0
+
+
+@pytest.mark.benchmark(group="fig-diversity")
+def test_fig_diversity_threshold(benchmark, pipeline, bench_config):
+    thresholds = (0.6, 0.8, 0.95) if bench_config.name != "paper" \
+        else (0.5, 0.6, 0.7, 0.8, 0.9)
+    points = benchmark.pedantic(
+        diversity_threshold_sweep, args=(pipeline,),
+        kwargs={"thresholds": thresholds}, rounds=1, iterations=1,
+    )
+    _print_sweep("Figure E6: diversity threshold xi sweep", points)
+    assert len(points) == len(thresholds)
+
+
+@pytest.mark.benchmark(group="fig-training-size")
+def test_fig_training_fraction(benchmark, pipeline, bench_config):
+    fractions = (0.5, 1.0) if bench_config.name != "paper" \
+        else (0.25, 0.5, 0.75, 1.0)
+    points = benchmark.pedantic(
+        training_fraction_sweep, args=(pipeline,),
+        kwargs={"fractions": fractions}, rounds=1, iterations=1,
+    )
+    _print_sweep("Figure E8: training-set size sweep", points)
+    # Shape: more training data should not hurt badly.
+    assert points[-1].metrics.tau >= points[0].metrics.tau - 0.1
+
+
+@pytest.mark.benchmark(group="fig-baselines")
+def test_fig_baseline_comparison(benchmark, pipeline, bench_config):
+    results = benchmark.pedantic(
+        baseline_comparison, args=(pipeline,), rounds=1, iterations=1,
+    )
+    rows = [[name, m.mae, m.mare, m.tau, m.rho] for name, m in results.items()]
+    print()
+    print(render_table("Figure E7: PathRank vs classic ranking criteria",
+                       ["method", "MAE", "MARE", "tau", "rho"], rows))
+    if bench_config.name == "smoke":
+        return  # shape claims are meaningless at integration scale
+    # The paper's motivating claim: learned ranking beats every classic
+    # criterion on rank correlation.
+    pathrank_tau = results["PathRank"].tau
+    for name, metrics in results.items():
+        if name == "PathRank":
+            continue
+        assert pathrank_tau > metrics.tau - 0.02, (
+            f"PathRank (tau={pathrank_tau:.4f}) should not lose to "
+            f"{name} (tau={metrics.tau:.4f})"
+        )

@@ -1,0 +1,97 @@
+"""Benchmarks E9/E10 — substrate micro-benchmarks.
+
+E9 measures the routing kernels behind candidate generation (Dijkstra,
+bidirectional Dijkstra, A*, Yen, diversified top-k); E10 measures
+node2vec.  These are genuine pytest-benchmark timings (multiple rounds),
+unlike the table benches which time one full pipeline run.
+"""
+
+import pytest
+
+from repro.embedding import BiasedWalkGenerator, Node2Vec, Node2VecConfig
+from repro.graph import (
+    astar,
+    bidirectional_dijkstra,
+    diversified_top_k,
+    shortest_path,
+    yen_k_shortest_paths,
+)
+from repro.trajectories import MapMatcher, TrajectoryGenerator, generate_fleet
+
+
+@pytest.fixture(scope="module")
+def od_pair(pipeline):
+    network = pipeline.network
+    ids = network.vertex_ids()
+    return network, ids[0], ids[-1]
+
+
+@pytest.mark.benchmark(group="substrate-routing")
+def test_bench_dijkstra(benchmark, od_pair):
+    network, source, target = od_pair
+    path = benchmark(shortest_path, network, source, target)
+    assert path.source == source
+
+
+@pytest.mark.benchmark(group="substrate-routing")
+def test_bench_bidirectional(benchmark, od_pair):
+    network, source, target = od_pair
+    path = benchmark(bidirectional_dijkstra, network, source, target)
+    assert path.length == pytest.approx(
+        shortest_path(network, source, target).length)
+
+
+@pytest.mark.benchmark(group="substrate-routing")
+def test_bench_astar(benchmark, od_pair):
+    network, source, target = od_pair
+    path = benchmark(astar, network, source, target)
+    assert path.target == target
+
+
+@pytest.mark.benchmark(group="substrate-routing")
+def test_bench_yen_top5(benchmark, od_pair):
+    network, source, target = od_pair
+    paths = benchmark(yen_k_shortest_paths, network, source, target, 5)
+    assert 1 <= len(paths) <= 5
+
+
+@pytest.mark.benchmark(group="substrate-routing")
+def test_bench_diversified_top5(benchmark, od_pair):
+    network, source, target = od_pair
+    result = benchmark(diversified_top_k, network, source, target, 5,
+                       threshold=0.8, examine_limit=100)
+    assert len(result) >= 1
+    # Diversification inspects more of the enumeration than it keeps.
+    assert result.examined >= len(result)
+
+
+@pytest.mark.benchmark(group="substrate-embedding")
+def test_bench_node2vec_walks(benchmark, pipeline):
+    network = pipeline.network
+    walker = BiasedWalkGenerator(network)
+    walks = benchmark(walker.generate, 2, 20, 0)
+    assert len(walks) == 2 * network.num_vertices
+
+
+@pytest.mark.benchmark(group="substrate-embedding")
+def test_bench_node2vec_full(benchmark, pipeline):
+    network = pipeline.network
+    config = Node2VecConfig(dim=16, num_walks=2, walk_length=15, epochs=1)
+
+    def fit():
+        return Node2Vec(network, config).fit(rng=0)
+
+    matrix = benchmark.pedantic(fit, rounds=1, iterations=1)
+    assert matrix.shape == (network.num_vertices, 16)
+
+
+@pytest.mark.benchmark(group="substrate-matching")
+def test_bench_map_matching(benchmark, pipeline):
+    network = pipeline.network
+    population, trips = generate_fleet(network, num_drivers=2,
+                                       trips_per_driver=2, rng=5)
+    generator = TrajectoryGenerator(network, population)
+    trajectory = generator.render_gps(trips[:1], rng=0)[0]
+    matcher = MapMatcher(network)
+    result = benchmark(matcher.match, trajectory)
+    assert result.path.num_vertices >= 2

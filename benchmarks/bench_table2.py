@@ -1,0 +1,49 @@
+"""Benchmark E2 — regenerate **Table 2**: training-data strategies
+(TkDI vs D-TkDI) × embedding size M under **PR-A2** (fine-tuned
+embeddings), and check the Table-2-vs-Table-1 claim: updating the
+embedding matrix B helps.
+"""
+
+import pytest
+
+from repro.core.variants import Variant
+from repro.experiments import render_strategy_table, strategy_table
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_pr_a2(benchmark, pipeline, bench_embedding_sizes, bench_config):
+    rows = benchmark.pedantic(
+        strategy_table,
+        args=(pipeline, Variant.PR_A2),
+        kwargs={"embedding_sizes": bench_embedding_sizes},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_strategy_table("Table 2: Training Data Strategies, PR-A2", rows))
+
+    if bench_config.name == "smoke":
+        return  # shape claims are meaningless at integration scale
+
+    by_cell = {(r.strategy, r.embedding_dim): r for r in rows}
+    for dim in bench_embedding_sizes:
+        tkdi = by_cell[("TkDI", dim)]
+        dtkdi = by_cell[("D-TkDI", dim)]
+        assert dtkdi.mae < tkdi.mae, (
+            f"D-TkDI should beat TkDI on MAE at M={dim}: "
+            f"{dtkdi.mae:.4f} vs {tkdi.mae:.4f}"
+        )
+        assert dtkdi.tau > tkdi.tau - 0.06, (
+            f"D-TkDI tau collapsed against TkDI at M={dim}: "
+            f"{dtkdi.tau:.4f} vs {tkdi.tau:.4f}"
+        )
+
+    # Cross-table claim (PR-A2 >= PR-A1 within noise) on the best config.
+    pr_a1 = strategy_table(pipeline, Variant.PR_A1,
+                           embedding_sizes=bench_embedding_sizes[-1:])
+    best_a1 = max(r.tau for r in pr_a1 if r.strategy == "D-TkDI")
+    best_a2 = max(r.tau for r in rows if r.strategy == "D-TkDI")
+    assert best_a2 >= best_a1 - 0.06, (
+        f"fine-tuning B (PR-A2) should not lose to frozen B (PR-A1): "
+        f"{best_a2:.4f} vs {best_a1:.4f}"
+    )

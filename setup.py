@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools 65 without the ``wheel``
+package, so PEP 517 editable installs fail with ``invalid command
+'bdist_wheel'``.  This shim lets ``pip install -e . --no-use-pep517``
+take the legacy ``setup.py develop`` path, which needs no wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""PathRank: learning to rank paths in spatial networks.
+
+Reproduction of Sean Bin Yang and Bin Yang, *Learning to Rank Paths in
+Spatial Networks* (ICDE 2020).  The package is organised as the paper's
+system diagram, bottom-up:
+
+* :mod:`repro.nn` — numpy autodiff substrate (no PyTorch available);
+* :mod:`repro.graph` — spatial road networks, shortest paths, top-k and
+  diversified top-k path enumeration, path similarity;
+* :mod:`repro.embedding` — node2vec spatial-network embedding;
+* :mod:`repro.trajectories` — synthetic GPS fleets, map matching;
+* :mod:`repro.ranking` — training-data generation (TkDI / D-TkDI),
+  ranking metrics, non-learned baselines;
+* :mod:`repro.core` — the PathRank model (PR-A1 / PR-A2 / multi-task),
+  trainer, and the user-facing ranking API;
+* :mod:`repro.experiments` — configs and harnesses regenerating every
+  table and figure of the paper's evaluation.
+"""
+
+from repro.errors import ReproError
+from repro.rng import DEFAULT_SEED, make_rng
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "DEFAULT_SEED", "make_rng", "__version__"]

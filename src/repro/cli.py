@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+Exposes the full pipeline as subcommands so the library is usable
+without writing Python::
+
+    python -m repro.cli build-network --kind region --towns 4 --seed 11 \
+        --out /tmp/net.json
+    python -m repro.cli simulate-fleet --network /tmp/net.json \
+        --drivers 20 --trips 8 --seed 0 --out /tmp/trips.json
+    python -m repro.cli train --dataset /tmp/trips.json --variant PR-A2 \
+        --embedding-dim 32 --epochs 20 --out /tmp/model.npz
+    python -m repro.cli evaluate --dataset /tmp/trips.json --model /tmp/model.npz
+    python -m repro.cli rank --dataset /tmp/trips.json --model /tmp/model.npz \
+        --source 3 --target 47
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.core.ranker import PathRankRanker, RankerConfig
+from repro.core.trainer import TrainerConfig
+from repro.core.variants import Variant
+from repro.graph.builders import grid_network, north_jutland_like, ring_radial_network
+from repro.graph.io import load_network_json, save_network_json
+from repro.graph.osm import save_osm_xml
+from repro.ranking.evaluation import evaluate_scorer
+from repro.ranking.training_data import Strategy, TrainingDataConfig, generate_queries
+from repro.trajectories.dataset import TrajectoryDataset
+from repro.trajectories.drivers import sample_population
+from repro.trajectories.generator import FleetConfig, TrajectoryGenerator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PathRank: learning to rank paths in spatial networks",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build-network", help="generate a road network")
+    build.add_argument("--kind", choices=("grid", "ring", "region"),
+                       default="region")
+    build.add_argument("--rows", type=int, default=8)
+    build.add_argument("--cols", type=int, default=8)
+    build.add_argument("--towns", type=int, default=4)
+    build.add_argument("--seed", type=int, default=11)
+    build.add_argument("--out", required=True)
+    build.add_argument("--osm-out", default=None,
+                       help="optionally also write OSM XML")
+
+    fleet = commands.add_parser("simulate-fleet", help="simulate trajectories")
+    fleet.add_argument("--network", required=True)
+    fleet.add_argument("--drivers", type=int, default=20)
+    fleet.add_argument("--trips", type=int, default=8)
+    fleet.add_argument("--hotspots", type=int, default=40)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--out", required=True)
+
+    train = commands.add_parser("train", help="train PathRank on a dataset")
+    train.add_argument("--dataset", required=True)
+    train.add_argument("--variant", choices=[v.value for v in Variant],
+                       default="PR-A2")
+    train.add_argument("--strategy", choices=[s.value for s in Strategy],
+                       default="D-TkDI")
+    train.add_argument("--k", type=int, default=5)
+    train.add_argument("--embedding-dim", type=int, default=32)
+    train.add_argument("--hidden-size", type=int, default=32)
+    train.add_argument("--epochs", type=int, default=25)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", required=True)
+
+    evaluate = commands.add_parser("evaluate", help="evaluate a trained model")
+    evaluate.add_argument("--dataset", required=True)
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--strategy", choices=[s.value for s in Strategy],
+                          default="D-TkDI")
+    evaluate.add_argument("--k", type=int, default=5)
+    evaluate.add_argument("--test-fraction", type=float, default=0.25)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--json", action="store_true",
+                          help="print metrics as JSON")
+
+    rank = commands.add_parser("rank", help="rank candidate paths for a query")
+    rank.add_argument("--dataset", required=True)
+    rank.add_argument("--model", required=True)
+    rank.add_argument("--source", type=int, required=True)
+    rank.add_argument("--target", type=int, required=True)
+    rank.add_argument("--k", type=int, default=5)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_build_network(args: argparse.Namespace) -> int:
+    if args.kind == "grid":
+        network = grid_network(args.rows, args.cols, seed=args.seed)
+    elif args.kind == "ring":
+        network = ring_radial_network(seed=args.seed)
+    else:
+        network = north_jutland_like(num_towns=args.towns, seed=args.seed)
+    save_network_json(network, args.out)
+    print(f"wrote {network} -> {args.out}")
+    if args.osm_out:
+        save_osm_xml(network, args.osm_out)
+        print(f"wrote OSM XML -> {args.osm_out}")
+    return 0
+
+
+def _cmd_simulate_fleet(args: argparse.Namespace) -> int:
+    network = load_network_json(args.network)
+    config = FleetConfig(num_drivers=args.drivers, trips_per_driver=args.trips,
+                         num_od_hotspots=args.hotspots)
+    population = sample_population(config.num_drivers, rng=args.seed)
+    generator = TrajectoryGenerator(network, population, config)
+    trips = generator.generate(rng=args.seed + 1)
+    TrajectoryDataset(network, trips).save(args.out)
+    print(f"wrote {len(trips)} trips from {len(population)} drivers -> {args.out}")
+    return 0
+
+
+def _ranker_config(args: argparse.Namespace) -> RankerConfig:
+    return RankerConfig(
+        variant=Variant.from_name(args.variant),
+        embedding_dim=args.embedding_dim,
+        hidden_size=args.hidden_size,
+        fc_hidden=max(args.hidden_size // 2, 4),
+        training_data=TrainingDataConfig(
+            strategy=Strategy.from_name(args.strategy), k=args.k),
+        trainer=TrainerConfig(epochs=args.epochs,
+                              patience=max(args.epochs // 4, 3)),
+    )
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = TrajectoryDataset.load(args.dataset)
+    ranker = PathRankRanker(dataset.network, _ranker_config(args))
+    ranker.fit(list(dataset), rng=args.seed)
+    ranker.save(args.out)
+    history = ranker.history
+    print(f"trained {args.variant} for {history.epochs_run} epochs "
+          f"(loss {history.train_loss[0]:.4f} -> {history.train_loss[-1]:.4f})")
+    print(f"wrote model -> {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = TrajectoryDataset.load(args.dataset)
+    split = dataset.split(train_fraction=1.0 - args.test_fraction,
+                          validation_fraction=0.0, rng=args.seed)
+    ranker = PathRankRanker(dataset.network).load(args.model)
+    queries = generate_queries(
+        split.test,
+        TrainingDataConfig(strategy=Strategy.from_name(args.strategy), k=args.k),
+    )
+    metrics = evaluate_scorer(ranker, queries)
+    if args.json:
+        print(json.dumps({
+            "mae": metrics.mae,
+            "mare": metrics.mare,
+            "tau": metrics.tau,
+            "rho": metrics.rho,
+            "queries": metrics.num_queries,
+        }))
+    else:
+        print(metrics)
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    dataset = TrajectoryDataset.load(args.dataset)
+    ranker = PathRankRanker(dataset.network).load(args.model)
+    if not dataset.network.has_vertex(args.source) \
+            or not dataset.network.has_vertex(args.target):
+        print("error: source/target vertex not in the network", file=sys.stderr)
+        return 2
+    results = ranker.rank(args.source, args.target)
+    if not results:
+        print("no candidate paths found")
+        return 1
+    for position, (path, score) in enumerate(results, start=1):
+        print(f"#{position} score={score:.4f} length={path.length:.0f}m "
+              f"time={path.travel_time:.0f}s vertices={path.num_vertices}")
+    return 0
+
+
+_COMMANDS = {
+    "build-network": _cmd_build_network,
+    "simulate-fleet": _cmd_simulate_fleet,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "rank": _cmd_rank,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

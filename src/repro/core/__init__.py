@@ -1,0 +1,28 @@
+"""PathRank core: the paper's model, trainer, and ranking API."""
+
+from repro.core.batching import encode_paths, minibatches
+from repro.core.model import PathRank
+from repro.core.ranker import PathRankRanker, RankerConfig
+from repro.core.trainer import Trainer, TrainerConfig, TrainingHistory, flatten_queries
+from repro.core.variants import (
+    NUM_AUX_TARGETS,
+    PathRankMultiTask,
+    Variant,
+    build_pathrank,
+)
+
+__all__ = [
+    "encode_paths",
+    "minibatches",
+    "PathRank",
+    "PathRankMultiTask",
+    "Variant",
+    "build_pathrank",
+    "NUM_AUX_TARGETS",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "flatten_queries",
+    "PathRankRanker",
+    "RankerConfig",
+]

@@ -1,0 +1,68 @@
+"""Padded mini-batching of variable-length vertex sequences.
+
+PathRank consumes candidate paths as vertex-id sequences of different
+lengths.  A batch is encoded as a ``(steps, batch)`` id matrix plus a
+``(steps, batch)`` {0,1} mask; the masked GRU then yields each path's
+final hidden state at its own length.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.graph.path import Path
+from repro.rng import RngLike, make_rng
+
+__all__ = ["encode_paths", "minibatches"]
+
+
+def encode_paths(paths: Sequence[Path]) -> tuple[np.ndarray, np.ndarray]:
+    """Pad paths to a common length.
+
+    Returns ``(vertex_ids, mask)`` of shape ``(steps, batch)``.  Padding
+    uses vertex id 0 — a valid embedding row whose contribution the mask
+    suppresses.
+    """
+    if not paths:
+        raise DataError("cannot encode an empty path batch")
+    steps = max(path.num_vertices for path in paths)
+    batch = len(paths)
+    vertex_ids = np.zeros((steps, batch), dtype=np.int64)
+    mask = np.zeros((steps, batch), dtype=float)
+    for column, path in enumerate(paths):
+        length = path.num_vertices
+        vertex_ids[:length, column] = path.vertices
+        mask[:length, column] = 1.0
+    return vertex_ids, mask
+
+
+def minibatches(
+    paths: Sequence[Path],
+    targets: np.ndarray,
+    batch_size: int,
+    rng: RngLike = None,
+    shuffle: bool = True,
+) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield ``(vertex_ids, mask, target_batch)`` mini-batches.
+
+    ``targets`` may be 1-D (similarity scores) or 2-D (multi-task
+    targets, one row per path).
+    """
+    targets = np.asarray(targets, dtype=float)
+    if len(paths) != targets.shape[0]:
+        raise DataError(
+            f"paths ({len(paths)}) and targets ({targets.shape[0]}) disagree"
+        )
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    order = np.arange(len(paths))
+    if shuffle:
+        make_rng(rng).shuffle(order)
+    for start in range(0, len(paths), batch_size):
+        index = order[start:start + batch_size]
+        chunk = [paths[int(i)] for i in index]
+        vertex_ids, mask = encode_paths(chunk)
+        yield vertex_ids, mask, targets[index]

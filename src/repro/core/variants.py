@@ -1,0 +1,114 @@
+"""PathRank variants: PR-A1, PR-A2, and the multi-task extension.
+
+The poster's tables compare two variants:
+
+* **PR-A1** — the node2vec embedding matrix ``B`` is *frozen*; only the
+  GRU and the FC head train;
+* **PR-A2** — ``B`` is *fine-tuned* end-to-end (Table 2 shows this wins
+  on every metric).
+
+The full paper's direction of travel is multi-task training; the
+:class:`PathRankMultiTask` extension adds an auxiliary head predicting
+cheap structural targets (the candidate's length and travel-time ratios
+within its query), regularising the sequence summary.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.model import PathRank
+from repro.errors import ConfigError
+from repro.nn import Linear, Tensor
+from repro.rng import RngLike, make_rng, spawn
+
+__all__ = ["Variant", "build_pathrank", "PathRankMultiTask", "NUM_AUX_TARGETS"]
+
+
+class Variant(enum.Enum):
+    """Named model variants used across the experiments."""
+
+    PR_A1 = "PR-A1"
+    PR_A2 = "PR-A2"
+    PR_M = "PR-M"  # multi-task extension
+
+    @classmethod
+    def from_name(cls, name: str) -> "Variant":
+        for member in cls:
+            if member.value.lower() == name.lower():
+                return member
+        known = ", ".join(m.value for m in cls)
+        raise KeyError(f"unknown variant {name!r}; known: {known}")
+
+
+#: Auxiliary targets of the multi-task head: (length ratio, time ratio).
+NUM_AUX_TARGETS = 2
+
+
+class PathRankMultiTask(PathRank):
+    """PathRank with an auxiliary structural-regression head.
+
+    ``forward`` still returns the similarity scores; ``forward_with_aux``
+    additionally returns the ``(batch, 2)`` auxiliary predictions so the
+    trainer can weight the two losses (``beta`` lives in the trainer
+    config, keeping the model purely architectural).
+    """
+
+    def __init__(self, *args, rng: RngLike = None, **kwargs) -> None:
+        generator = make_rng(rng)
+        model_rng, aux_rng = spawn(generator, 2)
+        super().__init__(*args, rng=model_rng, **kwargs)
+        self.aux_head = Linear(self.summary_size, NUM_AUX_TARGETS, rng=aux_rng)
+
+    def forward_with_aux(
+        self, vertex_ids: np.ndarray, mask: np.ndarray
+    ) -> tuple[Tensor, Tensor]:
+        summary = self.summarise(vertex_ids, mask)
+        hidden = self.fc1(summary).tanh()
+        if self.dropout is not None:
+            hidden = self.dropout(hidden)
+        scores = self.fc2(hidden).sigmoid()
+        aux = self.aux_head(summary).sigmoid()
+        return scores.reshape(scores.shape[0]), aux
+
+
+def build_pathrank(
+    variant: Variant | str,
+    num_vertices: int,
+    embedding_dim: int = 64,
+    embedding_matrix: np.ndarray | None = None,
+    hidden_size: int = 64,
+    fc_hidden: int = 32,
+    bidirectional: bool = True,
+    dropout: float = 0.0,
+    pooling: str = "mean",
+    rng: RngLike = None,
+) -> PathRank:
+    """Instantiate a variant with the correct embedding trainability.
+
+    PR-A1 and PR-A2 expect ``embedding_matrix`` to be a pre-trained
+    node2vec matrix; passing ``None`` falls back to random initialisation
+    (exposed deliberately — the no-pretraining ablation).
+    """
+    if isinstance(variant, str):
+        variant = Variant.from_name(variant)
+    common = {
+        "num_vertices": num_vertices,
+        "embedding_dim": embedding_dim,
+        "hidden_size": hidden_size,
+        "fc_hidden": fc_hidden,
+        "embedding_matrix": embedding_matrix,
+        "bidirectional": bidirectional,
+        "dropout": dropout,
+        "pooling": pooling,
+        "rng": rng,
+    }
+    if variant is Variant.PR_A1:
+        return PathRank(trainable_embedding=False, **common)
+    if variant is Variant.PR_A2:
+        return PathRank(trainable_embedding=True, **common)
+    if variant is Variant.PR_M:
+        return PathRankMultiTask(trainable_embedding=True, **common)
+    raise ConfigError(f"unhandled variant {variant!r}")

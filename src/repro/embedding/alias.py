@@ -1,0 +1,71 @@
+"""Alias-method sampling: O(1) draws from a fixed discrete distribution.
+
+node2vec's biased random walks repeatedly sample a successor from the
+same per-edge transition distribution; Walker's alias method makes each
+draw constant-time after an O(n) setup (Vose's stable construction).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["AliasSampler"]
+
+
+class AliasSampler:
+    """Sampler over ``{0, ..., n-1}`` with the given unnormalised weights."""
+
+    __slots__ = ("_prob", "_alias", "n")
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise ValueError("weights must be finite and non-negative")
+        total = float(weights.sum())
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+
+        n = weights.size
+        scaled = weights * (n / total)
+        prob = np.zeros(n)
+        alias = np.zeros(n, dtype=np.int64)
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            prob[s] = scaled[s]
+            alias[s] = l
+            scaled[l] = scaled[l] + scaled[s] - 1.0
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        # Numerical leftovers land in one of the lists with weight ~1.
+        for i in small + large:
+            prob[i] = 1.0
+        self._prob = prob
+        self._alias = alias
+        self.n = n
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one index."""
+        i = int(rng.integers(self.n))
+        if rng.random() < self._prob[i]:
+            return i
+        return int(self._alias[i])
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` indices (vectorised)."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        idx = rng.integers(self.n, size=size)
+        coin = rng.random(size)
+        use_alias = coin >= self._prob[idx]
+        out = idx.copy()
+        out[use_alias] = self._alias[idx[use_alias]]
+        return out

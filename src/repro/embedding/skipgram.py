@@ -1,0 +1,222 @@
+"""Skip-gram with negative sampling (SGNS), vectorised in numpy.
+
+This is the word2vec objective node2vec trains: maximise
+``log σ(u_c · v_w)`` for observed (centre, context) pairs and
+``log σ(-u_n · v_w)`` for sampled negatives, where negatives are drawn
+from the unigram distribution raised to 3/4.  Updates are applied
+mini-batch-wise with ``np.add.at`` scatter-adds so repeated vertices in
+a batch accumulate correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import RngLike, make_rng
+
+__all__ = ["SkipGramConfig", "SkipGramModel", "build_training_pairs"]
+
+
+def build_training_pairs(
+    walks: list[list[int]], window: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """(centre, context) index pairs from walks with the given window.
+
+    Matches word2vec: every ordered pair within ``window`` positions of
+    each other (both directions) is a positive example.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    centres: list[int] = []
+    contexts: list[int] = []
+    for walk in walks:
+        for i, centre in enumerate(walk):
+            low = max(0, i - window)
+            high = min(len(walk), i + window + 1)
+            for j in range(low, high):
+                if j != i:
+                    centres.append(centre)
+                    contexts.append(walk[j])
+    return np.asarray(centres, dtype=np.int64), np.asarray(contexts, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class SkipGramConfig:
+    """Hyper-parameters for SGNS training."""
+
+    dim: int = 64
+    window: int = 5
+    negatives: int = 5
+    epochs: int = 3
+    learning_rate: float = 0.05
+    min_learning_rate: float = 0.0001
+    batch_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ValueError(f"dim must be >= 1, got {self.dim}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.negatives < 1:
+            raise ValueError(f"negatives must be >= 1, got {self.negatives}")
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.learning_rate <= 0 or self.min_learning_rate <= 0:
+            raise ValueError("learning rates must be positive")
+        if self.min_learning_rate > self.learning_rate:
+            raise ValueError("min_learning_rate exceeds learning_rate")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    ex = np.exp(x[~positive])
+    out[~positive] = ex / (1.0 + ex)
+    return out
+
+
+class SkipGramModel:
+    """Input (``vectors``) and output (``context_vectors``) matrices.
+
+    ``vectors`` — the matrix handed to PathRank as the pre-trained
+    vertex embedding ``B``.
+    """
+
+    def __init__(self, vocab_size: int, config: SkipGramConfig, rng: RngLike = None) -> None:
+        if vocab_size < 2:
+            raise ValueError(f"vocab_size must be >= 2, got {vocab_size}")
+        generator = make_rng(rng)
+        self.vocab_size = vocab_size
+        self.config = config
+        bound = 0.5 / config.dim
+        self.vectors = generator.uniform(-bound, bound, size=(vocab_size, config.dim))
+        self.context_vectors = np.zeros((vocab_size, config.dim))
+        self._noise_table: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Negative-sampling noise distribution
+    # ------------------------------------------------------------------
+    def _build_noise(self, centres: np.ndarray) -> None:
+        counts = np.bincount(centres, minlength=self.vocab_size).astype(float)
+        counts = np.maximum(counts, 1.0) ** 0.75  # unigram^(3/4), smoothed
+        self._noise_probs = counts / counts.sum()
+
+    def _draw_negatives(self, rng: np.random.Generator, size: tuple[int, int]) -> np.ndarray:
+        return rng.choice(self.vocab_size, size=size, p=self._noise_probs)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        walks: list[list[int]],
+        rng: RngLike = None,
+        callback=None,
+    ) -> list[float]:
+        """Fit on the walks; returns the mean SGNS loss per epoch.
+
+        ``callback(epoch, loss)`` is invoked after each epoch when given.
+        """
+        generator = make_rng(rng)
+        centres, contexts = build_training_pairs(walks, self.config.window)
+        if centres.size == 0:
+            raise ValueError("no training pairs produced; are the walks too short?")
+        self._build_noise(centres)
+
+        cfg = self.config
+        num_pairs = centres.size
+        total_batches = cfg.epochs * max(1, (num_pairs + cfg.batch_size - 1) // cfg.batch_size)
+        seen_batches = 0
+        epoch_losses: list[float] = []
+
+        for epoch in range(cfg.epochs):
+            order = generator.permutation(num_pairs)
+            losses: list[float] = []
+            for start in range(0, num_pairs, cfg.batch_size):
+                batch = order[start:start + cfg.batch_size]
+                progress = seen_batches / total_batches
+                lr = cfg.learning_rate + (cfg.min_learning_rate - cfg.learning_rate) * progress
+                losses.append(self._step(centres[batch], contexts[batch], lr, generator))
+                seen_batches += 1
+            epoch_loss = float(np.mean(losses))
+            epoch_losses.append(epoch_loss)
+            if callback is not None:
+                callback(epoch, epoch_loss)
+        return epoch_losses
+
+    def _step(
+        self,
+        centres: np.ndarray,
+        contexts: np.ndarray,
+        lr: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """One SGNS mini-batch update; returns the batch loss."""
+        batch = centres.size
+        negatives = self._draw_negatives(rng, (batch, self.config.negatives))
+
+        centre_vecs = self.vectors[centres]                      # (B, D)
+        context_vecs = self.context_vectors[contexts]            # (B, D)
+        negative_vecs = self.context_vectors[negatives]          # (B, N, D)
+
+        pos_score = _sigmoid(np.einsum("bd,bd->b", centre_vecs, context_vecs))
+        neg_score = _sigmoid(np.einsum("bnd,bd->bn", negative_vecs, centre_vecs))
+
+        eps = 1e-10
+        loss = -(np.log(pos_score + eps).sum()
+                 + np.log(1.0 - neg_score + eps).sum()) / batch
+
+        # Gradients of the SGNS objective.
+        pos_coeff = (pos_score - 1.0)[:, None]                    # (B, 1)
+        neg_coeff = neg_score[:, :, None]                         # (B, N, 1)
+
+        grad_centre = pos_coeff * context_vecs + np.einsum(
+            "bnd->bd", neg_coeff * negative_vecs)
+        grad_context = pos_coeff * centre_vecs
+        grad_negative = neg_coeff * centre_vecs[:, None, :]
+
+        # Duplicate damping: scatter-added updates for a row repeated K
+        # times in one batch are all computed at the stale value, which
+        # multiplies the effective step by K and can destabilise training
+        # on repetitive walks.  Scaling each pair's contribution by
+        # 1/sqrt(K) keeps frequent rows moving decisively while bounding
+        # the blow-up (pure summing diverges; pure averaging stalls).
+        flat_negatives = negatives.reshape(-1)
+        centre_counts = np.bincount(centres, minlength=self.vocab_size)
+        output_counts = (np.bincount(contexts, minlength=self.vocab_size)
+                         + np.bincount(flat_negatives, minlength=self.vocab_size))
+        grad_centre /= np.sqrt(centre_counts[centres])[:, None]
+        grad_context /= np.sqrt(output_counts[contexts])[:, None]
+        grad_negative_flat = grad_negative.reshape(-1, self.config.dim)
+        grad_negative_flat /= np.sqrt(output_counts[flat_negatives])[:, None]
+
+        np.add.at(self.vectors, centres, -lr * grad_centre)
+        np.add.at(self.context_vectors, contexts, -lr * grad_context)
+        np.add.at(self.context_vectors, flat_negatives, -lr * grad_negative_flat)
+        return loss
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def similarity(self, a: int, b: int) -> float:
+        """Cosine similarity between two vertex embeddings."""
+        va, vb = self.vectors[a], self.vectors[b]
+        denom = np.linalg.norm(va) * np.linalg.norm(vb)
+        if denom == 0.0:
+            return 0.0
+        return float(va @ vb / denom)
+
+    def most_similar(self, vertex: int, top: int = 5) -> list[tuple[int, float]]:
+        """The ``top`` most cosine-similar vertices (excluding itself)."""
+        norms = np.linalg.norm(self.vectors, axis=1)
+        norms = np.where(norms == 0.0, 1.0, norms)
+        normalised = self.vectors / norms[:, None]
+        scores = normalised @ normalised[vertex]
+        scores[vertex] = -np.inf
+        best = np.argsort(-scores)[:top]
+        return [(int(i), float(scores[i])) for i in best]

@@ -1,0 +1,42 @@
+"""Experiment harness: configs, pipeline, tables, figure sweeps."""
+
+from repro.experiments.config import ExperimentConfig, NetworkConfig
+from repro.experiments.figures import (
+    SweepPoint,
+    ablation_grid,
+    baseline_comparison,
+    diversity_threshold_sweep,
+    embedding_size_sweep,
+    k_sweep,
+    training_fraction_sweep,
+)
+from repro.experiments.pipeline import CellResult, ExperimentPipeline
+from repro.experiments.reporting import format_metrics_row, render_table
+from repro.experiments.tables import (
+    TableRow,
+    render_strategy_table,
+    strategy_table,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "NetworkConfig",
+    "ExperimentPipeline",
+    "CellResult",
+    "TableRow",
+    "strategy_table",
+    "table1",
+    "table2",
+    "render_strategy_table",
+    "render_table",
+    "format_metrics_row",
+    "SweepPoint",
+    "embedding_size_sweep",
+    "k_sweep",
+    "diversity_threshold_sweep",
+    "training_fraction_sweep",
+    "baseline_comparison",
+    "ablation_grid",
+]

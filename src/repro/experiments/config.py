@@ -1,0 +1,118 @@
+"""Experiment configurations.
+
+One frozen dataclass fixes everything an experiment needs — network,
+fleet, candidate generation, model, and training — so that every number
+in EXPERIMENTS.md regenerates from a single seed.  ``paper()`` is the
+headline configuration behind the Table 1/2 reproduction;  ``quick()``
+is a scaled-down variant the benchmark suite uses to keep wall-clock
+reasonable while preserving every qualitative shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.trainer import TrainerConfig
+from repro.core.variants import Variant
+from repro.ranking.training_data import Strategy, TrainingDataConfig
+from repro.trajectories.generator import FleetConfig
+
+__all__ = ["NetworkConfig", "ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of the synthetic region network."""
+
+    num_towns: int = 5
+    town_size_range: tuple[int, int] = (4, 6)
+    region_extent: float = 30_000.0
+    seed: int = 11
+
+    def build(self):
+        from repro.graph.builders import north_jutland_like
+
+        return north_jutland_like(
+            num_towns=self.num_towns,
+            town_size_range=self.town_size_range,
+            region_extent=self.region_extent,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Complete specification of one PathRank experiment."""
+
+    name: str = "paper"
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    fleet: FleetConfig = field(default_factory=lambda: FleetConfig(
+        num_drivers=60, trips_per_driver=12, num_od_hotspots=60))
+    training_data: TrainingDataConfig = field(default_factory=TrainingDataConfig)
+    trainer: TrainerConfig = field(default_factory=lambda: TrainerConfig(
+        epochs=60, patience=12))
+    variant: Variant = Variant.PR_A2
+    embedding_dim: int = 64
+    hidden_size: int = 64
+    fc_hidden: int = 32
+    dropout: float = 0.1
+    pooling: str = "mean"
+    train_fraction: float = 0.75
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    # Named presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """The headline configuration behind Tables 1 and 2."""
+        return cls(name="paper")
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """Scaled-down preset for the benchmark suite (minutes, not hours)."""
+        return cls(
+            name="quick",
+            network=NetworkConfig(num_towns=4, town_size_range=(3, 5), seed=11),
+            fleet=FleetConfig(num_drivers=32, trips_per_driver=10,
+                              num_od_hotspots=40),
+            trainer=TrainerConfig(epochs=30, patience=8),
+            embedding_dim=32,
+            hidden_size=32,
+            fc_hidden=16,
+        )
+
+    @classmethod
+    def smoke(cls) -> "ExperimentConfig":
+        """Tiny preset for integration tests (seconds)."""
+        return cls(
+            name="smoke",
+            network=NetworkConfig(num_towns=3, town_size_range=(3, 4), seed=7),
+            fleet=FleetConfig(num_drivers=8, trips_per_driver=5,
+                              num_od_hotspots=12, min_trip_distance=1000.0),
+            training_data=TrainingDataConfig(k=3, examine_limit=60),
+            trainer=TrainerConfig(epochs=6, patience=6),
+            embedding_dim=16,
+            hidden_size=16,
+            fc_hidden=8,
+        )
+
+    # ------------------------------------------------------------------
+    # Derivation helpers (the table/figure axes)
+    # ------------------------------------------------------------------
+    def with_strategy(self, strategy: Strategy) -> "ExperimentConfig":
+        return replace(self, training_data=replace(self.training_data,
+                                                   strategy=strategy))
+
+    def with_embedding_dim(self, dim: int) -> "ExperimentConfig":
+        return replace(self, embedding_dim=dim)
+
+    def with_variant(self, variant: Variant) -> "ExperimentConfig":
+        return replace(self, variant=variant)
+
+    def with_k(self, k: int) -> "ExperimentConfig":
+        return replace(self, training_data=replace(self.training_data, k=k))
+
+    def with_diversity_threshold(self, threshold: float) -> "ExperimentConfig":
+        return replace(self, training_data=replace(self.training_data,
+                                                   diversity_threshold=threshold))

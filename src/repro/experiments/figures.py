@@ -1,0 +1,201 @@
+"""Figure-style parameter sweeps and the baseline comparison.
+
+The poster's only figures are architectural, so these sweeps densify the
+axes its tables vary (embedding size M, candidate count k, diversity
+threshold ξ, training-set size) and quantify the intro's motivating
+claim that classic criteria rank candidate paths poorly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from collections.abc import Sequence
+
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.ranking.baselines import (
+    Baseline,
+    FeatureRidgeBaseline,
+    GenerationOrderBaseline,
+    LengthRatioBaseline,
+    TravelTimeRatioBaseline,
+)
+from repro.ranking.evaluation import evaluate_scorer
+from repro.ranking.metrics import RankingMetrics
+
+__all__ = [
+    "SweepPoint",
+    "embedding_size_sweep",
+    "k_sweep",
+    "diversity_threshold_sweep",
+    "training_fraction_sweep",
+    "baseline_comparison",
+    "ablation_grid",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the axis value and the resulting metrics."""
+
+    axis: str
+    value: object
+    metrics: RankingMetrics
+
+
+def embedding_size_sweep(
+    pipeline: ExperimentPipeline,
+    sizes: Sequence[int] = (16, 32, 64, 128),
+) -> list[SweepPoint]:
+    """Figure E4: accuracy as a function of the feature size M."""
+    points = []
+    for dim in sizes:
+        result = pipeline.run_cell(pipeline.base.with_embedding_dim(dim))
+        points.append(SweepPoint("M", dim, result.metrics))
+    return points
+
+
+def k_sweep(
+    pipeline: ExperimentPipeline,
+    ks: Sequence[int] = (3, 5, 8, 10),
+) -> list[SweepPoint]:
+    """Figure E5: accuracy as a function of the candidate count k."""
+    points = []
+    for k in ks:
+        result = pipeline.run_cell(pipeline.base.with_k(k))
+        points.append(SweepPoint("k", k, result.metrics))
+    return points
+
+
+def diversity_threshold_sweep(
+    pipeline: ExperimentPipeline,
+    thresholds: Sequence[float] = (0.5, 0.6, 0.7, 0.8, 0.9),
+) -> list[SweepPoint]:
+    """Figure E6: accuracy as a function of the D-TkDI threshold ξ."""
+    points = []
+    for threshold in thresholds:
+        result = pipeline.run_cell(
+            pipeline.base.with_diversity_threshold(threshold))
+        points.append(SweepPoint("xi", threshold, result.metrics))
+    return points
+
+
+def training_fraction_sweep(
+    pipeline: ExperimentPipeline,
+    fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+) -> list[SweepPoint]:
+    """Figure E8: accuracy as a function of the training-set size.
+
+    Each point trains on a prefix of the (shuffled) training queries and
+    evaluates on the shared test set.
+    """
+    from repro.core.trainer import Trainer
+    from repro.core.variants import build_pathrank
+    from repro.rng import make_rng, spawn
+
+    base = pipeline.base
+    train_queries, test_queries = pipeline.queries(base.training_data)
+    points = []
+    for fraction in fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fractions must be in (0, 1], got {fraction}")
+        count = max(4, int(round(fraction * len(train_queries))))
+        subset = train_queries[:count]
+        rng = make_rng(base.seed + int(fraction * 1000))
+        model_rng, trainer_rng = spawn(rng, 2)
+        n_val = max(1, len(subset) // 8)
+        model = build_pathrank(
+            base.variant,
+            num_vertices=pipeline.network.num_vertices,
+            embedding_dim=base.embedding_dim,
+            embedding_matrix=pipeline.embedding(base.embedding_dim),
+            hidden_size=base.hidden_size,
+            fc_hidden=base.fc_hidden,
+            dropout=base.dropout,
+            pooling=base.pooling,
+            rng=model_rng,
+        )
+        Trainer(model, base.trainer, rng=trainer_rng).fit(
+            subset[n_val:], subset[:n_val])
+        points.append(SweepPoint("train_fraction", fraction,
+                                 evaluate_scorer(model, test_queries)))
+    return points
+
+
+def baseline_comparison(
+    pipeline: ExperimentPipeline,
+) -> dict[str, RankingMetrics]:
+    """Experiment E7: PathRank vs the classic ranking criteria.
+
+    Quantifies the paper's motivating claim: ranking candidates by
+    length, travel time, or enumeration order does not reproduce driver
+    preference.
+    """
+    train_queries, test_queries = pipeline.queries(pipeline.base.training_data)
+    results: dict[str, RankingMetrics] = {}
+
+    pathrank = pipeline.run_cell(pipeline.base)
+    results["PathRank"] = pathrank.metrics
+
+    baselines: list[Baseline] = [
+        LengthRatioBaseline(),
+        TravelTimeRatioBaseline(),
+        GenerationOrderBaseline(),
+        FeatureRidgeBaseline(),
+    ]
+    for baseline in baselines:
+        baseline.fit(train_queries)
+        results[baseline.name] = evaluate_scorer(baseline, test_queries)
+    return results
+
+
+def ablation_grid(pipeline: ExperimentPipeline) -> dict[str, RankingMetrics]:
+    """Experiment E11: which design pieces matter.
+
+    Grid: PR-A2 (full) / PR-A1 (frozen B) / no node2vec init /
+    unidirectional GRU / final-state pooling / pure pointwise loss.
+    """
+    from repro.core.trainer import Trainer
+    from repro.core.variants import Variant, build_pathrank
+    from repro.rng import make_rng, spawn
+
+    base = pipeline.base
+    train_queries, test_queries = pipeline.queries(base.training_data)
+    n_val = max(1, len(train_queries) // 8)
+    validation, training = train_queries[:n_val], train_queries[n_val:]
+
+    def run(tag: str, *, variant=Variant.PR_A2, matrix="node2vec",
+            bidirectional=True, pooling=None, trainer_config=None):
+        rng = make_rng(base.seed + abs(hash(tag)) % 10_000)
+        model_rng, trainer_rng = spawn(rng, 2)
+        embedding = (pipeline.embedding(base.embedding_dim)
+                     if matrix == "node2vec" else None)
+        model = build_pathrank(
+            variant,
+            num_vertices=pipeline.network.num_vertices,
+            embedding_dim=base.embedding_dim,
+            embedding_matrix=embedding,
+            hidden_size=base.hidden_size,
+            fc_hidden=base.fc_hidden,
+            dropout=base.dropout,
+            bidirectional=bidirectional,
+            pooling=pooling or base.pooling,
+            rng=model_rng,
+        )
+        Trainer(model, trainer_config or base.trainer, rng=trainer_rng).fit(
+            training, validation)
+        return evaluate_scorer(model, test_queries)
+
+    results = {
+        "PR-A2 (full)": run("full"),
+        "PR-A1 (frozen B)": run("frozen", variant=Variant.PR_A1),
+        "no node2vec init": run("random-init", matrix=None),
+        "unidirectional GRU": run("uni", bidirectional=False),
+        "final-state pooling": run("final-pool", pooling="final"),
+        "attention pooling": run("attention-pool", pooling="attention"),
+        "pointwise loss only": run(
+            "pointwise",
+            trainer_config=replace(base.trainer, rank_weight=0.0),
+        ),
+        "multi-task (PR-M)": run("multitask", variant=Variant.PR_M),
+    }
+    return results

@@ -1,0 +1,42 @@
+"""Fixed-width table rendering, laid out like the poster's tables."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_metrics_row"]
+
+
+def format_metrics_row(values: Sequence[object]) -> list[str]:
+    """Format one row: floats to 4 decimals, everything else via str."""
+    row: list[str] = []
+    for value in values:
+        if isinstance(value, float):
+            row.append(f"{value:.4f}")
+        else:
+            row.append(str(value))
+    return row
+
+
+def render_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """A fixed-width text table (the poster's layout, ASCII)."""
+    formatted = [format_metrics_row(row) for row in rows]
+    widths = [len(h) for h in header]
+    for row in formatted:
+        if len(row) != len(header):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(header)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(line(row) for row in formatted)
+    return f"{title}\n{line(header)}\n{separator}\n{body}"

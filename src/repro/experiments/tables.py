@@ -1,0 +1,90 @@
+"""Regenerate Table 1 and Table 2 of the paper.
+
+* **Table 1** — training-data strategies (TkDI vs D-TkDI) × embedding
+  size M (64, 128) under **PR-A1** (frozen node2vec embeddings);
+* **Table 2** — the same grid under **PR-A2** (fine-tuned embeddings).
+
+Each returns the rows in the poster's layout: Strategy, M, MAE, MARE,
+τ, ρ.  The expected qualitative shape (asserted by the benchmarks):
+D-TkDI beats TkDI, larger M does not hurt, and every Table 2 row beats
+its Table 1 counterpart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.variants import Variant
+from repro.experiments.pipeline import CellResult, ExperimentPipeline
+from repro.experiments.reporting import render_table
+from repro.ranking.training_data import Strategy
+
+__all__ = ["TableRow", "strategy_table", "table1", "table2", "render_strategy_table"]
+
+#: The embedding sizes of the poster's tables.
+PAPER_EMBEDDING_SIZES = (64, 128)
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of a strategy × M table."""
+
+    strategy: str
+    embedding_dim: int
+    mae: float
+    mare: float
+    tau: float
+    rho: float
+
+    def as_cells(self) -> list[object]:
+        return [self.strategy, self.embedding_dim, self.mae, self.mare,
+                self.tau, self.rho]
+
+
+def strategy_table(
+    pipeline: ExperimentPipeline,
+    variant: Variant,
+    embedding_sizes: tuple[int, ...] = PAPER_EMBEDDING_SIZES,
+) -> list[TableRow]:
+    """The strategies × M grid for one variant (the body of a table)."""
+    rows: list[TableRow] = []
+    for strategy in (Strategy.TKDI, Strategy.D_TKDI):
+        for dim in embedding_sizes:
+            config = (pipeline.base
+                      .with_strategy(strategy)
+                      .with_embedding_dim(dim)
+                      .with_variant(variant))
+            result: CellResult = pipeline.run_cell(config)
+            rows.append(TableRow(
+                strategy=strategy.value,
+                embedding_dim=dim,
+                mae=result.metrics.mae,
+                mare=result.metrics.mare,
+                tau=result.metrics.tau,
+                rho=result.metrics.rho,
+            ))
+    return rows
+
+
+def table1(
+    pipeline: ExperimentPipeline,
+    embedding_sizes: tuple[int, ...] = PAPER_EMBEDDING_SIZES,
+) -> list[TableRow]:
+    """Table 1: training-data strategies under PR-A1."""
+    return strategy_table(pipeline, Variant.PR_A1, embedding_sizes)
+
+
+def table2(
+    pipeline: ExperimentPipeline,
+    embedding_sizes: tuple[int, ...] = PAPER_EMBEDDING_SIZES,
+) -> list[TableRow]:
+    """Table 2: training-data strategies under PR-A2."""
+    return strategy_table(pipeline, Variant.PR_A2, embedding_sizes)
+
+
+def render_strategy_table(title: str, rows: list[TableRow]) -> str:
+    return render_table(
+        title,
+        header=["Strategies", "M", "MAE", "MARE", "tau", "rho"],
+        rows=[row.as_cells() for row in rows],
+    )

@@ -1,0 +1,73 @@
+"""Spatial-network substrate: road graphs, routing, path enumeration."""
+
+from repro.graph.builders import grid_network, north_jutland_like, ring_radial_network
+from repro.graph.diversified import DiversifiedResult, diversified_top_k
+from repro.graph.io import (
+    load_network_csv,
+    load_network_json,
+    network_from_dict,
+    network_to_dict,
+    save_network_csv,
+    save_network_json,
+)
+from repro.graph.ksp import yen_k_shortest_paths, yen_path_generator
+from repro.graph.network import Edge, RoadCategory, RoadNetwork, Vertex
+from repro.graph.osm import load_osm_xml, save_osm_xml
+from repro.graph.path import Path
+from repro.graph.shortest_path import (
+    astar,
+    bidirectional_dijkstra,
+    dijkstra,
+    euclidean_heuristic,
+    length_cost,
+    shortest_path,
+    shortest_path_cost,
+    travel_time_cost,
+    travel_time_heuristic,
+)
+from repro.graph.similarity import (
+    get_similarity,
+    jaccard,
+    overlap_ratio,
+    time_weighted_jaccard,
+    vertex_jaccard,
+    weighted_jaccard,
+)
+
+__all__ = [
+    "RoadNetwork",
+    "RoadCategory",
+    "Vertex",
+    "Edge",
+    "Path",
+    "grid_network",
+    "ring_radial_network",
+    "north_jutland_like",
+    "dijkstra",
+    "shortest_path",
+    "shortest_path_cost",
+    "bidirectional_dijkstra",
+    "astar",
+    "length_cost",
+    "travel_time_cost",
+    "euclidean_heuristic",
+    "travel_time_heuristic",
+    "yen_k_shortest_paths",
+    "yen_path_generator",
+    "diversified_top_k",
+    "DiversifiedResult",
+    "weighted_jaccard",
+    "time_weighted_jaccard",
+    "jaccard",
+    "vertex_jaccard",
+    "overlap_ratio",
+    "get_similarity",
+    "network_to_dict",
+    "network_from_dict",
+    "save_network_json",
+    "load_network_json",
+    "save_network_csv",
+    "load_network_csv",
+    "load_osm_xml",
+    "save_osm_xml",
+]

@@ -1,0 +1,136 @@
+"""Road-network persistence: JSON documents and CSV pairs.
+
+The JSON format is a single self-describing document; the CSV format
+mirrors the conventional ``vertices.csv`` / ``edges.csv`` pair used by
+road-network datasets, making it easy to bring external data into the
+library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path as FilePath
+
+from repro.errors import SerializationError
+from repro.graph.network import RoadCategory, RoadNetwork
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "save_network_json",
+    "load_network_json",
+    "save_network_csv",
+    "load_network_csv",
+]
+
+_FORMAT_VERSION = 1
+
+
+def network_to_dict(network: RoadNetwork) -> dict:
+    """A JSON-serialisable description of ``network``."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": network.name,
+        "vertices": [
+            {"id": v.id, "x": v.x, "y": v.y} for v in network.vertices()
+        ],
+        "edges": [
+            {
+                "source": e.source,
+                "target": e.target,
+                "length": e.length,
+                "speed": e.speed,
+                "category": e.category.value,
+            }
+            for e in network.edges()
+        ],
+    }
+
+
+def network_from_dict(document: dict) -> RoadNetwork:
+    """Inverse of :func:`network_to_dict`, with validation."""
+    if not isinstance(document, dict):
+        raise SerializationError("network document must be a mapping")
+    version = document.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise SerializationError(f"unsupported network format version {version!r}")
+    network = RoadNetwork(name=document.get("name", "road-network"))
+    try:
+        for row in document["vertices"]:
+            network.add_vertex(int(row["id"]), float(row["x"]), float(row["y"]))
+        for row in document["edges"]:
+            network.add_edge(
+                int(row["source"]),
+                int(row["target"]),
+                length=float(row["length"]),
+                speed=float(row["speed"]),
+                category=RoadCategory(row["category"]),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed network document: {exc}") from exc
+    network.validate()
+    return network
+
+
+def save_network_json(network: RoadNetwork, path: str | FilePath) -> None:
+    path = FilePath(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(network_to_dict(network), handle, indent=1)
+
+
+def load_network_json(path: str | FilePath) -> RoadNetwork:
+    path = FilePath(path)
+    if not path.exists():
+        raise SerializationError(f"no such network file: {path}")
+    with open(path, encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    return network_from_dict(document)
+
+
+def save_network_csv(network: RoadNetwork, directory: str | FilePath) -> None:
+    """Write ``vertices.csv`` and ``edges.csv`` into ``directory``."""
+    directory = FilePath(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(directory / "vertices.csv", "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "x", "y"])
+        for v in network.vertices():
+            writer.writerow([v.id, v.x, v.y])
+    with open(directory / "edges.csv", "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["source", "target", "length", "speed", "category"])
+        for e in network.edges():
+            writer.writerow([e.source, e.target, e.length, e.speed, e.category.value])
+
+
+def load_network_csv(directory: str | FilePath, name: str = "road-network") -> RoadNetwork:
+    """Read a ``vertices.csv`` / ``edges.csv`` pair."""
+    directory = FilePath(directory)
+    vertices_path = directory / "vertices.csv"
+    edges_path = directory / "edges.csv"
+    for required in (vertices_path, edges_path):
+        if not required.exists():
+            raise SerializationError(f"missing CSV file: {required}")
+    network = RoadNetwork(name=name)
+    try:
+        with open(vertices_path, newline="", encoding="utf-8") as handle:
+            for row in csv.DictReader(handle):
+                network.add_vertex(int(row["id"]), float(row["x"]), float(row["y"]))
+        with open(edges_path, newline="", encoding="utf-8") as handle:
+            for row in csv.DictReader(handle):
+                network.add_edge(
+                    int(row["source"]),
+                    int(row["target"]),
+                    length=float(row["length"]),
+                    speed=float(row["speed"]),
+                    category=RoadCategory(row["category"]),
+                )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed CSV network in {directory}: {exc}") from exc
+    network.validate()
+    return network

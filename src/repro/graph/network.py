@@ -1,0 +1,377 @@
+"""Spatial road networks.
+
+A :class:`RoadNetwork` is a directed graph whose vertices carry planar
+coordinates (metres) and whose edges carry length, speed, and a road
+category.  This is the substrate every other subsystem builds on: the
+routing algorithms, node2vec walks, trajectory simulation, and PathRank
+itself all consume this structure.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+
+__all__ = ["RoadCategory", "Vertex", "Edge", "RoadNetwork"]
+
+
+class RoadCategory(enum.Enum):
+    """Coarse functional road classes, mirroring OSM highway values."""
+
+    MOTORWAY = "motorway"
+    ARTERIAL = "arterial"
+    LOCAL = "local"
+    RESIDENTIAL = "residential"
+
+    @property
+    def default_speed(self) -> float:
+        """Default free-flow speed in km/h for the class."""
+        return _DEFAULT_SPEEDS[self]
+
+
+_DEFAULT_SPEEDS = {
+    RoadCategory.MOTORWAY: 110.0,
+    RoadCategory.ARTERIAL: 80.0,
+    RoadCategory.LOCAL: 50.0,
+    RoadCategory.RESIDENTIAL: 30.0,
+}
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """A network vertex at planar position ``(x, y)`` in metres."""
+
+    id: int
+    x: float
+    y: float
+
+    def distance_to(self, other: "Vertex") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed road segment.
+
+    ``length`` is in metres and ``speed`` in km/h; ``travel_time`` is
+    derived, in seconds.
+    """
+
+    source: int
+    target: int
+    length: float
+    speed: float
+    category: RoadCategory = RoadCategory.LOCAL
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise GraphError(f"edge ({self.source}->{self.target}) has non-positive "
+                             f"length {self.length}")
+        if self.speed <= 0:
+            raise GraphError(f"edge ({self.source}->{self.target}) has non-positive "
+                             f"speed {self.speed}")
+
+    @property
+    def travel_time(self) -> float:
+        """Free-flow traversal time in seconds."""
+        return self.length / (self.speed / 3.6)
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.source, self.target)
+
+
+class RoadNetwork:
+    """Directed spatial graph with O(1) vertex/edge lookup.
+
+    Vertices are identified by integers.  At most one directed edge per
+    ordered vertex pair is allowed (parallel roads between the same two
+    junctions are out of scope for the paper's setting, which works on
+    simple road graphs).
+    """
+
+    def __init__(self, name: str = "road-network") -> None:
+        self.name = name
+        self._vertices: dict[int, Vertex] = {}
+        self._edges: dict[tuple[int, int], Edge] = {}
+        self._out: dict[int, list[Edge]] = {}
+        self._in: dict[int, list[Edge]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex_id: int, x: float, y: float) -> Vertex:
+        if vertex_id in self._vertices:
+            raise GraphError(f"vertex {vertex_id} already exists")
+        vertex = Vertex(int(vertex_id), float(x), float(y))
+        self._vertices[vertex.id] = vertex
+        self._out[vertex.id] = []
+        self._in[vertex.id] = []
+        return vertex
+
+    def add_edge(
+        self,
+        source: int,
+        target: int,
+        length: float | None = None,
+        speed: float | None = None,
+        category: RoadCategory = RoadCategory.LOCAL,
+    ) -> Edge:
+        """Insert a directed edge.
+
+        ``length`` defaults to the euclidean distance between endpoints;
+        ``speed`` defaults to the category's free-flow speed.
+        """
+        if source not in self._vertices:
+            raise VertexNotFoundError(source)
+        if target not in self._vertices:
+            raise VertexNotFoundError(target)
+        if source == target:
+            raise GraphError(f"self-loop at vertex {source} is not allowed")
+        key = (source, target)
+        if key in self._edges:
+            raise GraphError(f"edge {key} already exists")
+        if length is None:
+            length = self.euclidean(source, target)
+            if length == 0.0:
+                raise GraphError(
+                    f"vertices {source} and {target} are co-located; provide a length"
+                )
+        edge = Edge(
+            source=int(source),
+            target=int(target),
+            length=float(length),
+            speed=float(speed) if speed is not None else category.default_speed,
+            category=category,
+        )
+        self._edges[key] = edge
+        self._out[source].append(edge)
+        self._in[target].append(edge)
+        return edge
+
+    def add_two_way(
+        self,
+        a: int,
+        b: int,
+        length: float | None = None,
+        speed: float | None = None,
+        category: RoadCategory = RoadCategory.LOCAL,
+    ) -> tuple[Edge, Edge]:
+        """Insert both directions of a bidirectional road."""
+        forward = self.add_edge(a, b, length=length, speed=speed, category=category)
+        backward = self.add_edge(b, a, length=forward.length, speed=forward.speed,
+                                 category=category)
+        return forward, backward
+
+    def remove_edge(self, source: int, target: int) -> None:
+        key = (source, target)
+        edge = self._edges.pop(key, None)
+        if edge is None:
+            raise EdgeNotFoundError(source, target)
+        self._out[source].remove(edge)
+        self._in[target].remove(edge)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def vertex(self, vertex_id: int) -> Vertex:
+        try:
+            return self._vertices[vertex_id]
+        except KeyError:
+            raise VertexNotFoundError(vertex_id) from None
+
+    def has_vertex(self, vertex_id: int) -> bool:
+        return vertex_id in self._vertices
+
+    def edge(self, source: int, target: int) -> Edge:
+        try:
+            return self._edges[(source, target)]
+        except KeyError:
+            raise EdgeNotFoundError(source, target) from None
+
+    def has_edge(self, source: int, target: int) -> bool:
+        return (source, target) in self._edges
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._vertices.values())
+
+    def vertex_ids(self) -> list[int]:
+        return list(self._vertices)
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges.values())
+
+    def out_edges(self, vertex_id: int) -> list[Edge]:
+        try:
+            return list(self._out[vertex_id])
+        except KeyError:
+            raise VertexNotFoundError(vertex_id) from None
+
+    def in_edges(self, vertex_id: int) -> list[Edge]:
+        try:
+            return list(self._in[vertex_id])
+        except KeyError:
+            raise VertexNotFoundError(vertex_id) from None
+
+    def successors(self, vertex_id: int) -> list[int]:
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return [e.target for e in self._out[vertex_id]]
+
+    def predecessors(self, vertex_id: int) -> list[int]:
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return [e.source for e in self._in[vertex_id]]
+
+    def degree(self, vertex_id: int) -> int:
+        """Total degree (in + out)."""
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return len(self._out[vertex_id]) + len(self._in[vertex_id])
+
+    def euclidean(self, a: int, b: int) -> float:
+        """Straight-line distance between two vertices, in metres."""
+        return self.vertex(a).distance_to(self.vertex(b))
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """``(min_x, min_y, max_x, max_y)`` over all vertices."""
+        if not self._vertices:
+            raise GraphError("bounding box of an empty network")
+        xs = [v.x for v in self._vertices.values()]
+        ys = [v.y for v in self._vertices.values()]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def total_length(self) -> float:
+        return sum(e.length for e in self._edges.values())
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+    def strongly_connected_components(self) -> list[set[int]]:
+        """Kosaraju's algorithm, iterative (road graphs exceed the
+        default recursion limit)."""
+        order: list[int] = []
+        visited: set[int] = set()
+        for start in self._vertices:
+            if start in visited:
+                continue
+            stack: list[tuple[int, Iterator[int]]] = [(start, iter(self.successors(start)))]
+            visited.add(start)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in visited:
+                        visited.add(nxt)
+                        stack.append((nxt, iter(self.successors(nxt))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        components: list[set[int]] = []
+        assigned: set[int] = set()
+        for start in reversed(order):
+            if start in assigned:
+                continue
+            component = {start}
+            assigned.add(start)
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for prev in self.predecessors(node):
+                    if prev not in assigned:
+                        assigned.add(prev)
+                        component.add(prev)
+                        frontier.append(prev)
+            components.append(component)
+        return components
+
+    def is_strongly_connected(self) -> bool:
+        if not self._vertices:
+            return True
+        return len(self.strongly_connected_components()) == 1
+
+    def largest_scc_subgraph(self) -> "RoadNetwork":
+        """The sub-network induced by the largest strongly connected
+        component, preserving vertex ids."""
+        components = self.strongly_connected_components()
+        if not components:
+            return RoadNetwork(name=self.name)
+        keep = max(components, key=len)
+        return self.subgraph(keep)
+
+    def subgraph(self, vertex_ids: set[int]) -> "RoadNetwork":
+        sub = RoadNetwork(name=self.name)
+        for vid in sorted(vertex_ids):
+            v = self.vertex(vid)
+            sub.add_vertex(v.id, v.x, v.y)
+        for edge in self._edges.values():
+            if edge.source in vertex_ids and edge.target in vertex_ids:
+                sub.add_edge(edge.source, edge.target, length=edge.length,
+                             speed=edge.speed, category=edge.category)
+        return sub
+
+    def relabelled(self) -> tuple["RoadNetwork", dict[int, int]]:
+        """Copy with vertices renumbered 0..n-1 (sorted by old id).
+
+        Returns the new network and the old→new id mapping.  The
+        embedding layer indexes vertices densely, so experiment pipelines
+        relabel after taking the largest SCC.
+        """
+        mapping = {old: new for new, old in enumerate(sorted(self._vertices))}
+        renamed = RoadNetwork(name=self.name)
+        for old, new in mapping.items():
+            v = self._vertices[old]
+            renamed.add_vertex(new, v.x, v.y)
+        for edge in self._edges.values():
+            renamed.add_edge(mapping[edge.source], mapping[edge.target],
+                             length=edge.length, speed=edge.speed, category=edge.category)
+        return renamed, mapping
+
+    # ------------------------------------------------------------------
+    # Validation / interop
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`GraphError` on damage."""
+        for key, edge in self._edges.items():
+            if key != (edge.source, edge.target):
+                raise GraphError(f"edge stored under wrong key {key}")
+            if edge.source not in self._vertices or edge.target not in self._vertices:
+                raise GraphError(f"edge {key} references a missing vertex")
+        out_count = sum(len(edges) for edges in self._out.values())
+        in_count = sum(len(edges) for edges in self._in.values())
+        if out_count != len(self._edges) or in_count != len(self._edges):
+            raise GraphError("adjacency lists are out of sync with the edge map")
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` (used as a test oracle)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for v in self._vertices.values():
+            graph.add_node(v.id, x=v.x, y=v.y)
+        for e in self._edges.values():
+            graph.add_edge(e.source, e.target, length=e.length, speed=e.speed,
+                           travel_time=e.travel_time, category=e.category.value)
+        return graph
+
+    def __repr__(self) -> str:
+        return (f"RoadNetwork(name={self.name!r}, vertices={self.num_vertices}, "
+                f"edges={self.num_edges})")
+
+    def __contains__(self, vertex_id: int) -> bool:
+        return vertex_id in self._vertices

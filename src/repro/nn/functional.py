@@ -1,0 +1,216 @@
+"""Composite tensor operations built on :mod:`repro.nn.tensor`.
+
+These are the free functions a layer implementation reaches for:
+concatenation, stacking, masked selection, softmax, dropout, and the
+embedding gather used by PathRank's vertex-embedding matrix ``B``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor, as_tensor, unbroadcast
+
+__all__ = [
+    "add",
+    "mul",
+    "matmul",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "embedding_lookup",
+    "sigmoid",
+    "tanh",
+    "relu",
+    "exp",
+    "log",
+    "square",
+    "mean",
+    "total",
+    "chunk",
+]
+
+
+def add(a: Tensor | float, b: Tensor | float) -> Tensor:
+    return as_tensor(a) + as_tensor(b)
+
+
+def mul(a: Tensor | float, b: Tensor | float) -> Tensor:
+    return as_tensor(a) * as_tensor(b)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    return as_tensor(a) @ as_tensor(b)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return as_tensor(x).tanh()
+
+
+def relu(x: Tensor) -> Tensor:
+    return as_tensor(x).relu()
+
+
+def exp(x: Tensor) -> Tensor:
+    return as_tensor(x).exp()
+
+
+def log(x: Tensor) -> Tensor:
+    return as_tensor(x).log()
+
+
+def square(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    return x * x
+
+
+def mean(x: Tensor) -> Tensor:
+    return as_tensor(x).mean()
+
+
+def total(x: Tensor) -> Tensor:
+    """Sum of all elements (named ``total`` to avoid shadowing ``sum``)."""
+    return as_tensor(x).sum()
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with a slicing backward."""
+    if not tensors:
+        raise ShapeError("concat requires at least one tensor")
+    parts = [as_tensor(t) for t in tensors]
+    data = np.concatenate([p.data for p in parts], axis=axis)
+    sizes = [p.shape[axis] for p in parts]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> None:
+        for part, start, stop in zip(parts, offsets[:-1], offsets[1:]):
+            if part.requires_grad:
+                index: list[slice] = [slice(None)] * g.ndim
+                index[axis] = slice(int(start), int(stop))
+                out._send(part, np.ascontiguousarray(g[tuple(index)]))
+
+    out = Tensor._make(data, tuple(parts), backward)
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack same-shape tensors along a new axis."""
+    if not tensors:
+        raise ShapeError("stack requires at least one tensor")
+    parts = [as_tensor(t) for t in tensors]
+    first_shape = parts[0].shape
+    for part in parts[1:]:
+        if part.shape != first_shape:
+            raise ShapeError(f"stack shapes differ: {first_shape} vs {part.shape}")
+    data = np.stack([p.data for p in parts], axis=axis)
+
+    def backward(g: np.ndarray) -> None:
+        slices = np.moveaxis(g, axis, 0)
+        for part, piece in zip(parts, slices):
+            if part.requires_grad:
+                out._send(part, np.ascontiguousarray(piece))
+
+    out = Tensor._make(data, tuple(parts), backward)
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor | float, b: Tensor | float) -> Tensor:
+    """Elementwise select: ``condition`` is a boolean array (not a tensor)."""
+    cond = np.asarray(condition, dtype=bool)
+    at, bt = as_tensor(a), as_tensor(b)
+    data = np.where(cond, at.data, bt.data)
+
+    def backward(g: np.ndarray) -> None:
+        if at.requires_grad:
+            out._send(at, unbroadcast(g * cond, at.shape))
+        if bt.requires_grad:
+            out._send(bt, unbroadcast(g * ~cond, bt.shape))
+
+    out = Tensor._make(data, (at, bt), backward)
+    return out
+
+
+def maximum(a: Tensor | float, b: Tensor | float) -> Tensor:
+    """Elementwise max; ties send the full gradient to the first operand."""
+    at, bt = as_tensor(a), as_tensor(b)
+    return where(at.data >= bt.data, at, bt)
+
+
+def minimum(a: Tensor | float, b: Tensor | float) -> Tensor:
+    """Elementwise min; ties send the full gradient to the first operand."""
+    at, bt = as_tensor(a), as_tensor(b)
+    return where(at.data <= bt.data, at, bt)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax built from differentiable primitives."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scale at train time so inference is identity."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    x = as_tensor(x)
+    if not training or rate == 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    return x * Tensor(mask)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` for integer ``indices`` of any shape.
+
+    The backward pass scatter-adds, so repeated vertices in one batch
+    accumulate gradient into the shared embedding row — the behaviour
+    PathRank's fine-tuned variant (PR-A2) relies on.
+    """
+    idx = np.asarray(indices)
+    if idx.dtype.kind not in "iu":
+        raise TypeError(f"embedding indices must be integers, got dtype {idx.dtype}")
+    if weight.ndim != 2:
+        raise ShapeError(f"embedding weight must be 2-D, got shape {weight.shape}")
+    if idx.size and (idx.min() < 0 or idx.max() >= weight.shape[0]):
+        raise IndexError(
+            f"embedding indices out of range [0, {weight.shape[0]}): "
+            f"[{idx.min()}, {idx.max()}]"
+        )
+    return weight[idx]
+
+
+def chunk(x: Tensor, chunks: int, axis: int = -1) -> list[Tensor]:
+    """Split ``x`` into ``chunks`` equal parts along ``axis``."""
+    x = as_tensor(x)
+    axis = axis % x.ndim
+    size = x.shape[axis]
+    if size % chunks != 0:
+        raise ShapeError(f"cannot split axis of size {size} into {chunks} equal chunks")
+    step = size // chunks
+    pieces: list[Tensor] = []
+    for i in range(chunks):
+        index: list[slice] = [slice(None)] * x.ndim
+        index[axis] = slice(i * step, (i + 1) * step)
+        pieces.append(x[tuple(index)])
+    return pieces

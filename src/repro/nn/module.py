@@ -1,0 +1,142 @@
+"""Module/parameter containers, mirroring the familiar framework contract.
+
+A :class:`Module` tracks its :class:`Parameter` leaves and child modules
+through attribute assignment, exposes them via :meth:`parameters` /
+:meth:`named_parameters`, and serialises to a flat ``state_dict`` of
+numpy arrays.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable leaf of a module."""
+
+    def __init__(self, data: object, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+    def freeze(self) -> None:
+        """Stop gradient accumulation (used by PathRank's PR-A1 variant)."""
+        self.requires_grad = False
+        self.grad = None
+
+    def unfreeze(self) -> None:
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; registration is automatic.  ``training`` toggles
+    behaviours such as dropout.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            if value.name is None:
+                value.name = name
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Parameter traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth first."""
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self, trainable_only: bool = False) -> list[Parameter]:
+        params = [p for _, p in self.named_parameters()]
+        if trainable_only:
+            params = [p for p in params if p.requires_grad]
+        return params
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        return sum(p.size for p in self.parameters(trainable_only=trainable_only))
+
+    # ------------------------------------------------------------------
+    # Modes
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", True)
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", False)
+        return self
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter keyed by dotted path."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values in place.
+
+        With ``strict`` (the default) the key sets must match exactly and
+        every array shape must agree.
+        """
+        own = dict(self.named_parameters())
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        if strict and (missing or unexpected):
+            raise SerializationError(
+                f"state dict mismatch: missing={missing}, unexpected={unexpected}"
+            )
+        for name, parameter in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name])
+            if value.shape != parameter.shape:
+                raise SerializationError(
+                    f"shape mismatch for {name!r}: "
+                    f"expected {parameter.shape}, got {value.shape}"
+                )
+            parameter.data = value.astype(parameter.data.dtype, copy=True)
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args: object, **kwargs: object) -> object:
+        raise NotImplementedError
+
+    def __call__(self, *args: object, **kwargs: object) -> object:
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}(params={self.num_parameters()}, children=[{children}])"

@@ -1,0 +1,237 @@
+"""Recurrent layers: GRU cell/stack, bidirectional GRU, and LSTM.
+
+PathRank consumes a candidate path as a sequence of vertex embeddings and
+summarises it with a bidirectional GRU (the two GRU rows in the paper's
+architecture figure).  Sequences in a batch have different lengths, so
+all recurrences here are *masked*: padded steps propagate the previous
+hidden state unchanged, which makes the final hidden state of every
+sequence the state at its own last real vertex.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.rng import RngLike, make_rng, spawn
+
+__all__ = ["GRUCell", "GRU", "BiGRU", "LSTMCell", "LSTM"]
+
+
+def _check_step_inputs(x: Tensor, h: Tensor, input_size: int, hidden_size: int) -> None:
+    if x.ndim != 2 or x.shape[1] != input_size:
+        raise ShapeError(f"cell expected input (batch, {input_size}), got {x.shape}")
+    if h.ndim != 2 or h.shape[1] != hidden_size:
+        raise ShapeError(f"cell expected hidden (batch, {hidden_size}), got {h.shape}")
+    if x.shape[0] != h.shape[0]:
+        raise ShapeError(f"batch mismatch between input {x.shape} and hidden {h.shape}")
+
+
+def _as_mask(mask: np.ndarray, steps: int, batch: int) -> np.ndarray:
+    mask = np.asarray(mask, dtype=float)
+    if mask.shape != (steps, batch):
+        raise ShapeError(f"mask must have shape ({steps}, {batch}), got {mask.shape}")
+    return mask
+
+
+class GRUCell(Module):
+    """Single-step gated recurrent unit (Cho et al., 2014).
+
+    Uses the standard gating formulation::
+
+        r = sigmoid(x W_ir + b_ir + h W_hr + b_hr)
+        z = sigmoid(x W_iz + b_iz + h W_hz + b_hz)
+        n = tanh(x W_in + b_in + r * (h W_hn + b_hn))
+        h' = (1 - z) * n + z * h
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: RngLike = None) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError(f"sizes must be positive, got ({input_size}, {hidden_size})")
+        generator = make_rng(rng)
+        input_rng, hidden_rng = spawn(generator, 2)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform(input_rng, (input_size, 3 * hidden_size)))
+        recurrent = np.concatenate(
+            [init.orthogonal(hidden_rng, (hidden_size, hidden_size)) for _ in range(3)], axis=1
+        )
+        self.weight_hh = Parameter(recurrent)
+        self.bias_ih = Parameter(np.zeros(3 * hidden_size))
+        self.bias_hh = Parameter(np.zeros(3 * hidden_size))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        _check_step_inputs(x, h, self.input_size, self.hidden_size)
+        gates_input = x @ self.weight_ih + self.bias_ih
+        gates_hidden = h @ self.weight_hh + self.bias_hh
+        i_r, i_z, i_n = F.chunk(gates_input, 3, axis=-1)
+        h_r, h_z, h_n = F.chunk(gates_hidden, 3, axis=-1)
+        reset = (i_r + h_r).sigmoid()
+        update = (i_z + h_z).sigmoid()
+        candidate = (i_n + reset * h_n).tanh()
+        return (1.0 - update) * candidate + update * h
+
+    def initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+
+class GRU(Module):
+    """Masked unidirectional GRU over a ``(steps, batch, input)`` tensor.
+
+    Returns ``(outputs, final)`` where ``outputs`` has shape
+    ``(steps, batch, hidden)`` and ``final`` is each sequence's hidden
+    state at its last unmasked step.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: RngLike = None) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+
+    def forward(
+        self,
+        inputs: Tensor,
+        mask: np.ndarray | None = None,
+        h0: Tensor | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        if inputs.ndim != 3 or inputs.shape[2] != self.input_size:
+            raise ShapeError(
+                f"GRU expected (steps, batch, {self.input_size}), got {inputs.shape}"
+            )
+        steps, batch, _ = inputs.shape
+        if steps == 0:
+            raise ShapeError("GRU requires at least one time step")
+        if mask is not None:
+            mask = _as_mask(mask, steps, batch)
+        hidden = h0 if h0 is not None else self.cell.initial_state(batch)
+        outputs: list[Tensor] = []
+        for t in range(steps):
+            updated = self.cell(inputs[t], hidden)
+            if mask is None:
+                hidden = updated
+            else:
+                step_mask = Tensor(mask[t][:, None])
+                hidden = step_mask * updated + (1.0 - step_mask) * hidden
+            outputs.append(hidden)
+        return F.stack(outputs, axis=0), hidden
+
+
+class BiGRU(Module):
+    """Bidirectional GRU; summaries are the concatenated final states.
+
+    The backward direction consumes the *reversed* sequence together with
+    the reversed mask; padded steps (mask 0) simply carry the zero state
+    until the sequence's real suffix begins, so no re-alignment of padded
+    batches is needed for the final state.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: RngLike = None) -> None:
+        super().__init__()
+        generator = make_rng(rng)
+        forward_rng, backward_rng = spawn(generator, 2)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.forward_gru = GRU(input_size, hidden_size, rng=forward_rng)
+        self.backward_gru = GRU(input_size, hidden_size, rng=backward_rng)
+
+    @property
+    def output_size(self) -> int:
+        return 2 * self.hidden_size
+
+    def forward(
+        self, inputs: Tensor, mask: np.ndarray | None = None
+    ) -> tuple[Tensor, Tensor]:
+        """Return ``(outputs, summary)``.
+
+        ``outputs`` is ``(steps, batch, 2*hidden)`` with the backward
+        stream re-reversed so both streams align per time step;
+        ``summary`` is ``(batch, 2*hidden)``.
+        """
+        forward_out, forward_final = self.forward_gru(inputs, mask=mask)
+        reversed_inputs = inputs[::-1]
+        reversed_mask = mask[::-1] if mask is not None else None
+        backward_out, backward_final = self.backward_gru(reversed_inputs, mask=reversed_mask)
+        aligned_backward = backward_out[::-1]
+        outputs = F.concat([forward_out, aligned_backward], axis=2)
+        summary = F.concat([forward_final, backward_final], axis=1)
+        return outputs, summary
+
+
+class LSTMCell(Module):
+    """Single-step LSTM, provided for the RNN-architecture ablation."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: RngLike = None) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError(f"sizes must be positive, got ({input_size}, {hidden_size})")
+        generator = make_rng(rng)
+        input_rng, hidden_rng = spawn(generator, 2)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform(input_rng, (input_size, 4 * hidden_size)))
+        recurrent = np.concatenate(
+            [init.orthogonal(hidden_rng, (hidden_size, hidden_size)) for _ in range(4)], axis=1
+        )
+        self.weight_hh = Parameter(recurrent)
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size:2 * hidden_size] = 1.0  # forget-gate bias trick
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h, c = state
+        _check_step_inputs(x, h, self.input_size, self.hidden_size)
+        gates = x @ self.weight_ih + h @ self.weight_hh + self.bias
+        i_gate, f_gate, g_gate, o_gate = F.chunk(gates, 4, axis=-1)
+        i_gate = i_gate.sigmoid()
+        f_gate = f_gate.sigmoid()
+        g_gate = g_gate.tanh()
+        o_gate = o_gate.sigmoid()
+        c_next = f_gate * c + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+    def initial_state(self, batch: int) -> tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch, self.hidden_size))
+        return Tensor(zeros.copy()), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Masked unidirectional LSTM over ``(steps, batch, input)``."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: RngLike = None) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+
+    def forward(
+        self, inputs: Tensor, mask: np.ndarray | None = None
+    ) -> tuple[Tensor, Tensor]:
+        if inputs.ndim != 3 or inputs.shape[2] != self.input_size:
+            raise ShapeError(
+                f"LSTM expected (steps, batch, {self.input_size}), got {inputs.shape}"
+            )
+        steps, batch, _ = inputs.shape
+        if steps == 0:
+            raise ShapeError("LSTM requires at least one time step")
+        if mask is not None:
+            mask = _as_mask(mask, steps, batch)
+        hidden, cell_state = self.cell.initial_state(batch)
+        outputs: list[Tensor] = []
+        for t in range(steps):
+            h_next, c_next = self.cell(inputs[t], (hidden, cell_state))
+            if mask is None:
+                hidden, cell_state = h_next, c_next
+            else:
+                step_mask = Tensor(mask[t][:, None])
+                keep = 1.0 - step_mask
+                hidden = step_mask * h_next + keep * hidden
+                cell_state = step_mask * c_next + keep * cell_state
+            outputs.append(hidden)
+        return F.stack(outputs, axis=0), hidden

@@ -1,0 +1,95 @@
+"""Learning-rate schedules driving an :class:`~repro.nn.optim.Optimizer`."""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+__all__ = ["LRSchedule", "ConstantLR", "StepLR", "ExponentialLR", "CosineLR", "LinearWarmup"]
+
+
+class LRSchedule:
+    """Base: call :meth:`step` once per epoch to update ``optimizer.lr``."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.epoch += 1
+        new_lr = self.lr_at(self.epoch)
+        if new_lr <= 0:
+            raise ValueError(f"schedule produced non-positive lr {new_lr} at epoch {self.epoch}")
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class ConstantLR(LRSchedule):
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRSchedule):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialLR(LRSchedule):
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma**epoch
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing from the base rate down to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 1e-6) -> None:
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError(f"total_epochs must be positive, got {total_epochs}")
+        if min_lr <= 0:
+            raise ValueError(f"min_lr must be positive, got {min_lr}")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + math.cos(math.pi * progress))
+
+
+class LinearWarmup(LRSchedule):
+    """Linear ramp to the base rate over ``warmup_epochs``, then constant."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int) -> None:
+        super().__init__(optimizer)
+        if warmup_epochs <= 0:
+            raise ValueError(f"warmup_epochs must be positive, got {warmup_epochs}")
+        self.warmup_epochs = warmup_epochs
+        # Start the optimiser at the first ramp value rather than the peak.
+        optimizer.lr = self.lr_at(0)
+
+    def lr_at(self, epoch: int) -> float:
+        if epoch >= self.warmup_epochs:
+            return self.base_lr
+        return self.base_lr * (epoch + 1) / (self.warmup_epochs + 1)

@@ -1,0 +1,50 @@
+"""Ranking layer: training-data generation, metrics, baselines."""
+
+from repro.ranking.baselines import (
+    Baseline,
+    FEATURE_NAMES,
+    FeatureRidgeBaseline,
+    GenerationOrderBaseline,
+    LengthRatioBaseline,
+    TravelTimeRatioBaseline,
+    path_features,
+)
+from repro.ranking.evaluation import Scorer, evaluate_scorer
+from repro.ranking.metrics import (
+    RankingMetrics,
+    evaluate_predictions,
+    kendall_tau,
+    mean_absolute_error,
+    mean_absolute_relative_error,
+    spearman_rho,
+)
+from repro.ranking.training_data import (
+    RankedCandidate,
+    RankingQuery,
+    Strategy,
+    TrainingDataConfig,
+    generate_queries,
+)
+
+__all__ = [
+    "Strategy",
+    "RankedCandidate",
+    "RankingQuery",
+    "TrainingDataConfig",
+    "generate_queries",
+    "mean_absolute_error",
+    "mean_absolute_relative_error",
+    "kendall_tau",
+    "spearman_rho",
+    "RankingMetrics",
+    "evaluate_predictions",
+    "Baseline",
+    "LengthRatioBaseline",
+    "TravelTimeRatioBaseline",
+    "GenerationOrderBaseline",
+    "FeatureRidgeBaseline",
+    "path_features",
+    "FEATURE_NAMES",
+    "Scorer",
+    "evaluate_scorer",
+]

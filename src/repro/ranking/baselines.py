@@ -1,0 +1,169 @@
+"""Non-learned and shallow-learned ranking baselines.
+
+The paper's motivation is that ranking candidates by classic criteria
+(shortest, fastest) does not reproduce driver preference.  These
+baselines make that claim measurable and give PathRank something to
+beat:
+
+* :class:`LengthRatioBaseline` — score = shortest length / candidate
+  length (ranks exactly like "shorter is better");
+* :class:`TravelTimeRatioBaseline` — the same with travel time
+  ("faster is better");
+* :class:`GenerationOrderBaseline` — score decays with the candidate's
+  position in the enumeration (the k-shortest prior);
+* :class:`FeatureRidgeBaseline` — ridge regression on hand-crafted path
+  features, the classic learning-to-rank pointwise baseline.
+
+All baselines implement ``score_query(query) -> list[float]`` so the
+evaluation harness treats them and PathRank uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.graph.network import RoadCategory
+from repro.graph.path import Path
+from repro.ranking.training_data import RankingQuery
+
+__all__ = [
+    "Baseline",
+    "LengthRatioBaseline",
+    "TravelTimeRatioBaseline",
+    "GenerationOrderBaseline",
+    "FeatureRidgeBaseline",
+    "path_features",
+    "FEATURE_NAMES",
+]
+
+
+class Baseline:
+    """Interface: fit on queries (optional) and score a query's candidates."""
+
+    name = "baseline"
+
+    def fit(self, queries: Sequence[RankingQuery]) -> "Baseline":
+        return self
+
+    def score_query(self, query: RankingQuery) -> list[float]:
+        raise NotImplementedError
+
+
+class LengthRatioBaseline(Baseline):
+    """Score = min candidate length / candidate length, in (0, 1]."""
+
+    name = "rank-by-length"
+
+    def score_query(self, query: RankingQuery) -> list[float]:
+        lengths = [candidate.path.length for candidate in query.candidates]
+        best = min(lengths)
+        return [best / length for length in lengths]
+
+
+class TravelTimeRatioBaseline(Baseline):
+    """Score = min candidate travel time / candidate travel time."""
+
+    name = "rank-by-travel-time"
+
+    def score_query(self, query: RankingQuery) -> list[float]:
+        times = [candidate.path.travel_time for candidate in query.candidates]
+        best = min(times)
+        return [best / time for time in times]
+
+
+class GenerationOrderBaseline(Baseline):
+    """Score = 1 / (1 + generation rank): trust the enumeration order."""
+
+    name = "rank-by-generation-order"
+
+    def score_query(self, query: RankingQuery) -> list[float]:
+        return [1.0 / (1.0 + candidate.generation_rank)
+                for candidate in query.candidates]
+
+
+#: Names of the hand-crafted features, in column order.
+FEATURE_NAMES = (
+    "length_ratio",
+    "time_ratio",
+    "vertex_count_ratio",
+    "generation_rank",
+    "frac_motorway",
+    "frac_arterial",
+    "frac_local",
+    "frac_residential",
+    "mean_edge_length",
+)
+
+
+def path_features(path: Path, query: RankingQuery, generation_rank: int) -> np.ndarray:
+    """The feature vector of one candidate within its query context."""
+    lengths = [c.path.length for c in query.candidates]
+    times = [c.path.travel_time for c in query.candidates]
+    counts = [c.path.num_vertices for c in query.candidates]
+    fractions = path.category_length_fractions()
+    return np.array([
+        min(lengths) / path.length,
+        min(times) / path.travel_time,
+        min(counts) / path.num_vertices,
+        float(generation_rank),
+        fractions.get(RoadCategory.MOTORWAY.value, 0.0),
+        fractions.get(RoadCategory.ARTERIAL.value, 0.0),
+        fractions.get(RoadCategory.LOCAL.value, 0.0),
+        fractions.get(RoadCategory.RESIDENTIAL.value, 0.0),
+        path.length / max(path.num_edges, 1),
+    ])
+
+
+class FeatureRidgeBaseline(Baseline):
+    """Pointwise ridge regression on :func:`path_features`.
+
+    Features are standardised on the training set; the closed-form ridge
+    solution ``(XᵀX + λI)⁻¹ Xᵀy`` keeps the baseline dependency-free.
+    """
+
+    name = "feature-ridge"
+
+    def __init__(self, regularisation: float = 1.0) -> None:
+        if regularisation <= 0:
+            raise ValueError(f"regularisation must be positive, got {regularisation}")
+        self.regularisation = float(regularisation)
+        self._weights: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def _design(self, queries: Sequence[RankingQuery]) -> tuple[np.ndarray, np.ndarray]:
+        rows: list[np.ndarray] = []
+        targets: list[float] = []
+        for query in queries:
+            for candidate in query.candidates:
+                rows.append(path_features(candidate.path, query,
+                                          candidate.generation_rank))
+                targets.append(candidate.score)
+        return np.vstack(rows), np.asarray(targets)
+
+    def fit(self, queries: Sequence[RankingQuery]) -> "FeatureRidgeBaseline":
+        if not queries:
+            raise TrainingError("cannot fit the ridge baseline on zero queries")
+        features, targets = self._design(queries)
+        self._mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        self._std = np.where(std == 0.0, 1.0, std)
+        standardised = (features - self._mean) / self._std
+        design = np.hstack([standardised, np.ones((standardised.shape[0], 1))])
+        gram = design.T @ design + self.regularisation * np.eye(design.shape[1])
+        self._weights = np.linalg.solve(gram, design.T @ targets)
+        return self
+
+    def score_query(self, query: RankingQuery) -> list[float]:
+        if self._weights is None:
+            raise TrainingError("fit() must run before score_query()")
+        scores: list[float] = []
+        for candidate in query.candidates:
+            features = path_features(candidate.path, query, candidate.generation_rank)
+            standardised = (features - self._mean) / self._std
+            raw = float(standardised @ self._weights[:-1] + self._weights[-1])
+            scores.append(min(max(raw, 0.0), 1.0))
+        return scores

@@ -1,0 +1,135 @@
+"""Listwise ranking quality measures: NDCG@k, precision@k, MRR, regret.
+
+The paper reports regression error and rank correlation; a routing
+service additionally cares about *top-of-list* quality — did the best
+candidate end up first?  These measures quantify that and feed the
+extension benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "dcg_at_k",
+    "ndcg_at_k",
+    "precision_at_1",
+    "reciprocal_rank",
+    "top1_regret",
+    "ListwiseMetrics",
+    "evaluate_listwise",
+]
+
+
+def _validate(y_true: Sequence[float], y_pred: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    true = np.asarray(y_true, dtype=float)
+    pred = np.asarray(y_pred, dtype=float)
+    if true.shape != pred.shape or true.ndim != 1 or true.size == 0:
+        raise ValueError(
+            f"inputs must be non-empty 1-D and equal length, got {true.shape} "
+            f"vs {pred.shape}"
+        )
+    return true, pred
+
+
+def dcg_at_k(relevances: Sequence[float], k: int) -> float:
+    """Discounted cumulative gain of a relevance list, truncated at k."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    values = np.asarray(relevances, dtype=float)[:k]
+    discounts = 1.0 / np.log2(np.arange(2, values.size + 2))
+    return float(np.sum(values * discounts))
+
+
+def ndcg_at_k(y_true: Sequence[float], y_pred: Sequence[float], k: int) -> float:
+    """Normalised DCG of the predicted ordering against the ideal one.
+
+    Returns 1.0 for a perfect ordering; ``nan`` when every true score is
+    zero (no ideal ordering exists).
+    """
+    true, pred = _validate(y_true, y_pred)
+    order = np.argsort(-pred, kind="stable")
+    ideal = np.sort(true)[::-1]
+    ideal_dcg = dcg_at_k(ideal, k)
+    if ideal_dcg == 0.0:
+        return math.nan
+    return dcg_at_k(true[order], k) / ideal_dcg
+
+
+def precision_at_1(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """1.0 when the top-predicted candidate has the maximal true score
+    (ties on the true maximum count as correct)."""
+    true, pred = _validate(y_true, y_pred)
+    top = int(np.argmax(pred))
+    return 1.0 if true[top] == true.max() else 0.0
+
+
+def reciprocal_rank(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """1 / (position of the truly-best candidate in the predicted order)."""
+    true, pred = _validate(y_true, y_pred)
+    order = np.argsort(-pred, kind="stable")
+    best = true.max()
+    for position, index in enumerate(order, start=1):
+        if true[index] == best:
+            return 1.0 / position
+    raise AssertionError("unreachable: some candidate attains the maximum")
+
+
+def top1_regret(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """True-score loss from showing the predicted top candidate first."""
+    true, pred = _validate(y_true, y_pred)
+    return float(true.max() - true[int(np.argmax(pred))])
+
+
+class ListwiseMetrics:
+    """Aggregated listwise quality over query groups."""
+
+    def __init__(self, ndcg3: float, p_at_1: float, mrr: float, regret: float,
+                 num_queries: int) -> None:
+        self.ndcg3 = ndcg3
+        self.precision_at_1 = p_at_1
+        self.mrr = mrr
+        self.top1_regret = regret
+        self.num_queries = num_queries
+
+    def __repr__(self) -> str:
+        return (f"ListwiseMetrics(nDCG@3={self.ndcg3:.4f}, "
+                f"P@1={self.precision_at_1:.4f}, MRR={self.mrr:.4f}, "
+                f"regret={self.top1_regret:.4f}, n={self.num_queries})")
+
+
+def evaluate_listwise(
+    grouped_true: Sequence[Sequence[float]],
+    grouped_pred: Sequence[Sequence[float]],
+) -> ListwiseMetrics:
+    """Aggregate listwise measures over per-query groups.
+
+    Queries with all-zero true scores contribute to P@1/MRR/regret
+    (trivially satisfied) but are skipped for nDCG, where the ideal
+    ordering is undefined.
+    """
+    if len(grouped_true) != len(grouped_pred) or not grouped_true:
+        raise ValueError("grouped inputs must be non-empty and equal length")
+    ndcgs: list[float] = []
+    precisions: list[float] = []
+    rranks: list[float] = []
+    regrets: list[float] = []
+    for true, pred in zip(grouped_true, grouped_pred):
+        ndcg = ndcg_at_k(true, pred, k=3)
+        if not math.isnan(ndcg):
+            ndcgs.append(ndcg)
+        precisions.append(precision_at_1(true, pred))
+        rranks.append(reciprocal_rank(true, pred))
+        regrets.append(top1_regret(true, pred))
+    if not ndcgs:
+        raise ValueError("nDCG undefined for every query (all-zero scores)")
+    return ListwiseMetrics(
+        ndcg3=float(np.mean(ndcgs)),
+        p_at_1=float(np.mean(precisions)),
+        mrr=float(np.mean(rranks)),
+        regret=float(np.mean(regrets)),
+        num_queries=len(grouped_true),
+    )

@@ -1,0 +1,208 @@
+"""Evaluation metrics: MAE, MARE, Kendall's τ, Spearman's ρ.
+
+The paper reports two regression metrics over all candidates —
+
+* ``MAE  = mean |y - ŷ|``
+* ``MARE = Σ|y - ŷ| / Σ|y|`` (mean absolute *relative* error)
+
+— and two rank-correlation coefficients computed per query (one
+candidate set = one ranking) and averaged:
+
+* Kendall's τ (the τ-b variant, tie-corrected), and
+* Spearman's ρ (average-rank ties).
+
+All four are implemented from scratch (scipy serves as a test oracle
+only).  Queries whose true or predicted scores are constant have
+undefined rank correlation and are skipped, with the count reported.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_absolute_relative_error",
+    "kendall_tau",
+    "spearman_rho",
+    "RankingMetrics",
+    "evaluate_predictions",
+]
+
+
+def _as_float_arrays(y_true: Sequence[float], y_pred: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    true = np.asarray(y_true, dtype=float)
+    pred = np.asarray(y_pred, dtype=float)
+    if true.shape != pred.shape or true.ndim != 1:
+        raise ValueError(
+            f"metric inputs must be 1-D and equal length, got {true.shape} vs {pred.shape}"
+        )
+    if true.size == 0:
+        raise ValueError("metric inputs must be non-empty")
+    return true, pred
+
+
+def mean_absolute_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    true, pred = _as_float_arrays(y_true, y_pred)
+    return float(np.mean(np.abs(true - pred)))
+
+
+def mean_absolute_relative_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Σ|err| / Σ|truth| — the aggregate relative error the paper reports.
+
+    Using the aggregate ratio (rather than a mean of per-item ratios)
+    keeps the metric finite when individual true scores are zero; it is
+    undefined only when *all* true scores are zero.
+    """
+    true, pred = _as_float_arrays(y_true, y_pred)
+    denominator = float(np.sum(np.abs(true)))
+    if denominator == 0.0:
+        raise ValueError("MARE is undefined when all true scores are zero")
+    return float(np.sum(np.abs(true - pred)) / denominator)
+
+
+def kendall_tau(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Kendall's τ-b with tie correction.
+
+    ``τ-b = (C - D) / sqrt((n0 - n1)(n0 - n2))`` where C/D are concordant
+    and discordant pair counts, ``n0 = n(n-1)/2`` and ``n1``/``n2`` are
+    tied-pair counts within each ranking.  Returns ``nan`` when either
+    ranking is fully tied.
+    """
+    true, pred = _as_float_arrays(y_true, y_pred)
+    n = true.size
+    if n < 2:
+        return math.nan
+    concordant = discordant = 0
+    ties_true = ties_pred = 0
+    for i in range(n - 1):
+        for j in range(i + 1, n):
+            # Compare signs, not the product: multiplying two subnormal
+            # differences can underflow to zero and misclassify the pair.
+            sign_true = int(true[i] > true[j]) - int(true[i] < true[j])
+            sign_pred = int(pred[i] > pred[j]) - int(pred[i] < pred[j])
+            if sign_true == 0 and sign_pred == 0:
+                ties_true += 1
+                ties_pred += 1
+            elif sign_true == 0:
+                ties_true += 1
+            elif sign_pred == 0:
+                ties_pred += 1
+            elif sign_true == sign_pred:
+                concordant += 1
+            else:
+                discordant += 1
+    n0 = n * (n - 1) // 2
+    denominator = math.sqrt((n0 - ties_true) * (n0 - ties_pred))
+    if denominator == 0.0:
+        return math.nan
+    return (concordant - discordant) / denominator
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Ranks starting at 1, ties assigned the average of their positions."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=float)
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average = (i + j) / 2.0 + 1.0
+        ranks[order[i:j + 1]] = average
+        i = j + 1
+    return ranks
+
+
+def spearman_rho(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Spearman's ρ: Pearson correlation of average ranks.
+
+    Returns ``nan`` when either input is constant.
+    """
+    true, pred = _as_float_arrays(y_true, y_pred)
+    if true.size < 2:
+        return math.nan
+    ranks_true = _average_ranks(true)
+    ranks_pred = _average_ranks(pred)
+    std_true = ranks_true.std()
+    std_pred = ranks_pred.std()
+    if std_true == 0.0 or std_pred == 0.0:
+        return math.nan
+    covariance = float(np.mean(
+        (ranks_true - ranks_true.mean()) * (ranks_pred - ranks_pred.mean())
+    ))
+    return covariance / (std_true * std_pred)
+
+
+@dataclass(frozen=True)
+class RankingMetrics:
+    """The four headline numbers of Tables 1 and 2, plus diagnostics."""
+
+    mae: float
+    mare: float
+    tau: float
+    rho: float
+    num_candidates: int
+    num_queries: int
+    num_skipped_queries: int
+
+    def as_row(self) -> dict[str, float]:
+        return {"MAE": self.mae, "MARE": self.mare, "tau": self.tau, "rho": self.rho}
+
+    def __str__(self) -> str:
+        return (f"MAE={self.mae:.4f} MARE={self.mare:.4f} "
+                f"tau={self.tau:.4f} rho={self.rho:.4f} "
+                f"({self.num_queries} queries, {self.num_candidates} candidates)")
+
+
+def evaluate_predictions(
+    grouped_true: Sequence[Sequence[float]],
+    grouped_pred: Sequence[Sequence[float]],
+) -> RankingMetrics:
+    """Aggregate metrics over per-query groups.
+
+    MAE/MARE pool all candidates; τ/ρ are averaged over queries where
+    they are defined (non-constant true and predicted scores).
+    """
+    if len(grouped_true) != len(grouped_pred):
+        raise ValueError(
+            f"group counts differ: {len(grouped_true)} vs {len(grouped_pred)}"
+        )
+    if not grouped_true:
+        raise ValueError("no query groups to evaluate")
+
+    all_true: list[float] = []
+    all_pred: list[float] = []
+    taus: list[float] = []
+    rhos: list[float] = []
+    skipped = 0
+    for true, pred in zip(grouped_true, grouped_pred):
+        if len(true) != len(pred):
+            raise ValueError("a group has mismatched true/pred lengths")
+        all_true.extend(true)
+        all_pred.extend(pred)
+        tau = kendall_tau(true, pred)
+        rho = spearman_rho(true, pred)
+        if math.isnan(tau) or math.isnan(rho):
+            skipped += 1
+            continue
+        taus.append(tau)
+        rhos.append(rho)
+
+    if not taus:
+        raise ValueError(
+            "rank correlation undefined for every query (all-constant scores)"
+        )
+    return RankingMetrics(
+        mae=mean_absolute_error(all_true, all_pred),
+        mare=mean_absolute_relative_error(all_true, all_pred),
+        tau=float(np.mean(taus)),
+        rho=float(np.mean(rhos)),
+        num_candidates=len(all_true),
+        num_queries=len(grouped_true),
+        num_skipped_queries=skipped,
+    )

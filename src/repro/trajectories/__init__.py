@@ -1,0 +1,29 @@
+"""Trajectory substrate: synthetic fleets, GPS rendering, map matching."""
+
+from repro.trajectories.dataset import DatasetSplit, TrajectoryDataset
+from repro.trajectories.drivers import ARCHETYPES, DriverProfile, sample_population
+from repro.trajectories.generator import (
+    FleetConfig,
+    TrajectoryGenerator,
+    Trip,
+    generate_fleet,
+)
+from repro.trajectories.gps import GPSPoint, Trajectory, render_path_to_gps
+from repro.trajectories.map_matching import MapMatcher, MatchResult
+
+__all__ = [
+    "GPSPoint",
+    "Trajectory",
+    "render_path_to_gps",
+    "DriverProfile",
+    "ARCHETYPES",
+    "sample_population",
+    "Trip",
+    "FleetConfig",
+    "TrajectoryGenerator",
+    "generate_fleet",
+    "MapMatcher",
+    "MatchResult",
+    "TrajectoryDataset",
+    "DatasetSplit",
+]

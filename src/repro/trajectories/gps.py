@@ -1,0 +1,133 @@
+"""GPS records and trajectories.
+
+The paper's raw input is a stream of timestamped GPS positions per
+vehicle.  :class:`GPSPoint` and :class:`Trajectory` model that stream;
+:func:`render_path_to_gps` simulates a vehicle driving a network path at
+the edges' speeds and emitting noisy fixes at a fixed sampling interval,
+which is how the synthetic fleet produces raw data for the map-matching
+substrate.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.errors import DataError
+from repro.graph.path import Path
+from repro.rng import RngLike, make_rng
+
+__all__ = ["GPSPoint", "Trajectory", "render_path_to_gps"]
+
+
+@dataclass(frozen=True)
+class GPSPoint:
+    """One fix: planar position (metres) and timestamp (seconds)."""
+
+    x: float
+    y: float
+    t: float
+
+    def distance_to(self, other: "GPSPoint") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+class Trajectory:
+    """A time-ordered sequence of GPS points for one trip."""
+
+    __slots__ = ("trip_id", "vehicle_id", "points")
+
+    def __init__(self, trip_id: int, vehicle_id: int, points: Sequence[GPSPoint]) -> None:
+        pts = tuple(points)
+        if len(pts) < 2:
+            raise DataError(f"trajectory {trip_id} needs at least 2 points, got {len(pts)}")
+        for a, b in zip(pts, pts[1:]):
+            if b.t < a.t:
+                raise DataError(f"trajectory {trip_id} has non-monotone timestamps")
+        self.trip_id = int(trip_id)
+        self.vehicle_id = int(vehicle_id)
+        self.points = pts
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[GPSPoint]:
+        return iter(self.points)
+
+    def __getitem__(self, index: int) -> GPSPoint:
+        return self.points[index]
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds between the first and last fix."""
+        return self.points[-1].t - self.points[0].t
+
+    @property
+    def crow_distance(self) -> float:
+        """Straight-line distance between endpoints."""
+        return self.points[0].distance_to(self.points[-1])
+
+    def travelled_distance(self) -> float:
+        """Sum of inter-fix distances (noisy upper-ish bound on length)."""
+        return sum(a.distance_to(b) for a, b in zip(self.points, self.points[1:]))
+
+    def __repr__(self) -> str:
+        return (f"Trajectory(trip={self.trip_id}, vehicle={self.vehicle_id}, "
+                f"fixes={len(self.points)}, duration={self.duration:.0f}s)")
+
+
+def render_path_to_gps(
+    path: Path,
+    trip_id: int,
+    vehicle_id: int,
+    sample_interval: float = 10.0,
+    noise_std: float = 8.0,
+    start_time: float = 0.0,
+    rng: RngLike = None,
+) -> Trajectory:
+    """Drive ``path`` at free-flow speeds, emitting a fix every
+    ``sample_interval`` seconds with isotropic Gaussian noise.
+
+    ``noise_std`` of ~5-10 m mirrors consumer GPS receivers.  The first
+    and last fixes always coincide (noisily) with the path endpoints so
+    the trip's extent is preserved.
+    """
+    if sample_interval <= 0:
+        raise ValueError(f"sample_interval must be positive, got {sample_interval}")
+    if noise_std < 0:
+        raise ValueError(f"noise_std must be non-negative, got {noise_std}")
+    generator = make_rng(rng)
+    network = path.network
+
+    # Piecewise-linear position as a function of elapsed time.
+    segment_ends: list[float] = [0.0]
+    for edge in path.edges:
+        segment_ends.append(segment_ends[-1] + edge.travel_time)
+    total_time = segment_ends[-1]
+
+    def position_at(elapsed: float) -> tuple[float, float]:
+        elapsed = min(max(elapsed, 0.0), total_time)
+        # Find the edge containing this time offset.
+        for index, edge in enumerate(path.edges):
+            if elapsed <= segment_ends[index + 1] or index == len(path.edges) - 1:
+                begin = segment_ends[index]
+                span = segment_ends[index + 1] - begin
+                fraction = 0.0 if span == 0 else (elapsed - begin) / span
+                a = network.vertex(edge.source)
+                b = network.vertex(edge.target)
+                return (a.x + (b.x - a.x) * fraction, a.y + (b.y - a.y) * fraction)
+        raise AssertionError("unreachable: elapsed clamped to total_time")
+
+    times = [0.0]
+    while times[-1] + sample_interval < total_time:
+        times.append(times[-1] + sample_interval)
+    times.append(total_time)
+
+    points = []
+    for t in times:
+        x, y = position_at(t)
+        nx = x + generator.normal(0.0, noise_std) if noise_std else x
+        ny = y + generator.normal(0.0, noise_std) if noise_std else y
+        points.append(GPSPoint(nx, ny, start_time + t))
+    return Trajectory(trip_id, vehicle_id, points)

@@ -1,0 +1,298 @@
+"""HMM map matching: raw GPS fixes → a network vertex path.
+
+The paper consumes *map-matched* trajectory paths; this module supplies
+that preprocessing step with the standard hidden-Markov formulation of
+Newson & Krumm (2009):
+
+* **states** — for each GPS fix, the ``k`` directed edges nearest to the
+  fix (exact point-to-segment projection, computed vectorised over all
+  edges — road networks at the reproduction's scale make a full scan
+  cheaper than an index);
+* **emission** — Gaussian in the fix-to-edge distance (std ``sigma``);
+* **transition** — exponential in the absolute difference between the
+  on-network route distance of consecutive projections and the
+  straight-line distance of their fixes (scale ``beta``): candidate
+  routes that detour wildly relative to the vehicle's actual
+  displacement are implausible;
+* **decoding** — Viterbi; the edge sequence is stitched with shortest
+  paths and collapsed into one loop-free vertex path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError, NoPathError
+from repro.graph.network import Edge, RoadNetwork
+from repro.graph.path import Path
+from repro.graph.shortest_path import dijkstra, length_cost, shortest_path
+from repro.trajectories.gps import Trajectory
+
+__all__ = ["MapMatcher", "MatchResult"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """A matched trajectory: the inferred path and diagnostics."""
+
+    path: Path
+    matched_edges: tuple[tuple[int, int], ...]
+    log_likelihood: float
+
+
+@dataclass(frozen=True)
+class _State:
+    """One candidate: a directed edge, the projection fraction along it,
+    and the fix-to-projection distance."""
+
+    edge: Edge
+    fraction: float
+    distance: float
+
+
+class MapMatcher:
+    """Reusable matcher for one road network (precomputes edge geometry)."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        sigma: float = 15.0,
+        beta: float = 80.0,
+        candidates_per_point: int = 6,
+    ) -> None:
+        if sigma <= 0 or beta <= 0:
+            raise ValueError(f"sigma and beta must be positive, got ({sigma}, {beta})")
+        if candidates_per_point < 1:
+            raise ValueError(
+                f"candidates_per_point must be >= 1, got {candidates_per_point}"
+            )
+        if network.num_edges == 0:
+            raise ValueError("cannot match against a network with no edges")
+        self.network = network
+        self.sigma = float(sigma)
+        self.beta = float(beta)
+        self.candidates_per_point = int(candidates_per_point)
+
+        self._edges: list[Edge] = list(network.edges())
+        ax, ay, bx, by = [], [], [], []
+        for edge in self._edges:
+            a = network.vertex(edge.source)
+            b = network.vertex(edge.target)
+            ax.append(a.x)
+            ay.append(a.y)
+            bx.append(b.x)
+            by.append(b.y)
+        self._ax = np.array(ax)
+        self._ay = np.array(ay)
+        self._dx = np.array(bx) - self._ax
+        self._dy = np.array(by) - self._ay
+        self._len2 = np.maximum(self._dx**2 + self._dy**2, 1e-12)
+
+    # ------------------------------------------------------------------
+    # HMM pieces
+    # ------------------------------------------------------------------
+    def _candidates(self, x: float, y: float) -> list[_State]:
+        """The k nearest directed edges by point-to-segment distance."""
+        t = np.clip(((x - self._ax) * self._dx + (y - self._ay) * self._dy)
+                    / self._len2, 0.0, 1.0)
+        px = self._ax + t * self._dx
+        py = self._ay + t * self._dy
+        dist2 = (px - x) ** 2 + (py - y) ** 2
+        k = min(self.candidates_per_point, len(self._edges))
+        best = np.argpartition(dist2, k - 1)[:k]
+        states = [
+            _State(edge=self._edges[int(i)], fraction=float(t[int(i)]),
+                   distance=float(math.sqrt(dist2[int(i)])))
+            for i in best
+        ]
+        states.sort(key=lambda s: s.distance)
+        return states
+
+    def _emission_logp(self, distance: float) -> float:
+        return -0.5 * (distance / self.sigma) ** 2
+
+    def _transition_logp(self, route_distance: float, crow_distance: float) -> float:
+        return -abs(route_distance - crow_distance) / self.beta
+
+    def _route_distance(
+        self,
+        from_state: _State,
+        to_state: _State,
+        distance_cache: dict[int, dict[int, float]],
+    ) -> float | None:
+        """On-network distance between two projection points."""
+        e1, e2 = from_state.edge, to_state.edge
+        if e1.key == e2.key:
+            if to_state.fraction >= from_state.fraction:
+                return (to_state.fraction - from_state.fraction) * e1.length
+            # Driving backwards along one edge means leaving and re-entering.
+            remaining = (1.0 - from_state.fraction) * e1.length
+            comeback = self._vertex_distance(e1.target, e1.source, distance_cache)
+            if comeback is None:
+                return None
+            return remaining + comeback + to_state.fraction * e2.length
+        head = (1.0 - from_state.fraction) * e1.length
+        middle = self._vertex_distance(e1.target, e2.source, distance_cache)
+        if middle is None:
+            return None
+        return head + middle + to_state.fraction * e2.length
+
+    def _vertex_distance(
+        self, source: int, target: int, cache: dict[int, dict[int, float]]
+    ) -> float | None:
+        if source == target:
+            return 0.0
+        table = cache.get(source)
+        if table is None:
+            table, _ = dijkstra(self.network, source, cost=length_cost)
+            cache[source] = table
+        return table.get(target)
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(self, trajectory: Trajectory) -> MatchResult:
+        """Viterbi-decode ``trajectory`` into a vertex path.
+
+        Raises :class:`DataError` when no plausible state sequence exists
+        (e.g. the fixes are far outside the network or disconnected).
+        """
+        points = trajectory.points
+        layers = [self._candidates(p.x, p.y) for p in points]
+        distance_cache: dict[int, dict[int, float]] = {}
+
+        scores = [self._emission_logp(s.distance) for s in layers[0]]
+        back: list[list[int]] = []
+        for t in range(1, len(points)):
+            crow = points[t - 1].distance_to(points[t])
+            new_scores: list[float] = []
+            pointers: list[int] = []
+            for state in layers[t]:
+                best_score = -math.inf
+                best_prev = -1
+                for i, prev_state in enumerate(layers[t - 1]):
+                    if scores[i] == -math.inf:
+                        continue
+                    route = self._route_distance(prev_state, state, distance_cache)
+                    if route is None:
+                        continue
+                    candidate = scores[i] + self._transition_logp(route, crow)
+                    if candidate > best_score:
+                        best_score = candidate
+                        best_prev = i
+                emission = self._emission_logp(state.distance)
+                new_scores.append(best_score + emission if best_prev >= 0 else -math.inf)
+                pointers.append(best_prev)
+            if all(score == -math.inf for score in new_scores):
+                raise DataError(
+                    f"map matching broke at fix {t}: no reachable candidate states"
+                )
+            scores = new_scores
+            back.append(pointers)
+
+        best_final = int(np.argmax(scores))
+        if scores[best_final] == -math.inf:
+            raise DataError("map matching found no feasible state sequence")
+        indices = [best_final]
+        for pointers in reversed(back):
+            prev = pointers[indices[-1]]
+            if prev < 0:
+                raise DataError("map matching backtrack hit an unreachable state")
+            indices.append(prev)
+        indices.reverse()
+        matched_states = [layers[t][i] for t, i in enumerate(indices)]
+
+        path = self._stitch(matched_states)
+        return MatchResult(
+            path=path,
+            matched_edges=tuple(s.edge.key for s in matched_states),
+            log_likelihood=float(scores[best_final]),
+        )
+
+    def _stitch(self, states: list[_State]) -> Path:
+        """Join the decoded states into one vertex path.
+
+        A projection that lands (within ``endpoint_tolerance`` metres) on
+        an edge endpoint anchors the route at that *vertex* rather than
+        committing to the whole edge — otherwise a fix sitting exactly on
+        a junction would drag in an arbitrary incident edge and create a
+        spurious final or initial leg.
+        """
+        endpoint_tolerance = 1.0  # metres
+        anchors: list[tuple[str, object]] = []
+        for state in states:
+            offset = state.fraction * state.edge.length
+            if offset <= endpoint_tolerance:
+                anchor: tuple[str, object] = ("vertex", state.edge.source)
+            elif state.edge.length - offset <= endpoint_tolerance:
+                anchor = ("vertex", state.edge.target)
+            else:
+                anchor = ("edge", state.edge)
+            if not anchors or anchors[-1] != anchor:
+                anchors.append(anchor)
+
+        vertices: list[int] = []
+
+        def connect_to(target: int) -> None:
+            if vertices and vertices[-1] == target:
+                return
+            if not vertices:
+                vertices.append(target)
+                return
+            try:
+                connector = shortest_path(self.network, vertices[-1], target)
+            except NoPathError as exc:
+                raise DataError(
+                    f"matched positions {vertices[-1]} -> {target} are not connected"
+                ) from exc
+            vertices.extend(connector.vertices[1:])
+
+        for kind, value in anchors:
+            if kind == "vertex":
+                connect_to(int(value))  # type: ignore[arg-type]
+            else:
+                edge = value  # type: ignore[assignment]
+                if len(vertices) >= 2 and vertices[-2] == edge.source \
+                        and vertices[-1] == edge.target:
+                    continue  # already traversing this edge
+                connect_to(edge.source)
+                vertices.append(edge.target)
+
+        cleaned = self._remove_loops(vertices)
+        if len(cleaned) < 2:
+            raise DataError(
+                "matched trajectory collapsed to a single vertex; the trip is "
+                "too short to map-match"
+            )
+        return Path(self.network, cleaned)
+
+    @staticmethod
+    def _remove_loops(vertices: list[int]) -> list[int]:
+        """Make the vertex sequence loop-free.
+
+        At each revisit, remove whichever is smaller: the cycle between
+        the two visits, or the tail from the revisit onward.  Cutting the
+        cycle handles mid-route noise wiggles; cutting the tail handles a
+        spurious final spur that would otherwise delete most of the path.
+        """
+        result = list(vertices)
+        while True:
+            position: dict[int, int] = {}
+            revisit: tuple[int, int] | None = None
+            for index, vertex in enumerate(result):
+                if vertex in position:
+                    revisit = (position[vertex], index)
+                    break
+                position[vertex] = index
+            if revisit is None:
+                return result
+            first, second = revisit
+            cycle_cost = second - first
+            tail_cost = len(result) - second
+            if cycle_cost <= tail_cost:
+                result = result[: first + 1] + result[second + 1:]
+            else:
+                result = result[:second]

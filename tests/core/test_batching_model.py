@@ -1,0 +1,187 @@
+"""Tests for path batching and the PathRank network."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DataError
+from repro.core import PathRank, PathRankMultiTask, Variant, build_pathrank, encode_paths, minibatches
+from repro.graph import Path
+from repro.nn import Tensor, check_gradients
+
+
+@pytest.fixture
+def paths(tiny_network):
+    return [
+        Path(tiny_network, [0, 1, 2]),
+        Path(tiny_network, [0, 3, 4, 5, 2]),
+        Path(tiny_network, [0, 2]),
+    ]
+
+
+class TestEncodePaths:
+    def test_shapes(self, paths):
+        vertex_ids, mask = encode_paths(paths)
+        assert vertex_ids.shape == (5, 3)
+        assert mask.shape == (5, 3)
+
+    def test_padding_masked(self, paths):
+        vertex_ids, mask = encode_paths(paths)
+        np.testing.assert_allclose(mask[:, 0], [1, 1, 1, 0, 0])
+        np.testing.assert_allclose(mask[:, 1], [1, 1, 1, 1, 1])
+        np.testing.assert_allclose(mask[:, 2], [1, 1, 0, 0, 0])
+
+    def test_ids_correct(self, paths):
+        vertex_ids, _ = encode_paths(paths)
+        assert vertex_ids[:3, 0].tolist() == [0, 1, 2]
+        assert vertex_ids[:5, 1].tolist() == [0, 3, 4, 5, 2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            encode_paths([])
+
+    def test_minibatches_cover_everything(self, paths):
+        targets = np.array([0.1, 0.2, 0.3])
+        seen = 0
+        for ids, mask, t in minibatches(paths, targets, batch_size=2, shuffle=False):
+            assert ids.shape[1] == t.shape[0]
+            seen += t.shape[0]
+        assert seen == 3
+
+    def test_minibatches_shuffle_deterministic(self, paths):
+        targets = np.array([0.1, 0.2, 0.3])
+        a = [t.tolist() for _, _, t in minibatches(paths, targets, 1, rng=3)]
+        b = [t.tolist() for _, _, t in minibatches(paths, targets, 1, rng=3)]
+        assert a == b
+
+    def test_minibatches_validation(self, paths):
+        with pytest.raises(DataError):
+            list(minibatches(paths, np.zeros(2), 2))
+        with pytest.raises(ValueError):
+            list(minibatches(paths, np.zeros(3), 0))
+
+
+class TestPathRankModel:
+    def make(self, **kwargs):
+        defaults = dict(num_vertices=6, embedding_dim=8, hidden_size=8,
+                        fc_hidden=4, rng=0)
+        defaults.update(kwargs)
+        return PathRank(**defaults)
+
+    def test_forward_shape_and_range(self, paths):
+        model = self.make()
+        vertex_ids, mask = encode_paths(paths)
+        scores = model(vertex_ids, mask)
+        assert scores.shape == (3,)
+        assert np.all((scores.data > 0) & (scores.data < 1))
+
+    def test_score_paths(self, paths):
+        model = self.make()
+        scores = model.score_paths(paths)
+        assert scores.shape == (3,)
+
+    def test_score_paths_empty(self):
+        assert self.make().score_paths([]).shape == (0,)
+
+    def test_padding_invariance(self, paths, tiny_network):
+        """Scoring a path alone or in a padded batch must agree."""
+        model = self.make()
+        short = Path(tiny_network, [0, 2])
+        alone = model.score_paths([short])[0]
+        batched = model.score_paths(paths)[2]
+        assert alone == pytest.approx(batched, abs=1e-12)
+
+    def test_unidirectional_option(self, paths):
+        model = self.make(bidirectional=False)
+        assert model.summary_size == 8
+        vertex_ids, mask = encode_paths(paths)
+        assert model(vertex_ids, mask).shape == (3,)
+
+    def test_final_pooling_option(self, paths):
+        model = self.make(pooling="final")
+        vertex_ids, mask = encode_paths(paths)
+        assert model(vertex_ids, mask).shape == (3,)
+
+    def test_attention_pooling_option(self, paths):
+        model = self.make(pooling="attention")
+        vertex_ids, mask = encode_paths(paths)
+        scores = model(vertex_ids, mask)
+        assert scores.shape == (3,)
+        assert np.all((scores.data > 0) & (scores.data < 1))
+
+    def test_attention_padding_invariance(self, paths, tiny_network):
+        model = self.make(pooling="attention")
+        short = Path(tiny_network, [0, 2])
+        alone = model.score_paths([short])[0]
+        batched = model.score_paths(paths)[2]
+        assert alone == pytest.approx(batched, abs=1e-10)
+
+    def test_attention_registers_extra_parameters(self):
+        plain = self.make(pooling="mean")
+        attentive = self.make(pooling="attention")
+        assert attentive.num_parameters() > plain.num_parameters()
+
+    def test_pretrained_embedding(self):
+        matrix = np.random.default_rng(0).normal(size=(6, 8))
+        model = self.make(embedding_matrix=matrix)
+        np.testing.assert_allclose(model.embedding.weight.data, matrix)
+
+    def test_pretrained_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            self.make(embedding_matrix=np.zeros((6, 9)))
+
+    def test_frozen_embedding_pr_a1(self):
+        model = self.make(trainable_embedding=False)
+        assert not model.embedding.weight.requires_grad
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            PathRank(num_vertices=0)
+        with pytest.raises(ConfigError):
+            self.make(pooling="max")
+
+    def test_gradients_flow_end_to_end(self, paths):
+        model = self.make()
+        vertex_ids, mask = encode_paths(paths)
+
+        def forward():
+            scores = model(vertex_ids, mask)
+            return (scores * scores).mean()
+
+        check_gradients(forward, [model.embedding.weight, model.fc2.weight],
+                        atol=1e-4, rtol=1e-3)
+
+    def test_deterministic_construction(self, paths):
+        a, b = self.make(rng=9), self.make(rng=9)
+        vertex_ids, mask = encode_paths(paths)
+        np.testing.assert_allclose(a(vertex_ids, mask).data, b(vertex_ids, mask).data)
+
+
+class TestVariants:
+    def test_variant_lookup(self):
+        assert Variant.from_name("pr-a1") is Variant.PR_A1
+        with pytest.raises(KeyError):
+            Variant.from_name("pr-zz")
+
+    def test_pr_a1_frozen(self):
+        model = build_pathrank(Variant.PR_A1, num_vertices=6, embedding_dim=8,
+                               hidden_size=8, fc_hidden=4)
+        assert not model.embedding.weight.requires_grad
+
+    def test_pr_a2_trainable(self):
+        model = build_pathrank(Variant.PR_A2, num_vertices=6, embedding_dim=8,
+                               hidden_size=8, fc_hidden=4)
+        assert model.embedding.weight.requires_grad
+
+    def test_pr_m_is_multitask(self, paths):
+        model = build_pathrank(Variant.PR_M, num_vertices=6, embedding_dim=8,
+                               hidden_size=8, fc_hidden=4)
+        assert isinstance(model, PathRankMultiTask)
+        vertex_ids, mask = encode_paths(paths)
+        scores, aux = model.forward_with_aux(vertex_ids, mask)
+        assert scores.shape == (3,)
+        assert aux.shape == (3, 2)
+
+    def test_build_from_string(self):
+        model = build_pathrank("PR-A2", num_vertices=6, embedding_dim=8,
+                               hidden_size=8, fc_hidden=4)
+        assert isinstance(model, PathRank)

@@ -1,0 +1,86 @@
+"""Tests for the alias-method sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import AliasSampler
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AliasSampler([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AliasSampler([1.0, -0.5])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            AliasSampler([0.0, 0.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            AliasSampler([1.0, float("nan")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            AliasSampler(np.ones((2, 2)))
+
+
+class TestSampling:
+    def test_single_outcome(self):
+        sampler = AliasSampler([3.0])
+        rng = np.random.default_rng(0)
+        assert all(sampler.sample(rng) == 0 for _ in range(10))
+
+    def test_zero_weight_never_sampled(self):
+        sampler = AliasSampler([1.0, 0.0, 1.0])
+        rng = np.random.default_rng(0)
+        draws = sampler.sample_many(rng, 5000)
+        assert 1 not in set(draws.tolist())
+
+    def test_uniform_distribution(self):
+        sampler = AliasSampler([1.0, 1.0, 1.0, 1.0])
+        rng = np.random.default_rng(1)
+        draws = sampler.sample_many(rng, 40_000)
+        freqs = np.bincount(draws, minlength=4) / draws.size
+        np.testing.assert_allclose(freqs, 0.25, atol=0.02)
+
+    def test_skewed_distribution(self):
+        weights = [8.0, 1.0, 1.0]
+        sampler = AliasSampler(weights)
+        rng = np.random.default_rng(2)
+        draws = sampler.sample_many(rng, 50_000)
+        freqs = np.bincount(draws, minlength=3) / draws.size
+        np.testing.assert_allclose(freqs, [0.8, 0.1, 0.1], atol=0.02)
+
+    def test_sample_many_negative_size(self):
+        with pytest.raises(ValueError):
+            AliasSampler([1.0]).sample_many(np.random.default_rng(0), -1)
+
+    def test_sample_many_zero_size(self):
+        out = AliasSampler([1.0]).sample_many(np.random.default_rng(0), 0)
+        assert out.size == 0
+
+    def test_scalar_and_vector_agree_statistically(self):
+        sampler = AliasSampler([2.0, 1.0])
+        rng = np.random.default_rng(3)
+        scalar_draws = np.array([sampler.sample(rng) for _ in range(30_000)])
+        vector_draws = sampler.sample_many(np.random.default_rng(4), 30_000)
+        assert abs(scalar_draws.mean() - vector_draws.mean()) < 0.02
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20),
+       st.integers(0, 2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_property_frequencies_match_weights(weights, seed):
+    """Empirical frequencies converge to the normalised weights."""
+    sampler = AliasSampler(weights)
+    rng = np.random.default_rng(seed)
+    draws = sampler.sample_many(rng, 20_000)
+    expected = np.asarray(weights) / np.sum(weights)
+    freqs = np.bincount(draws, minlength=len(weights)) / draws.size
+    np.testing.assert_allclose(freqs, expected, atol=0.05)

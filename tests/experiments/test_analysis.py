@@ -1,0 +1,57 @@
+"""Tests for candidate-set analysis."""
+
+import pytest
+
+from repro.experiments.analysis import analyse_queries, compare_strategies
+from repro.ranking import Strategy, TrainingDataConfig, generate_queries
+from repro.trajectories import generate_fleet
+
+
+@pytest.fixture(scope="module")
+def query_sets(region_network):
+    _, trips = generate_fleet(region_network, num_drivers=6, trips_per_driver=4,
+                              rng=3)
+    tkdi = generate_queries(trips, TrainingDataConfig(
+        strategy=Strategy.TKDI, k=4))
+    dtkdi = generate_queries(trips, TrainingDataConfig(
+        strategy=Strategy.D_TKDI, k=4, diversity_threshold=0.8,
+        examine_limit=100))
+    return tkdi, dtkdi
+
+
+class TestAnalyseQueries:
+    def test_stats_ranges(self, query_sets):
+        tkdi, _ = query_sets
+        stats = analyse_queries(tkdi)
+        assert stats.num_queries == len(tkdi)
+        assert 2 <= stats.mean_candidates <= 4
+        assert 0.0 <= stats.mean_pairwise_similarity <= 1.0
+        assert 0.0 <= stats.mean_best_score <= 1.0
+        assert 0.0 <= stats.coverage_at_80 <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            analyse_queries([])
+
+    def test_as_row_length(self, query_sets):
+        tkdi, _ = query_sets
+        assert len(analyse_queries(tkdi).as_row()) == 5
+
+
+class TestStrategyComparison:
+    def test_diversified_less_similar(self, query_sets):
+        """The paper's data claim on this corpus."""
+        tkdi, dtkdi = query_sets
+        stats = compare_strategies({"TkDI": tkdi, "D-TkDI": dtkdi})
+        assert stats["D-TkDI"].mean_pairwise_similarity < \
+            stats["TkDI"].mean_pairwise_similarity
+
+    def test_diversified_spreads_scores(self, query_sets):
+        tkdi, dtkdi = query_sets
+        stats = compare_strategies({"TkDI": tkdi, "D-TkDI": dtkdi})
+        assert stats["D-TkDI"].mean_score_spread >= \
+            stats["TkDI"].mean_score_spread
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_strategies({})

@@ -1,0 +1,258 @@
+"""Tests for network generators, JSON/CSV persistence, and OSM interop."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.graph import (
+    RoadCategory,
+    grid_network,
+    load_network_csv,
+    load_network_json,
+    load_osm_xml,
+    network_from_dict,
+    network_to_dict,
+    north_jutland_like,
+    ring_radial_network,
+    save_network_csv,
+    save_network_json,
+    save_osm_xml,
+)
+
+
+class TestGridBuilder:
+    def test_strongly_connected(self):
+        assert grid_network(6, 6, seed=0).is_strongly_connected()
+
+    def test_dense_ids(self):
+        net = grid_network(5, 5, seed=1)
+        assert set(net.vertex_ids()) == set(range(net.num_vertices))
+
+    def test_deterministic(self):
+        a = grid_network(6, 6, seed=42)
+        b = grid_network(6, 6, seed=42)
+        assert a.num_vertices == b.num_vertices
+        assert {e.key for e in a.edges()} == {e.key for e in b.edges()}
+
+    def test_seeds_differ(self):
+        a = grid_network(6, 6, seed=1)
+        b = grid_network(6, 6, seed=2)
+        assert {e.key for e in a.edges()} != {e.key for e in b.edges()} or (
+            [v.x for v in a.vertices()] != [v.x for v in b.vertices()]
+        )
+
+    def test_has_arterials_and_locals(self):
+        net = grid_network(8, 8, seed=3)
+        categories = {e.category for e in net.edges()}
+        assert RoadCategory.ARTERIAL in categories
+        assert RoadCategory.LOCAL in categories
+
+    def test_no_removal_keeps_full_grid(self):
+        net = grid_network(4, 4, seed=0, removal_probability=0.0)
+        assert net.num_vertices == 16
+        # Full 4x4 grid: 2 * (3*4 + 3*4) = 48 directed edges.
+        assert net.num_edges == 48
+
+    def test_lengths_at_least_euclidean(self):
+        net = grid_network(5, 5, seed=4)
+        for e in net.edges():
+            assert e.length >= net.euclidean(e.source, e.target) - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_network(1, 5)
+        with pytest.raises(ValueError):
+            grid_network(4, 4, perturbation=0.7)
+        with pytest.raises(ValueError):
+            grid_network(4, 4, removal_probability=1.0)
+        with pytest.raises(ValueError):
+            grid_network(4, 4, arterial_every=1)
+
+
+class TestRingRadialBuilder:
+    def test_structure(self):
+        net = ring_radial_network(rings=3, spokes=8, seed=0)
+        assert net.is_strongly_connected()
+        assert net.num_vertices == 1 + 3 * 8
+
+    def test_ring_roads_are_arterial(self):
+        net = ring_radial_network(rings=2, spokes=6, seed=0)
+        categories = {e.category for e in net.edges()}
+        assert RoadCategory.ARTERIAL in categories
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_radial_network(rings=0)
+        with pytest.raises(ValueError):
+            ring_radial_network(spokes=2)
+
+
+class TestRegionBuilder:
+    def test_strongly_connected(self, region_network):
+        assert region_network.is_strongly_connected()
+
+    def test_has_motorways(self, region_network):
+        categories = {e.category for e in region_network.edges()}
+        assert RoadCategory.MOTORWAY in categories
+
+    def test_reasonable_size(self, region_network):
+        assert region_network.num_vertices > 30
+        assert region_network.num_edges > 80
+
+    def test_deterministic(self):
+        a = north_jutland_like(num_towns=3, seed=5)
+        b = north_jutland_like(num_towns=3, seed=5)
+        assert {e.key for e in a.edges()} == {e.key for e in b.edges()}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            north_jutland_like(num_towns=1)
+        with pytest.raises(ValueError):
+            north_jutland_like(town_size_range=(5, 3))
+
+
+class TestJsonRoundTrip:
+    def test_dict_roundtrip(self, tiny_network):
+        doc = network_to_dict(tiny_network)
+        restored = network_from_dict(doc)
+        assert restored.num_vertices == tiny_network.num_vertices
+        assert {e.key for e in restored.edges()} == {e.key for e in tiny_network.edges()}
+
+    def test_preserves_attributes(self, tiny_network):
+        restored = network_from_dict(network_to_dict(tiny_network))
+        edge = restored.edge(0, 2)
+        assert edge.length == 250.0
+        assert edge.speed == 110.0
+        assert edge.category == RoadCategory.MOTORWAY
+
+    def test_file_roundtrip(self, tiny_network, tmp_path):
+        path = tmp_path / "net.json"
+        save_network_json(tiny_network, path)
+        restored = load_network_json(path)
+        assert restored.num_edges == tiny_network.num_edges
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_network_json(tmp_path / "missing.json")
+
+    def test_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            load_network_json(bad)
+
+    def test_wrong_version(self, tiny_network):
+        doc = network_to_dict(tiny_network)
+        doc["format_version"] = 99
+        with pytest.raises(SerializationError):
+            network_from_dict(doc)
+
+    def test_malformed_document(self):
+        with pytest.raises(SerializationError):
+            network_from_dict({"format_version": 1, "vertices": [{"id": 0}], "edges": []})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SerializationError):
+            network_from_dict([1, 2, 3])
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, small_grid, tmp_path):
+        save_network_csv(small_grid, tmp_path)
+        restored = load_network_csv(tmp_path)
+        assert restored.num_vertices == small_grid.num_vertices
+        assert {e.key for e in restored.edges()} == {e.key for e in small_grid.edges()}
+
+    def test_lengths_preserved(self, tiny_network, tmp_path):
+        save_network_csv(tiny_network, tmp_path)
+        restored = load_network_csv(tmp_path)
+        for e in tiny_network.edges():
+            assert restored.edge(*e.key).length == pytest.approx(e.length)
+
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_network_csv(tmp_path)
+
+
+class TestOsmRoundTrip:
+    def test_topology_survives(self, tiny_network, tmp_path):
+        path = tmp_path / "tiny.osm"
+        save_osm_xml(tiny_network, path)
+        restored = load_osm_xml(path, keep_largest_scc=False)
+        assert restored.num_vertices == tiny_network.num_vertices
+        assert restored.num_edges == tiny_network.num_edges
+
+    def test_oneway_preserved(self, tiny_network, tmp_path):
+        path = tmp_path / "tiny.osm"
+        save_osm_xml(tiny_network, path)
+        restored = load_osm_xml(path, keep_largest_scc=False)
+        # The 0->2 motorway is one-way; count antiparallel pairs instead of ids
+        # because OSM ids are renumbered in document order.
+        def oneway_count(net):
+            return sum(1 for e in net.edges() if not net.has_edge(e.target, e.source))
+
+        assert oneway_count(restored) == oneway_count(tiny_network) == 1
+
+    def test_categories_survive(self, tiny_network, tmp_path):
+        path = tmp_path / "tiny.osm"
+        save_osm_xml(tiny_network, path)
+        restored = load_osm_xml(path, keep_largest_scc=False)
+        assert {e.category for e in restored.edges()} == {
+            e.category for e in tiny_network.edges()
+        }
+
+    def test_lengths_close_to_euclidean(self, tiny_network, tmp_path):
+        # OSM stores geometry, not lengths: restored lengths are haversine
+        # distances, close to the original euclidean separations.
+        path = tmp_path / "tiny.osm"
+        save_osm_xml(tiny_network, path)
+        restored = load_osm_xml(path, keep_largest_scc=False)
+        for e in restored.edges():
+            euclid = restored.euclidean(e.source, e.target)
+            assert e.length == pytest.approx(euclid, rel=0.02)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_osm_xml(tmp_path / "none.osm")
+
+    def test_invalid_xml(self, tmp_path):
+        bad = tmp_path / "bad.osm"
+        bad.write_text("<osm><node id='1'", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            load_osm_xml(bad)
+
+    def test_empty_osm_rejected(self, tmp_path):
+        empty = tmp_path / "empty.osm"
+        empty.write_text("<osm version='0.6'></osm>", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            load_osm_xml(empty)
+
+    def test_unknown_highway_ignored(self, tmp_path):
+        doc = """<?xml version='1.0'?>
+        <osm version='0.6'>
+          <node id='1' lat='57.0' lon='9.9'/>
+          <node id='2' lat='57.01' lon='9.9'/>
+          <way id='1' version='1'>
+            <nd ref='1'/><nd ref='2'/>
+            <tag k='highway' v='footway'/>
+          </way>
+        </osm>"""
+        path = tmp_path / "foot.osm"
+        path.write_text(doc, encoding="utf-8")
+        net = load_osm_xml(path, keep_largest_scc=False)
+        assert net.num_edges == 0
+
+    def test_maxspeed_parsing(self, tmp_path):
+        doc = """<?xml version='1.0'?>
+        <osm version='0.6'>
+          <node id='1' lat='57.0' lon='9.9'/>
+          <node id='2' lat='57.01' lon='9.9'/>
+          <way id='1' version='1'>
+            <nd ref='1'/><nd ref='2'/>
+            <tag k='highway' v='primary'/>
+            <tag k='maxspeed' v='60'/>
+          </way>
+        </osm>"""
+        path = tmp_path / "speed.osm"
+        path.write_text(doc, encoding="utf-8")
+        net = load_osm_xml(path, keep_largest_scc=False)
+        assert next(net.edges()).speed == 60.0

@@ -1,0 +1,115 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Path,
+    dijkstra,
+    grid_network,
+    jaccard,
+    shortest_path,
+    vertex_jaccard,
+    weighted_jaccard,
+    yen_k_shortest_paths,
+)
+
+
+@st.composite
+def grids(draw):
+    rows = draw(st.integers(3, 6))
+    cols = draw(st.integers(3, 6))
+    seed = draw(st.integers(0, 10_000))
+    return grid_network(rows, cols, seed=seed)
+
+
+@st.composite
+def grid_and_pair(draw):
+    net = draw(grids())
+    ids = net.vertex_ids()
+    source = draw(st.sampled_from(ids))
+    target = draw(st.sampled_from([v for v in ids if v != source]))
+    return net, source, target
+
+
+@given(grid_and_pair())
+@settings(max_examples=25, deadline=None)
+def test_dijkstra_matches_networkx(case):
+    net, source, target = case
+    ours = shortest_path(net, source, target)
+    expected = nx.dijkstra_path_length(net.to_networkx(), source, target, weight="length")
+    assert ours.length == pytest.approx(expected)
+
+
+@given(grid_and_pair())
+@settings(max_examples=25, deadline=None)
+def test_triangle_inequality_of_sp_distances(case):
+    """d(s,t) <= d(s,m) + d(m,t) for any midpoint m."""
+    net, source, target = case
+    dist, _ = dijkstra(net, source)
+    midpoint = net.vertex_ids()[len(net.vertex_ids()) // 2]
+    if midpoint in (source, target):
+        return
+    dist_mid, _ = dijkstra(net, midpoint)
+    assert dist[target] <= dist[midpoint] + dist_mid[target] + 1e-9
+
+
+@given(grid_and_pair())
+@settings(max_examples=20, deadline=None)
+def test_yen_sorted_unique_loopless(case):
+    net, source, target = case
+    paths = yen_k_shortest_paths(net, source, target, 5)
+    lengths = [p.length for p in paths]
+    assert lengths == sorted(lengths)
+    assert len({p.vertices for p in paths}) == len(paths)
+    assert all(p.is_simple() for p in paths)
+
+
+@given(grid_and_pair(), st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_similarity_axioms(case, extra_seed):
+    """Identity, symmetry, boundedness of all similarity measures."""
+    net, source, target = case
+    paths = yen_k_shortest_paths(net, source, target, 3)
+    rng = np.random.default_rng(extra_seed)
+    a = paths[int(rng.integers(0, len(paths)))]
+    b = paths[int(rng.integers(0, len(paths)))]
+    for sim in (weighted_jaccard, jaccard, vertex_jaccard):
+        assert sim(a, a) == pytest.approx(1.0)
+        assert sim(a, b) == pytest.approx(sim(b, a))
+        assert 0.0 <= sim(a, b) <= 1.0
+
+
+@given(grid_and_pair())
+@settings(max_examples=20, deadline=None)
+def test_path_length_consistency(case):
+    """Path.length equals the sum of its edge lengths."""
+    net, source, target = case
+    path = shortest_path(net, source, target)
+    total = sum(net.edge(u, v).length for u, v in path.edge_keys)
+    assert path.length == pytest.approx(total)
+
+
+@given(grids())
+@settings(max_examples=15, deadline=None)
+def test_generated_grids_strongly_connected(net):
+    assert net.is_strongly_connected()
+    assert set(net.vertex_ids()) == set(range(net.num_vertices))
+
+
+@given(grid_and_pair())
+@settings(max_examples=20, deadline=None)
+def test_weighted_jaccard_vs_unweighted_on_uniform_lengths(case):
+    """On paths sharing equal-length edges the two Jaccards stay within
+    the interval spanned by edge-length variation; sanity-bound check."""
+    net, source, target = case
+    paths = yen_k_shortest_paths(net, source, target, 2)
+    if len(paths) < 2:
+        return
+    a, b = paths[0], paths[1]
+    wj, uj = weighted_jaccard(a, b), jaccard(a, b)
+    # Both zero or both nonzero.
+    assert (wj == 0) == (uj == 0)

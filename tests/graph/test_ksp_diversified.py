@@ -1,0 +1,179 @@
+"""Tests for Yen's k-shortest paths and diversified top-k."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.errors import NoPathError
+from repro.graph import (
+    Path,
+    diversified_top_k,
+    jaccard,
+    length_cost,
+    shortest_path,
+    travel_time_cost,
+    weighted_jaccard,
+    yen_k_shortest_paths,
+    yen_path_generator,
+)
+
+
+class TestYen:
+    def test_first_is_shortest(self, small_grid):
+        ids = small_grid.vertex_ids()
+        paths = yen_k_shortest_paths(small_grid, ids[0], ids[-1], 3)
+        assert paths[0] == shortest_path(small_grid, ids[0], ids[-1])
+
+    def test_costs_non_decreasing(self, small_grid):
+        ids = small_grid.vertex_ids()
+        paths = yen_k_shortest_paths(small_grid, ids[0], ids[-1], 8)
+        lengths = [p.length for p in paths]
+        assert all(a <= b + 1e-9 for a, b in zip(lengths, lengths[1:]))
+
+    def test_paths_distinct(self, small_grid):
+        ids = small_grid.vertex_ids()
+        paths = yen_k_shortest_paths(small_grid, ids[0], ids[-1], 8)
+        assert len({p.vertices for p in paths}) == len(paths)
+
+    def test_paths_loopless(self, small_grid):
+        ids = small_grid.vertex_ids()
+        for path in yen_k_shortest_paths(small_grid, ids[2], ids[-3], 8):
+            assert path.is_simple()
+
+    def test_endpoints_fixed(self, small_grid):
+        ids = small_grid.vertex_ids()
+        s, d = ids[1], ids[-2]
+        for path in yen_k_shortest_paths(small_grid, s, d, 5):
+            assert path.source == s and path.target == d
+
+    def test_matches_networkx_shortest_simple_paths(self, tiny_network):
+        """Oracle check: same multiset of costs as networkx's generator."""
+        ours = yen_k_shortest_paths(tiny_network, 3, 2, 6)
+        g = tiny_network.to_networkx()
+        theirs = list(itertools.islice(
+            nx.shortest_simple_paths(g, 3, 2, weight="length"), 6))
+        our_costs = [round(p.length, 6) for p in ours]
+        their_costs = [
+            round(sum(g[u][v]["length"] for u, v in zip(p, p[1:])), 6) for p in theirs
+        ]
+        assert our_costs == their_costs
+
+    def test_matches_networkx_on_grid(self, small_grid):
+        ids = small_grid.vertex_ids()
+        s, d = ids[4], ids[20]
+        ours = [p.length for p in yen_k_shortest_paths(small_grid, s, d, 10)]
+        g = small_grid.to_networkx()
+        theirs = []
+        for p in itertools.islice(nx.shortest_simple_paths(g, s, d, weight="length"), 10):
+            theirs.append(sum(g[u][v]["length"] for u, v in zip(p, p[1:])))
+        assert ours == pytest.approx(theirs)
+
+    def test_travel_time_ordering(self, region_network):
+        ids = region_network.vertex_ids()
+        paths = yen_k_shortest_paths(region_network, ids[0], ids[-1], 5,
+                                     cost=travel_time_cost)
+        times = [p.travel_time for p in paths]
+        assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_k_validation(self, tiny_network):
+        with pytest.raises(ValueError):
+            yen_k_shortest_paths(tiny_network, 0, 2, 0)
+
+    def test_no_path_raises(self, tiny_network):
+        # vertex 2 has an incoming motorway only from 0; everything is
+        # reachable in tiny_network, so build an unreachable query instead.
+        from repro.graph import RoadNetwork
+
+        net = RoadNetwork()
+        net.add_vertex(0, 0, 0)
+        net.add_vertex(1, 1, 0)
+        net.add_edge(0, 1, length=1.0)
+        with pytest.raises(NoPathError):
+            yen_k_shortest_paths(net, 1, 0, 3)
+
+    def test_exhausts_small_path_space(self, tiny_network):
+        # Only so many loopless 0->2 paths exist; ask for far more.
+        paths = yen_k_shortest_paths(tiny_network, 0, 2, 50)
+        assert 0 < len(paths) < 50
+        assert len({p.vertices for p in paths}) == len(paths)
+
+    def test_generator_lazy(self, small_grid):
+        ids = small_grid.vertex_ids()
+        generator = yen_path_generator(small_grid, ids[0], ids[-1])
+        first = next(generator)
+        second = next(generator)
+        assert first.length <= second.length
+        assert first.vertices != second.vertices
+
+    def test_generator_max_paths(self, small_grid):
+        ids = small_grid.vertex_ids()
+        paths = list(yen_path_generator(small_grid, ids[0], ids[-1], max_paths=4))
+        assert len(paths) == 4
+
+
+class TestDiversified:
+    def test_threshold_one_equals_plain_topk(self, small_grid):
+        ids = small_grid.vertex_ids()
+        s, d = ids[0], ids[-1]
+        result = diversified_top_k(small_grid, s, d, 5, threshold=1.0)
+        plain = yen_k_shortest_paths(small_grid, s, d, 5)
+        assert list(result.paths) == plain
+        assert result.examined == 5
+
+    def test_pairwise_similarity_bounded(self, region_network):
+        ids = region_network.vertex_ids()
+        result = diversified_top_k(region_network, ids[0], ids[-1], 4,
+                                   threshold=0.8, examine_limit=200)
+        for a, b in itertools.combinations(result.paths, 2):
+            assert weighted_jaccard(a, b) <= 0.8 + 1e-9
+
+    def test_first_is_shortest(self, region_network):
+        ids = region_network.vertex_ids()
+        result = diversified_top_k(region_network, ids[0], ids[-1], 3,
+                                   threshold=0.7, examine_limit=200)
+        assert result.paths[0] == shortest_path(region_network, ids[0], ids[-1])
+
+    def test_costs_non_decreasing(self, region_network):
+        ids = region_network.vertex_ids()
+        result = diversified_top_k(region_network, ids[3], ids[-4], 4,
+                                   threshold=0.8, examine_limit=200)
+        lengths = [p.length for p in result.paths]
+        assert all(a <= b + 1e-9 for a, b in zip(lengths, lengths[1:]))
+
+    def test_smaller_threshold_needs_more_examination(self, region_network):
+        ids = region_network.vertex_ids()
+        s, d = ids[0], ids[-1]
+        loose = diversified_top_k(region_network, s, d, 3, threshold=0.95,
+                                  examine_limit=300)
+        strict = diversified_top_k(region_network, s, d, 3, threshold=0.5,
+                                   examine_limit=300)
+        assert strict.examined >= loose.examined
+
+    def test_exhausted_flag(self, tiny_network):
+        # Demanding many diverse paths from a tiny network must exhaust.
+        result = diversified_top_k(tiny_network, 0, 2, 10, threshold=0.1,
+                                   examine_limit=50)
+        assert result.exhausted
+        assert len(result) < 10
+
+    def test_alternate_similarity_function(self, region_network):
+        ids = region_network.vertex_ids()
+        result = diversified_top_k(region_network, ids[0], ids[-1], 3,
+                                   threshold=0.8, similarity=jaccard,
+                                   examine_limit=200)
+        for a, b in itertools.combinations(result.paths, 2):
+            assert jaccard(a, b) <= 0.8 + 1e-9
+
+    def test_result_iterable_and_sized(self, small_grid):
+        ids = small_grid.vertex_ids()
+        result = diversified_top_k(small_grid, ids[0], ids[-1], 3, threshold=0.9)
+        assert len(list(result)) == len(result)
+
+    def test_validation(self, tiny_network):
+        with pytest.raises(ValueError):
+            diversified_top_k(tiny_network, 0, 2, 0)
+        with pytest.raises(ValueError):
+            diversified_top_k(tiny_network, 0, 2, 3, threshold=1.5)
+        with pytest.raises(ValueError):
+            diversified_top_k(tiny_network, 0, 2, 10, examine_limit=5)

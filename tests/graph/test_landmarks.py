@@ -1,0 +1,92 @@
+"""Tests for the ALT landmark index."""
+
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.graph import shortest_path, travel_time_cost
+from repro.graph.landmarks import LandmarkIndex
+from repro.graph.shortest_path import dijkstra, length_cost
+
+
+@pytest.fixture(scope="module")
+def index(small_grid):
+    return LandmarkIndex(small_grid, num_landmarks=4, rng=0)
+
+
+class TestConstruction:
+    def test_landmark_count(self, index):
+        assert len(index.landmarks) == 4
+
+    def test_landmarks_distinct(self, index):
+        assert len(set(index.landmarks)) == len(index.landmarks)
+
+    def test_capped_at_network_size(self, tiny_network):
+        index = LandmarkIndex(tiny_network, num_landmarks=100, rng=0)
+        assert len(index.landmarks) <= tiny_network.num_vertices
+
+    def test_validation(self, small_grid):
+        with pytest.raises(ValueError):
+            LandmarkIndex(small_grid, num_landmarks=0)
+
+
+class TestBounds:
+    def test_bound_is_admissible_everywhere(self, small_grid, index):
+        """The landmark bound must never exceed the true distance."""
+        ids = small_grid.vertex_ids()
+        target = ids[-1]
+        dist, _ = dijkstra(small_grid, target)  # d(target, v); need reverse
+        for source in ids[::5]:
+            true_distance = shortest_path(small_grid, source, target).length \
+                if source != target else 0.0
+            assert index.lower_bound(source, target) <= true_distance + 1e-6
+
+    def test_bound_to_self_is_zero_ish(self, small_grid, index):
+        vertex = small_grid.vertex_ids()[3]
+        assert index.lower_bound(vertex, vertex) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bound_non_negative(self, small_grid, index):
+        ids = small_grid.vertex_ids()
+        for source in ids[::7]:
+            for target in ids[::11]:
+                assert index.lower_bound(source, target) >= 0.0
+
+    def test_missing_vertex(self, index):
+        with pytest.raises(VertexNotFoundError):
+            index.lower_bound(0, 10_000)
+
+
+class TestAltSearch:
+    def test_matches_dijkstra(self, small_grid, index):
+        ids = small_grid.vertex_ids()
+        for source, target in [(ids[0], ids[-1]), (ids[5], ids[20])]:
+            alt = index.shortest_path(source, target)
+            oracle = shortest_path(small_grid, source, target)
+            assert alt.length == pytest.approx(oracle.length)
+
+    def test_travel_time_index(self, small_grid):
+        index = LandmarkIndex(small_grid, num_landmarks=3,
+                              cost=travel_time_cost, rng=1)
+        ids = small_grid.vertex_ids()
+        alt = index.shortest_path(ids[2], ids[-2])
+        oracle = shortest_path(small_grid, ids[2], ids[-2], travel_time_cost)
+        assert alt.travel_time == pytest.approx(oracle.travel_time)
+
+    def test_region_network(self, region_network):
+        index = LandmarkIndex(region_network, num_landmarks=6, rng=2)
+        ids = region_network.vertex_ids()
+        alt = index.shortest_path(ids[0], ids[-1])
+        oracle = shortest_path(region_network, ids[0], ids[-1])
+        assert alt.length == pytest.approx(oracle.length)
+
+    def test_bound_often_beats_euclidean_for_time_cost(self, region_network):
+        """For travel-time costs the euclidean bound (metres) is useless;
+        the landmark bound is in the right unit and much tighter."""
+        index = LandmarkIndex(region_network, num_landmarks=6,
+                              cost=travel_time_cost, rng=3)
+        ids = region_network.vertex_ids()
+        source, target = ids[1], ids[-2]
+        bound = index.lower_bound(source, target)
+        true_time = shortest_path(region_network, source, target,
+                                  travel_time_cost).travel_time
+        assert 0.0 < bound <= true_time + 1e-6
+        assert bound >= 0.3 * true_time  # reasonably tight in practice

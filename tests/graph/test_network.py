@@ -1,0 +1,234 @@
+"""Unit tests for RoadNetwork structure and connectivity."""
+
+import math
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph import RoadCategory, RoadNetwork
+
+
+@pytest.fixture
+def empty() -> RoadNetwork:
+    return RoadNetwork(name="empty")
+
+
+@pytest.fixture
+def pair() -> RoadNetwork:
+    net = RoadNetwork()
+    net.add_vertex(0, 0.0, 0.0)
+    net.add_vertex(1, 300.0, 400.0)
+    return net
+
+
+class TestVertices:
+    def test_add_and_lookup(self, pair):
+        v = pair.vertex(0)
+        assert (v.x, v.y) == (0.0, 0.0)
+
+    def test_duplicate_vertex_rejected(self, pair):
+        with pytest.raises(GraphError):
+            pair.add_vertex(0, 1.0, 1.0)
+
+    def test_missing_vertex_raises(self, pair):
+        with pytest.raises(VertexNotFoundError):
+            pair.vertex(99)
+
+    def test_contains(self, pair):
+        assert 0 in pair
+        assert 99 not in pair
+
+    def test_counts(self, pair):
+        assert pair.num_vertices == 2
+        assert pair.num_edges == 0
+
+    def test_euclidean(self, pair):
+        assert pair.euclidean(0, 1) == pytest.approx(500.0)
+
+    def test_vertex_distance_to(self, pair):
+        assert pair.vertex(0).distance_to(pair.vertex(1)) == pytest.approx(500.0)
+
+    def test_bounding_box(self, pair):
+        assert pair.bounding_box() == (0.0, 0.0, 300.0, 400.0)
+
+    def test_bounding_box_empty_raises(self, empty):
+        with pytest.raises(GraphError):
+            empty.bounding_box()
+
+
+class TestEdges:
+    def test_add_edge_defaults(self, pair):
+        edge = pair.add_edge(0, 1)
+        assert edge.length == pytest.approx(500.0)
+        assert edge.speed == RoadCategory.LOCAL.default_speed
+
+    def test_travel_time(self, pair):
+        edge = pair.add_edge(0, 1, length=1000.0, speed=36.0)
+        assert edge.travel_time == pytest.approx(100.0)  # 36 km/h == 10 m/s
+
+    def test_category_speed_defaults(self):
+        assert RoadCategory.MOTORWAY.default_speed > RoadCategory.RESIDENTIAL.default_speed
+
+    def test_add_edge_missing_vertex(self, pair):
+        with pytest.raises(VertexNotFoundError):
+            pair.add_edge(0, 42)
+
+    def test_self_loop_rejected(self, pair):
+        with pytest.raises(GraphError):
+            pair.add_edge(0, 0)
+
+    def test_duplicate_edge_rejected(self, pair):
+        pair.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            pair.add_edge(0, 1)
+
+    def test_antiparallel_edges_allowed(self, pair):
+        pair.add_edge(0, 1)
+        pair.add_edge(1, 0)
+        assert pair.num_edges == 2
+
+    def test_two_way_helper(self, pair):
+        forward, backward = pair.add_two_way(0, 1)
+        assert forward.length == backward.length
+        assert pair.has_edge(0, 1) and pair.has_edge(1, 0)
+
+    def test_non_positive_length_rejected(self, pair):
+        with pytest.raises(GraphError):
+            pair.add_edge(0, 1, length=0.0)
+
+    def test_non_positive_speed_rejected(self, pair):
+        with pytest.raises(GraphError):
+            pair.add_edge(0, 1, length=10.0, speed=-5.0)
+
+    def test_colocated_needs_explicit_length(self):
+        net = RoadNetwork()
+        net.add_vertex(0, 0.0, 0.0)
+        net.add_vertex(1, 0.0, 0.0)
+        with pytest.raises(GraphError):
+            net.add_edge(0, 1)
+        net.add_edge(0, 1, length=5.0)
+
+    def test_remove_edge(self, pair):
+        pair.add_edge(0, 1)
+        pair.remove_edge(0, 1)
+        assert not pair.has_edge(0, 1)
+        assert pair.out_edges(0) == []
+
+    def test_remove_missing_edge(self, pair):
+        with pytest.raises(EdgeNotFoundError):
+            pair.remove_edge(0, 1)
+
+    def test_edge_lookup_missing(self, pair):
+        with pytest.raises(EdgeNotFoundError):
+            pair.edge(0, 1)
+
+
+class TestAdjacency:
+    def test_out_in_edges(self, tiny_network):
+        outs = {e.target for e in tiny_network.out_edges(0)}
+        assert outs == {1, 2, 3}
+        ins = {e.source for e in tiny_network.in_edges(2)}
+        assert ins == {0, 1, 5}
+
+    def test_successors_predecessors(self, tiny_network):
+        assert set(tiny_network.successors(4)) == {1, 3, 5}
+        assert set(tiny_network.predecessors(0)) == {1, 3}
+
+    def test_degree(self, tiny_network):
+        # vertex 4: two-way to 1, 3, 5 -> 3 out + 3 in
+        assert tiny_network.degree(4) == 6
+
+    def test_adjacency_missing_vertex(self, tiny_network):
+        with pytest.raises(VertexNotFoundError):
+            tiny_network.out_edges(404)
+        with pytest.raises(VertexNotFoundError):
+            tiny_network.successors(404)
+
+    def test_out_edges_returns_copy(self, tiny_network):
+        edges = tiny_network.out_edges(0)
+        edges.clear()
+        assert tiny_network.out_edges(0)
+
+    def test_total_length(self, tiny_network):
+        # Sum of all directed edge lengths: 7 two-way pairs + one one-way.
+        expected = 2 * (100 + 100 + 100 + 50 + 100 + 100 + 100) + 250
+        assert tiny_network.total_length() == pytest.approx(expected)
+
+
+class TestConnectivity:
+    def test_tiny_is_strongly_connected(self, tiny_network):
+        assert tiny_network.is_strongly_connected()
+
+    def test_one_way_breaks_connectivity(self):
+        net = RoadNetwork()
+        net.add_vertex(0, 0, 0)
+        net.add_vertex(1, 1, 0)
+        net.add_edge(0, 1, length=1.0)
+        assert not net.is_strongly_connected()
+        components = net.strongly_connected_components()
+        assert sorted(len(c) for c in components) == [1, 1]
+
+    def test_scc_matches_networkx(self, small_grid):
+        import networkx as nx
+
+        ours = {frozenset(c) for c in small_grid.strongly_connected_components()}
+        theirs = {frozenset(c) for c in
+                  nx.strongly_connected_components(small_grid.to_networkx())}
+        assert ours == theirs
+
+    def test_largest_scc_subgraph(self):
+        net = RoadNetwork()
+        for i in range(4):
+            net.add_vertex(i, float(i), 0.0)
+        net.add_two_way(0, 1, length=1.0)
+        net.add_two_way(1, 2, length=1.0)
+        net.add_edge(2, 3, length=1.0)  # 3 dangles (no way back)
+        largest = net.largest_scc_subgraph()
+        assert set(largest.vertex_ids()) == {0, 1, 2}
+        assert largest.is_strongly_connected()
+
+    def test_empty_network_connected(self, empty):
+        assert empty.is_strongly_connected()
+
+    def test_relabelled_dense_ids(self):
+        net = RoadNetwork()
+        net.add_vertex(10, 0, 0)
+        net.add_vertex(20, 1, 0)
+        net.add_two_way(10, 20, length=1.0)
+        renamed, mapping = net.relabelled()
+        assert set(renamed.vertex_ids()) == {0, 1}
+        assert mapping == {10: 0, 20: 1}
+        assert renamed.has_edge(0, 1) and renamed.has_edge(1, 0)
+
+    def test_relabelled_preserves_attributes(self, tiny_network):
+        renamed, mapping = tiny_network.relabelled()
+        original = tiny_network.edge(0, 2)
+        copy = renamed.edge(mapping[0], mapping[2])
+        assert copy.length == original.length
+        assert copy.category == original.category
+
+    def test_subgraph_drops_crossing_edges(self, tiny_network):
+        sub = tiny_network.subgraph({0, 1, 2})
+        assert sub.num_vertices == 3
+        assert not sub.has_edge(1, 4)
+        assert sub.has_edge(0, 1)
+
+
+class TestValidationInterop:
+    def test_validate_clean(self, tiny_network):
+        tiny_network.validate()
+
+    def test_to_networkx_preserves_counts(self, tiny_network):
+        g = tiny_network.to_networkx()
+        assert g.number_of_nodes() == tiny_network.num_vertices
+        assert g.number_of_edges() == tiny_network.num_edges
+
+    def test_to_networkx_edge_attributes(self, tiny_network):
+        g = tiny_network.to_networkx()
+        data = g.get_edge_data(0, 2)
+        assert data["length"] == 250.0
+        assert data["category"] == "motorway"
+
+    def test_repr(self, tiny_network):
+        assert "tiny" in repr(tiny_network)
+        assert "vertices=6" in repr(tiny_network)

@@ -1,0 +1,166 @@
+"""Tests for Dijkstra / bidirectional / A*, with networkx as the oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import NoPathError, VertexNotFoundError
+from repro.graph import (
+    RoadNetwork,
+    astar,
+    bidirectional_dijkstra,
+    dijkstra,
+    length_cost,
+    shortest_path,
+    shortest_path_cost,
+    travel_time_cost,
+    travel_time_heuristic,
+)
+
+
+class TestDijkstra:
+    def test_known_shortest(self, tiny_network):
+        path = shortest_path(tiny_network, 3, 2, cost=length_cost)
+        assert path.vertices == (3, 4, 1, 2) or path.length <= 300.0
+
+    def test_distances_complete(self, tiny_network):
+        dist, _ = dijkstra(tiny_network, 0)
+        assert set(dist) == set(tiny_network.vertex_ids())
+        assert dist[0] == 0.0
+
+    def test_against_networkx_lengths(self, small_grid):
+        g = small_grid.to_networkx()
+        dist, _ = dijkstra(small_grid, 0, cost=length_cost)
+        expected = nx.single_source_dijkstra_path_length(g, 0, weight="length")
+        assert set(dist) == set(expected)
+        for node, d in expected.items():
+            assert dist[node] == pytest.approx(d)
+
+    def test_travel_time_against_networkx(self, small_grid):
+        g = small_grid.to_networkx()
+        dist, _ = dijkstra(small_grid, 5, cost=travel_time_cost)
+        expected = nx.single_source_dijkstra_path_length(g, 5, weight="travel_time")
+        for node, d in expected.items():
+            assert dist[node] == pytest.approx(d)
+
+    def test_early_stop_with_target(self, small_grid):
+        ids = small_grid.vertex_ids()
+        target = ids[1]
+        dist, _ = dijkstra(small_grid, ids[0], target=target)
+        assert target in dist
+
+    def test_banned_vertex_excluded(self, tiny_network):
+        path = shortest_path(tiny_network, 3, 2, banned_vertices={4})
+        assert 4 not in path.vertices
+
+    def test_banned_edge_excluded(self, tiny_network):
+        direct = shortest_path(tiny_network, 0, 2)
+        banned = shortest_path(tiny_network, 0, 2, banned_edges={(0, 2)})
+        assert direct.vertices != banned.vertices or (0, 2) not in banned.edge_set
+
+    def test_banned_source_empty(self, tiny_network):
+        dist, prev = dijkstra(tiny_network, 0, banned_vertices={0})
+        assert dist == {} and prev == {}
+
+    def test_missing_source(self, tiny_network):
+        with pytest.raises(VertexNotFoundError):
+            dijkstra(tiny_network, 404)
+
+    def test_negative_cost_rejected(self, tiny_network):
+        with pytest.raises(ValueError):
+            dijkstra(tiny_network, 0, cost=lambda e: -1.0)
+
+    def test_no_path_raises(self):
+        net = RoadNetwork()
+        net.add_vertex(0, 0, 0)
+        net.add_vertex(1, 1, 0)
+        net.add_vertex(2, 2, 0)
+        net.add_edge(0, 1, length=1.0)
+        with pytest.raises(NoPathError):
+            shortest_path(net, 1, 0)
+
+    def test_same_source_target_raises(self, tiny_network):
+        with pytest.raises(NoPathError):
+            shortest_path(tiny_network, 0, 0)
+
+    def test_shortest_path_cost_matches_path(self, small_grid):
+        ids = small_grid.vertex_ids()
+        s, d = ids[0], ids[-1]
+        assert shortest_path_cost(small_grid, s, d) == pytest.approx(
+            shortest_path(small_grid, s, d).length
+        )
+
+    def test_shortest_path_cost_zero_for_self(self, tiny_network):
+        assert shortest_path_cost(tiny_network, 0, 0) == 0.0
+
+
+class TestBidirectional:
+    def test_matches_dijkstra_costs_grid(self, small_grid):
+        ids = small_grid.vertex_ids()
+        pairs = [(ids[0], ids[-1]), (ids[3], ids[17]), (ids[10], ids[42])]
+        for s, d in pairs:
+            uni = shortest_path(small_grid, s, d)
+            bi = bidirectional_dijkstra(small_grid, s, d)
+            assert bi.length == pytest.approx(uni.length)
+            assert bi.source == s and bi.target == d
+
+    def test_matches_on_region(self, region_network):
+        ids = region_network.vertex_ids()
+        s, d = ids[2], ids[-3]
+        assert bidirectional_dijkstra(region_network, s, d).length == pytest.approx(
+            shortest_path(region_network, s, d).length
+        )
+
+    def test_travel_time_cost(self, small_grid):
+        ids = small_grid.vertex_ids()
+        s, d = ids[1], ids[-2]
+        bi = bidirectional_dijkstra(small_grid, s, d, cost=travel_time_cost)
+        uni = shortest_path(small_grid, s, d, cost=travel_time_cost)
+        assert bi.travel_time == pytest.approx(uni.travel_time)
+
+    def test_no_path(self):
+        net = RoadNetwork()
+        net.add_vertex(0, 0, 0)
+        net.add_vertex(1, 1, 0)
+        net.add_edge(0, 1, length=1.0)
+        with pytest.raises(NoPathError):
+            bidirectional_dijkstra(net, 1, 0)
+
+    def test_self_raises(self, tiny_network):
+        with pytest.raises(NoPathError):
+            bidirectional_dijkstra(tiny_network, 2, 2)
+
+
+class TestAStar:
+    def test_matches_dijkstra_length(self, small_grid):
+        ids = small_grid.vertex_ids()
+        for s, d in [(ids[0], ids[-1]), (ids[7], ids[30])]:
+            assert astar(small_grid, s, d).length == pytest.approx(
+                shortest_path(small_grid, s, d).length
+            )
+
+    def test_travel_time_heuristic_admissible(self, region_network):
+        ids = region_network.vertex_ids()
+        s, d = ids[0], ids[-1]
+        h = travel_time_heuristic(region_network, d)
+        found = astar(region_network, s, d, cost=travel_time_cost, heuristic=h)
+        oracle = shortest_path(region_network, s, d, cost=travel_time_cost)
+        assert found.travel_time == pytest.approx(oracle.travel_time)
+
+    def test_no_path(self):
+        net = RoadNetwork()
+        net.add_vertex(0, 0.0, 0.0)
+        net.add_vertex(1, 10.0, 0.0)
+        net.add_edge(1, 0, length=10.0)
+        with pytest.raises(NoPathError):
+            astar(net, 0, 1)
+
+    def test_missing_vertices(self, tiny_network):
+        with pytest.raises(VertexNotFoundError):
+            astar(tiny_network, 0, 404)
+
+    def test_paths_are_valid(self, region_network):
+        ids = region_network.vertex_ids()
+        path = astar(region_network, ids[4], ids[-5])
+        # Path construction validates every edge; reaching here means valid.
+        assert path.source == ids[4]
+        assert path.target == ids[-5]

@@ -1,0 +1,67 @@
+"""Property-based tests: weighted Jaccard distance is a metric.
+
+``1 - WJ`` over weighted edge sets is the Jaccard/Tanimoto distance,
+which satisfies the triangle inequality — a strong correctness check for
+the ground-truth labelling, exercised over random path triples drawn
+from Yen enumerations on random grids.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import grid_network, jaccard, weighted_jaccard, yen_k_shortest_paths
+
+
+@st.composite
+def path_triples(draw):
+    seed = draw(st.integers(0, 5_000))
+    net = grid_network(4, 5, seed=seed)
+    ids = net.vertex_ids()
+    rng = np.random.default_rng(seed + 1)
+    source = int(ids[int(rng.integers(len(ids)))])
+    remaining = [v for v in ids if v != source]
+    target = int(remaining[int(rng.integers(len(remaining)))])
+    paths = yen_k_shortest_paths(net, source, target, 6)
+    indices = rng.integers(0, len(paths), size=3)
+    return paths[indices[0]], paths[indices[1]], paths[indices[2]]
+
+
+@given(path_triples())
+@settings(max_examples=30, deadline=None)
+def test_weighted_jaccard_triangle_inequality(triple):
+    a, b, c = triple
+
+    def distance(x, y):
+        return 1.0 - weighted_jaccard(x, y)
+
+    assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-9
+
+
+@given(path_triples())
+@settings(max_examples=30, deadline=None)
+def test_unweighted_jaccard_triangle_inequality(triple):
+    a, b, c = triple
+
+    def distance(x, y):
+        return 1.0 - jaccard(x, y)
+
+    assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-9
+
+
+@given(path_triples())
+@settings(max_examples=30, deadline=None)
+def test_identity_of_indiscernibles(triple):
+    a, b, _ = triple
+    if weighted_jaccard(a, b) == pytest.approx(1.0):
+        # Full similarity must mean identical edge sets.
+        assert a.edge_set == b.edge_set
+
+
+@given(path_triples())
+@settings(max_examples=30, deadline=None)
+def test_weighted_jaccard_subset_monotonicity(triple):
+    """A path is at least as similar to itself as to anything else."""
+    a, b, _ = triple
+    assert weighted_jaccard(a, a) >= weighted_jaccard(a, b)

@@ -1,0 +1,87 @@
+"""Additional Module/loss coverage: traversal, counting, loss gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BCELoss,
+    HuberLoss,
+    Linear,
+    MAELoss,
+    Module,
+    Parameter,
+    Sequential,
+    Tanh,
+    Tensor,
+    check_gradients,
+)
+
+
+class Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = Sequential([Linear(2, 3, rng=0), Tanh(), Linear(3, 1, rng=1)])
+        self.bias = Parameter(np.zeros(1))
+
+    def forward(self, x):
+        return self.inner(x) + self.bias
+
+
+class TestModuleTraversal:
+    def test_modules_walks_depth_first(self):
+        model = Nested()
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds[0] == "Nested"
+        assert "Sequential" in kinds
+        assert kinds.count("Linear") == 2
+
+    def test_num_parameters_counts_scalars(self):
+        model = Nested()
+        expected = (2 * 3 + 3) + (3 * 1 + 1) + 1
+        assert model.num_parameters() == expected
+
+    def test_num_parameters_trainable_only(self):
+        model = Nested()
+        model.inner[0].weight.freeze()
+        assert model.num_parameters(trainable_only=True) == \
+            model.num_parameters() - 2 * 3
+
+    def test_repr_mentions_children(self):
+        assert "children" in repr(Nested())
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLossGradients:
+    def make_pair(self, seed=0, n=6):
+        rng = np.random.default_rng(seed)
+        prediction = Tensor(rng.uniform(0.1, 0.9, size=n), requires_grad=True)
+        target = Tensor(rng.uniform(0.0, 1.0, size=n))
+        return prediction, target
+
+    def test_mae_gradcheck(self):
+        prediction, target = self.make_pair(1)
+        check_gradients(lambda: MAELoss()(prediction, target), [prediction],
+                        atol=1e-4, rtol=1e-3)
+
+    def test_huber_gradcheck(self):
+        prediction, target = self.make_pair(2)
+        check_gradients(lambda: HuberLoss(delta=0.3)(prediction, target),
+                        [prediction], atol=1e-4, rtol=1e-3)
+
+    def test_bce_gradcheck(self):
+        prediction, target = self.make_pair(3)
+        check_gradients(lambda: BCELoss()(prediction, target), [prediction],
+                        atol=1e-4, rtol=1e-3)
+
+    def test_huber_continuous_at_delta(self):
+        """Quadratic and linear branches agree at |err| == delta."""
+        delta = 1.0
+        eps = 1e-7
+        inside = HuberLoss(delta)(Tensor([delta - eps], requires_grad=True),
+                                  Tensor([0.0])).item()
+        outside = HuberLoss(delta)(Tensor([delta + eps], requires_grad=True),
+                                   Tensor([0.0])).item()
+        assert inside == pytest.approx(outside, abs=1e-5)

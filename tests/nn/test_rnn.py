@@ -1,0 +1,212 @@
+"""Unit + gradient tests for GRU/BiGRU/LSTM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import GRU, LSTM, BiGRU, GRUCell, LSTMCell, Tensor, check_gradients
+
+
+def seq(rng, steps=5, batch=3, dim=4):
+    return Tensor(rng.normal(size=(steps, batch, dim)), requires_grad=True)
+
+
+class TestGRUCell:
+    def test_output_shape(self):
+        cell = GRUCell(4, 6, rng=0)
+        h = cell(Tensor(np.zeros((3, 4))), cell.initial_state(3))
+        assert h.shape == (3, 6)
+
+    def test_output_bounded_by_tanh(self):
+        cell = GRUCell(4, 6, rng=0)
+        rng = np.random.default_rng(0)
+        h = cell.initial_state(2)
+        for _ in range(50):
+            h = cell(Tensor(rng.normal(size=(2, 4)) * 10), h)
+        assert np.all(np.abs(h.data) <= 1.0 + 1e-9)
+
+    def test_zero_update_gate_keeps_state(self):
+        # Forcing update gate to 1 (z=1) must return the previous state.
+        cell = GRUCell(2, 3, rng=0)
+        cell.bias_ih.data[3:6] = 1e9  # z pre-activation huge -> z == 1
+        h0 = Tensor(np.random.default_rng(1).normal(size=(2, 3)))
+        h1 = cell(Tensor(np.zeros((2, 2))), h0)
+        np.testing.assert_allclose(h1.data, h0.data, atol=1e-9)
+
+    def test_shape_validation(self):
+        cell = GRUCell(4, 6, rng=0)
+        with pytest.raises(ShapeError):
+            cell(Tensor(np.zeros((3, 5))), cell.initial_state(3))
+        with pytest.raises(ShapeError):
+            cell(Tensor(np.zeros((3, 4))), Tensor(np.zeros((2, 6))))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            GRUCell(0, 4)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(3)
+        cell = GRUCell(3, 4, rng=1)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        h = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        params = [x, h, cell.weight_ih, cell.weight_hh, cell.bias_ih, cell.bias_hh]
+        check_gradients(lambda: (cell(x, h) ** 2).mean(), params, atol=1e-4, rtol=1e-3)
+
+
+class TestGRU:
+    def test_output_shapes(self):
+        rng = np.random.default_rng(0)
+        gru = GRU(4, 6, rng=0)
+        outputs, final = gru(seq(rng))
+        assert outputs.shape == (5, 3, 6)
+        assert final.shape == (3, 6)
+
+    def test_final_equals_last_output_unmasked(self):
+        rng = np.random.default_rng(0)
+        gru = GRU(4, 6, rng=0)
+        outputs, final = gru(seq(rng))
+        np.testing.assert_allclose(outputs.data[-1], final.data)
+
+    def test_mask_freezes_after_sequence_end(self):
+        rng = np.random.default_rng(0)
+        gru = GRU(4, 6, rng=0)
+        inputs = seq(rng, steps=5, batch=2)
+        mask = np.array([[1, 1], [1, 1], [1, 0], [1, 0], [1, 0]], dtype=float)
+        outputs, final = gru(inputs, mask=mask)
+        # Batch element 1 has length 2: its state must be constant from t=1 on.
+        np.testing.assert_allclose(outputs.data[1, 1], outputs.data[4, 1])
+        np.testing.assert_allclose(final.data[1], outputs.data[1, 1])
+
+    def test_masked_final_matches_short_run(self):
+        """A padded short sequence must produce the state of the unpadded run."""
+        rng = np.random.default_rng(5)
+        gru = GRU(3, 4, rng=2)
+        short = Tensor(rng.normal(size=(2, 1, 3)))
+        padded = Tensor(np.concatenate([short.data, np.zeros((3, 1, 3))], axis=0))
+        mask = np.array([[1.0], [1.0], [0.0], [0.0], [0.0]])
+        _, final_short = gru(short)
+        _, final_padded = gru(padded, mask=mask)
+        np.testing.assert_allclose(final_padded.data, final_short.data, atol=1e-12)
+
+    def test_rejects_bad_rank(self):
+        gru = GRU(4, 6, rng=0)
+        with pytest.raises(ShapeError):
+            gru(Tensor(np.zeros((5, 4))))
+
+    def test_rejects_zero_steps(self):
+        gru = GRU(4, 6, rng=0)
+        with pytest.raises(ShapeError):
+            gru(Tensor(np.zeros((0, 3, 4))))
+
+    def test_rejects_bad_mask_shape(self):
+        rng = np.random.default_rng(0)
+        gru = GRU(4, 6, rng=0)
+        with pytest.raises(ShapeError):
+            gru(seq(rng), mask=np.ones((4, 3)))
+
+    def test_gradcheck_through_time(self):
+        rng = np.random.default_rng(4)
+        gru = GRU(2, 3, rng=3)
+        x = Tensor(rng.normal(size=(3, 2, 2)), requires_grad=True)
+        mask = np.array([[1, 1], [1, 0], [1, 0]], dtype=float)
+
+        def fwd():
+            _, final = gru(x, mask=mask)
+            return (final * final).mean()
+
+        check_gradients(fwd, [x] + list(gru.parameters()), atol=1e-4, rtol=1e-3)
+
+
+class TestBiGRU:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        bigru = BiGRU(4, 6, rng=0)
+        outputs, summary = bigru(seq(rng))
+        assert outputs.shape == (5, 3, 12)
+        assert summary.shape == (3, 12)
+        assert bigru.output_size == 12
+
+    def test_forward_half_matches_plain_gru(self):
+        rng = np.random.default_rng(0)
+        bigru = BiGRU(4, 6, rng=0)
+        inputs = seq(rng)
+        outputs, summary = bigru(inputs)
+        fwd_out, fwd_final = bigru.forward_gru(inputs)
+        np.testing.assert_allclose(outputs.data[..., :6], fwd_out.data)
+        np.testing.assert_allclose(summary.data[:, :6], fwd_final.data)
+
+    def test_backward_direction_sees_reversed_sequence(self):
+        rng = np.random.default_rng(0)
+        bigru = BiGRU(4, 6, rng=0)
+        inputs = seq(rng)
+        _, summary = bigru(inputs)
+        rev = Tensor(inputs.data[::-1].copy())
+        _, bwd_final = bigru.backward_gru(rev)
+        np.testing.assert_allclose(summary.data[:, 6:], bwd_final.data)
+
+    def test_masked_padding_invariance(self):
+        """Padding must not change the BiGRU summary of a short sequence."""
+        rng = np.random.default_rng(9)
+        bigru = BiGRU(3, 5, rng=1)
+        short = rng.normal(size=(3, 1, 3))
+        _, summary_short = bigru(Tensor(short), mask=np.ones((3, 1)))
+        padded = np.concatenate([short, np.zeros((2, 1, 3))], axis=0)
+        mask = np.array([[1.0], [1.0], [1.0], [0.0], [0.0]])
+        _, summary_padded = bigru(Tensor(padded), mask=mask)
+        np.testing.assert_allclose(summary_padded.data, summary_short.data, atol=1e-12)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(11)
+        bigru = BiGRU(2, 2, rng=5)
+        x = Tensor(rng.normal(size=(3, 2, 2)), requires_grad=True)
+        mask = np.array([[1, 1], [1, 1], [1, 0]], dtype=float)
+
+        def fwd():
+            _, summary = bigru(x, mask=mask)
+            return (summary * summary).mean()
+
+        check_gradients(fwd, [x] + list(bigru.parameters()), atol=1e-4, rtol=1e-3)
+
+
+class TestLSTM:
+    def test_cell_shapes(self):
+        cell = LSTMCell(4, 6, rng=0)
+        h, c = cell(Tensor(np.zeros((3, 4))), cell.initial_state(3))
+        assert h.shape == (3, 6)
+        assert c.shape == (3, 6)
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = LSTMCell(4, 6, rng=0)
+        np.testing.assert_allclose(cell.bias.data[6:12], np.ones(6))
+
+    def test_layer_shapes(self):
+        rng = np.random.default_rng(0)
+        lstm = LSTM(4, 6, rng=0)
+        outputs, final = lstm(seq(rng))
+        assert outputs.shape == (5, 3, 6)
+        assert final.shape == (3, 6)
+
+    def test_masked_padding_invariance(self):
+        rng = np.random.default_rng(2)
+        lstm = LSTM(3, 4, rng=1)
+        short = rng.normal(size=(2, 1, 3))
+        _, final_short = lstm(Tensor(short))
+        padded = np.concatenate([short, np.zeros((2, 1, 3))], axis=0)
+        mask = np.array([[1.0], [1.0], [0.0], [0.0]])
+        _, final_padded = lstm(Tensor(padded), mask=mask)
+        np.testing.assert_allclose(final_padded.data, final_short.data, atol=1e-12)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(13)
+        lstm = LSTM(2, 3, rng=7)
+        x = Tensor(rng.normal(size=(3, 2, 2)), requires_grad=True)
+
+        def fwd():
+            _, final = lstm(x)
+            return (final * final).mean()
+
+        check_gradients(fwd, [x] + list(lstm.parameters()), atol=1e-4, rtol=1e-3)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ShapeError):
+            LSTM(4, 6, rng=0)(Tensor(np.zeros((5, 4))))

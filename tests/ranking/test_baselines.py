@@ -1,0 +1,125 @@
+"""Tests for the ranking baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ranking import (
+    FEATURE_NAMES,
+    FeatureRidgeBaseline,
+    GenerationOrderBaseline,
+    LengthRatioBaseline,
+    TravelTimeRatioBaseline,
+    TrainingDataConfig,
+    evaluate_scorer,
+    generate_queries,
+    path_features,
+)
+from repro.trajectories import generate_fleet
+
+
+@pytest.fixture(scope="module")
+def queries(region_network):
+    _, trips = generate_fleet(region_network, num_drivers=8, trips_per_driver=4,
+                              rng=6)
+    return generate_queries(trips, TrainingDataConfig(k=4, examine_limit=80))
+
+
+class TestHeuristicBaselines:
+    def test_length_ratio_in_unit_interval(self, queries):
+        baseline = LengthRatioBaseline()
+        for query in queries[:5]:
+            scores = baseline.score_query(query)
+            assert all(0.0 < s <= 1.0 for s in scores)
+
+    def test_length_ratio_shortest_gets_one(self, queries):
+        baseline = LengthRatioBaseline()
+        for query in queries[:5]:
+            scores = baseline.score_query(query)
+            shortest = min(range(len(query)),
+                           key=lambda i: query.candidates[i].path.length)
+            assert scores[shortest] == pytest.approx(1.0)
+
+    def test_time_ratio_fastest_gets_one(self, queries):
+        baseline = TravelTimeRatioBaseline()
+        for query in queries[:5]:
+            scores = baseline.score_query(query)
+            fastest = min(range(len(query)),
+                          key=lambda i: query.candidates[i].path.travel_time)
+            assert scores[fastest] == pytest.approx(1.0)
+
+    def test_generation_order_monotone(self, queries):
+        baseline = GenerationOrderBaseline()
+        for query in queries[:5]:
+            scores = baseline.score_query(query)
+            assert scores == sorted(scores, reverse=True)
+
+    def test_fit_is_noop(self, queries):
+        baseline = LengthRatioBaseline()
+        assert baseline.fit(queries) is baseline
+
+
+class TestFeatures:
+    def test_feature_vector_shape(self, queries):
+        query = queries[0]
+        candidate = query.candidates[0]
+        features = path_features(candidate.path, query, candidate.generation_rank)
+        assert features.shape == (len(FEATURE_NAMES),)
+
+    def test_category_fractions_sum_to_one(self, queries):
+        query = queries[0]
+        candidate = query.candidates[0]
+        features = path_features(candidate.path, query, candidate.generation_rank)
+        fractions = features[4:8]
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_ratios_bounded(self, queries):
+        for query in queries[:5]:
+            for candidate in query.candidates:
+                features = path_features(candidate.path, query,
+                                         candidate.generation_rank)
+                assert 0.0 < features[0] <= 1.0  # length ratio
+                assert 0.0 < features[1] <= 1.0  # time ratio
+
+
+class TestRidge:
+    def test_requires_fit(self, queries):
+        with pytest.raises(TrainingError):
+            FeatureRidgeBaseline().score_query(queries[0])
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            FeatureRidgeBaseline().fit([])
+
+    def test_scores_clipped_to_unit_interval(self, queries):
+        baseline = FeatureRidgeBaseline().fit(queries)
+        for query in queries[:5]:
+            assert all(0.0 <= s <= 1.0 for s in baseline.score_query(query))
+
+    def test_invalid_regularisation(self):
+        with pytest.raises(ValueError):
+            FeatureRidgeBaseline(regularisation=0.0)
+
+    def test_learns_better_than_random(self, queries):
+        rng = np.random.default_rng(0)
+        baseline = FeatureRidgeBaseline().fit(queries)
+        fitted = evaluate_scorer(baseline, queries)
+
+        class RandomScorer:
+            def score_query(self, query):
+                return rng.random(len(query)).tolist()
+
+        random_metrics = evaluate_scorer(RandomScorer(), queries)
+        assert fitted.mae < random_metrics.mae
+
+    def test_evaluate_scorer_rejects_bad_scorer(self, queries):
+        class BrokenScorer:
+            def score_query(self, query):
+                return [0.5]  # wrong length
+
+        with pytest.raises(ValueError):
+            evaluate_scorer(BrokenScorer(), queries)
+
+    def test_evaluate_scorer_empty_queries(self):
+        with pytest.raises(ValueError):
+            evaluate_scorer(LengthRatioBaseline(), [])

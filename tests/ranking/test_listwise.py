@@ -1,0 +1,107 @@
+"""Tests for listwise ranking measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ranking.listwise import (
+    dcg_at_k,
+    evaluate_listwise,
+    ndcg_at_k,
+    precision_at_1,
+    reciprocal_rank,
+    top1_regret,
+)
+
+
+class TestDcg:
+    def test_first_position_undiscounted(self):
+        assert dcg_at_k([1.0], 3) == pytest.approx(1.0)
+
+    def test_second_position_discounted(self):
+        assert dcg_at_k([0.0, 1.0], 3) == pytest.approx(1.0 / math.log2(3))
+
+    def test_truncation(self):
+        assert dcg_at_k([1.0, 1.0, 1.0], 1) == pytest.approx(1.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            dcg_at_k([1.0], 0)
+
+
+class TestNdcg:
+    def test_perfect_ordering(self):
+        assert ndcg_at_k([0.9, 0.5, 0.1], [0.8, 0.6, 0.2], 3) == pytest.approx(1.0)
+
+    def test_worst_ordering_below_one(self):
+        assert ndcg_at_k([0.9, 0.1], [0.1, 0.9], 2) < 1.0
+
+    def test_all_zero_truth_nan(self):
+        assert math.isnan(ndcg_at_k([0.0, 0.0], [0.5, 0.4], 2))
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            true = rng.random(5)
+            pred = rng.random(5)
+            value = ndcg_at_k(true, pred, 3)
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k([1.0], [1.0, 2.0], 2)
+
+
+class TestTopOfList:
+    def test_precision_hit(self):
+        assert precision_at_1([0.2, 0.9], [0.1, 0.8]) == 1.0
+
+    def test_precision_miss(self):
+        assert precision_at_1([0.9, 0.2], [0.1, 0.8]) == 0.0
+
+    def test_precision_tie_on_truth_counts(self):
+        assert precision_at_1([0.9, 0.9], [0.2, 0.8]) == 1.0
+
+    def test_reciprocal_rank_first(self):
+        assert reciprocal_rank([0.1, 0.9], [0.2, 0.8]) == 1.0
+
+    def test_reciprocal_rank_second(self):
+        assert reciprocal_rank([0.9, 0.1], [0.2, 0.8]) == pytest.approx(0.5)
+
+    def test_regret_zero_on_hit(self):
+        assert top1_regret([0.2, 0.9], [0.1, 0.8]) == 0.0
+
+    def test_regret_value(self):
+        assert top1_regret([0.9, 0.4], [0.1, 0.8]) == pytest.approx(0.5)
+
+
+class TestEvaluateListwise:
+    def test_aggregates(self):
+        metrics = evaluate_listwise(
+            [[0.9, 0.1], [0.8, 0.3]],
+            [[0.7, 0.2], [0.2, 0.6]],
+        )
+        assert metrics.precision_at_1 == pytest.approx(0.5)
+        assert metrics.mrr == pytest.approx((1.0 + 0.5) / 2)
+        assert metrics.top1_regret == pytest.approx((0.0 + 0.5) / 2)
+        assert metrics.num_queries == 2
+
+    def test_all_zero_group_skipped_for_ndcg(self):
+        metrics = evaluate_listwise(
+            [[0.9, 0.1], [0.0, 0.0]],
+            [[0.7, 0.2], [0.5, 0.4]],
+        )
+        assert metrics.ndcg3 == pytest.approx(1.0)
+
+    def test_all_groups_zero_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_listwise([[0.0, 0.0]], [[0.5, 0.4]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_listwise([], [])
+
+    def test_repr(self):
+        metrics = evaluate_listwise([[0.9, 0.1]], [[0.7, 0.2]])
+        assert "nDCG@3" in repr(metrics)

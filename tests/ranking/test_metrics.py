@@ -1,0 +1,177 @@
+"""Tests for MAE/MARE/τ/ρ, with scipy as the oracle."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.ranking import (
+    evaluate_predictions,
+    kendall_tau,
+    mean_absolute_error,
+    mean_absolute_relative_error,
+    spearman_rho,
+)
+
+
+class TestMAE:
+    def test_zero_on_match(self):
+        assert mean_absolute_error([1.0, 0.5], [1.0, 0.5]) == 0.0
+
+    def test_known_value(self):
+        assert mean_absolute_error([1.0, 0.0], [0.0, 1.0]) == 1.0
+
+    def test_symmetric(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == \
+            mean_absolute_error([2.0, 4.0], [1.0, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+
+class TestMARE:
+    def test_known_value(self):
+        # sum|err|=0.2, sum|true|=1.0
+        assert mean_absolute_relative_error([0.4, 0.6], [0.5, 0.7]) == pytest.approx(0.2)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_relative_error([0.0, 0.0], [1.0, 1.0])
+
+    def test_single_zero_truth_ok(self):
+        value = mean_absolute_relative_error([0.0, 1.0], [0.1, 1.0])
+        assert value == pytest.approx(0.1)
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3], [0.1, 0.2, 0.3]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3], [0.3, 0.2, 0.1]) == pytest.approx(-1.0)
+
+    def test_matches_scipy_no_ties(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a = rng.normal(size=8)
+            b = rng.normal(size=8)
+            expected = stats.kendalltau(a, b).statistic
+            assert kendall_tau(a, b) == pytest.approx(expected)
+
+    def test_matches_scipy_with_ties(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = rng.integers(0, 3, size=8).astype(float)
+            b = rng.integers(0, 3, size=8).astype(float)
+            expected = stats.kendalltau(a, b).statistic
+            ours = kendall_tau(a, b)
+            if math.isnan(expected):
+                assert math.isnan(ours)
+            else:
+                assert ours == pytest.approx(expected)
+
+    def test_constant_input_nan(self):
+        assert math.isnan(kendall_tau([1.0, 1.0, 1.0], [1, 2, 3]))
+
+    def test_single_element_nan(self):
+        assert math.isnan(kendall_tau([1.0], [1.0]))
+
+
+class TestSpearmanRho:
+    def test_perfect_monotone(self):
+        assert spearman_rho([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_matches_scipy_no_ties(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            a = rng.normal(size=9)
+            b = rng.normal(size=9)
+            expected = stats.spearmanr(a, b).statistic
+            assert spearman_rho(a, b) == pytest.approx(expected)
+
+    def test_matches_scipy_with_ties(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            a = rng.integers(0, 4, size=9).astype(float)
+            b = rng.integers(0, 4, size=9).astype(float)
+            expected = stats.spearmanr(a, b).statistic
+            ours = spearman_rho(a, b)
+            if math.isnan(expected):
+                assert math.isnan(ours)
+            else:
+                assert ours == pytest.approx(expected)
+
+    def test_constant_input_nan(self):
+        assert math.isnan(spearman_rho([2.0, 2.0], [1.0, 3.0]))
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1, allow_nan=False), min_size=2,
+                max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_tau_rho_bounds_property(values):
+    rng = np.random.default_rng(len(values))
+    other = rng.random(len(values))
+    tau = kendall_tau(values, other)
+    rho = spearman_rho(values, other)
+    for value in (tau, rho):
+        assert math.isnan(value) or -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+@given(st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=2,
+                max_size=10, unique=True))
+@settings(max_examples=40, deadline=None)
+def test_tau_self_correlation_is_one(values):
+    assert kendall_tau(values, values) == pytest.approx(1.0)
+    assert spearman_rho(values, values) == pytest.approx(1.0)
+
+
+class TestEvaluatePredictions:
+    def test_aggregates_groups(self):
+        metrics = evaluate_predictions(
+            [[0.9, 0.1], [0.8, 0.2]],
+            [[0.8, 0.2], [0.7, 0.3]],
+        )
+        assert metrics.num_queries == 2
+        assert metrics.num_candidates == 4
+        assert metrics.tau == pytest.approx(1.0)
+        assert metrics.mae == pytest.approx(0.1)
+
+    def test_skips_degenerate_groups(self):
+        metrics = evaluate_predictions(
+            [[0.9, 0.1], [0.5, 0.5]],  # second group constant in truth
+            [[0.8, 0.2], [0.6, 0.4]],
+        )
+        assert metrics.num_skipped_queries == 1
+        assert metrics.tau == pytest.approx(1.0)
+
+    def test_all_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_predictions([[0.5, 0.5]], [[0.5, 0.5]])
+
+    def test_group_count_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_predictions([[1.0]], [[1.0], [2.0]])
+
+    def test_group_length_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_predictions([[1.0, 2.0]], [[1.0]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_predictions([], [])
+
+    def test_str_format(self):
+        metrics = evaluate_predictions([[0.9, 0.1]], [[0.8, 0.2]])
+        assert "MAE=" in str(metrics)
+        assert "tau=" in str(metrics)
+
+    def test_as_row(self):
+        metrics = evaluate_predictions([[0.9, 0.1]], [[0.8, 0.2]])
+        row = metrics.as_row()
+        assert set(row) == {"MAE", "MARE", "tau", "rho"}

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface (in-process, via main())."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """Run the full CLI pipeline once; later tests reuse its outputs."""
+    root = tmp_path_factory.mktemp("cli")
+    network = root / "net.json"
+    dataset = root / "trips.json"
+    model = root / "model.npz"
+
+    assert main(["build-network", "--kind", "region", "--towns", "3",
+                 "--seed", "7", "--out", str(network)]) == 0
+    assert main(["simulate-fleet", "--network", str(network),
+                 "--drivers", "6", "--trips", "4", "--hotspots", "10",
+                 "--seed", "0", "--out", str(dataset)]) == 0
+    assert main(["train", "--dataset", str(dataset), "--variant", "PR-A2",
+                 "--strategy", "D-TkDI", "--k", "3",
+                 "--embedding-dim", "8", "--hidden-size", "8",
+                 "--epochs", "3", "--out", str(model)]) == 0
+    return network, dataset, model
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_build_network_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build-network"])
+
+
+class TestBuildNetwork:
+    def test_grid(self, tmp_path, capsys):
+        out = tmp_path / "grid.json"
+        assert main(["build-network", "--kind", "grid", "--rows", "4",
+                     "--cols", "4", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_osm_export(self, tmp_path):
+        out = tmp_path / "ring.json"
+        osm = tmp_path / "ring.osm"
+        assert main(["build-network", "--kind", "ring", "--out", str(out),
+                     "--osm-out", str(osm)]) == 0
+        assert osm.exists()
+
+    def test_region_artifacts_loadable(self, artifacts):
+        from repro.graph import load_network_json
+
+        network, _, _ = artifacts
+        loaded = load_network_json(network)
+        assert loaded.is_strongly_connected()
+
+
+class TestFleetAndTraining:
+    def test_dataset_written(self, artifacts):
+        from repro.trajectories import TrajectoryDataset
+
+        _, dataset, _ = artifacts
+        loaded = TrajectoryDataset.load(dataset)
+        assert len(loaded) == 24
+
+    def test_model_written(self, artifacts):
+        _, _, model = artifacts
+        assert model.exists()
+
+    def test_evaluate_json_output(self, artifacts, capsys):
+        _, dataset, model = artifacts
+        code = main(["evaluate", "--dataset", str(dataset),
+                     "--model", str(model), "--strategy", "D-TkDI",
+                     "--k", "3", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) >= {"mae", "mare", "tau", "rho"}
+        assert 0.0 <= payload["mae"] <= 1.0
+
+    def test_evaluate_human_output(self, artifacts, capsys):
+        _, dataset, model = artifacts
+        assert main(["evaluate", "--dataset", str(dataset),
+                     "--model", str(model), "--k", "3"]) == 0
+        assert "MAE=" in capsys.readouterr().out
+
+
+class TestRank:
+    def test_rank_prints_sorted(self, artifacts, capsys):
+        from repro.trajectories import TrajectoryDataset
+
+        _, dataset, model = artifacts
+        trips = TrajectoryDataset.load(dataset)
+        trip = trips[0]
+        code = main(["rank", "--dataset", str(dataset), "--model", str(model),
+                     "--source", str(trip.source), "--target", str(trip.target)])
+        assert code == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.startswith("#")]
+        assert lines
+        scores = [float(line.split("score=")[1].split()[0]) for line in lines]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rank_bad_vertex(self, artifacts, capsys):
+        _, dataset, model = artifacts
+        code = main(["rank", "--dataset", str(dataset), "--model", str(model),
+                     "--source", "0", "--target", "99999"])
+        assert code == 2

@@ -1,0 +1,187 @@
+"""Failure-injection tests: every layer must fail loudly and precisely.
+
+These tests damage inputs the way real deployments do — corrupted
+checkpoints, disconnected networks, degenerate trajectories, hostile
+configs — and assert the library raises its own exception types with
+actionable messages instead of crashing arbitrarily or mis-learning
+silently.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import PathRankRanker, RankerConfig, TrainerConfig
+from repro.errors import (
+    ConfigError,
+    DataError,
+    GraphError,
+    NoPathError,
+    ReproError,
+    SerializationError,
+    TrainingError,
+)
+from repro.graph import Path, RoadNetwork, grid_network, shortest_path
+from repro.ranking import TrainingDataConfig, generate_queries
+from repro.trajectories import (
+    FleetConfig,
+    GPSPoint,
+    MapMatcher,
+    Trajectory,
+    TrajectoryDataset,
+    Trip,
+    generate_fleet,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigError, DataError, GraphError, NoPathError.__mro__[0],
+        SerializationError, TrainingError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        if exc is NoPathError.__mro__[0]:
+            exc = NoPathError
+        assert issubclass(exc, ReproError)
+
+    def test_no_path_error_carries_endpoints(self):
+        error = NoPathError(3, 9)
+        assert error.source == 3
+        assert error.target == 9
+        assert "3" in str(error) and "9" in str(error)
+
+
+class TestCorruptedCheckpoints:
+    @pytest.fixture
+    def trained(self, tmp_path):
+        network = grid_network(4, 4, seed=0)
+        config = FleetConfig(num_drivers=4, trips_per_driver=4,
+                             min_trip_distance=300.0, num_od_hotspots=8)
+        _, trips = generate_fleet(network, rng=0, config=config)
+        ranker_config = RankerConfig(
+            embedding_dim=8, hidden_size=8, fc_hidden=4,
+            training_data=TrainingDataConfig(k=3, examine_limit=40),
+            trainer=TrainerConfig(epochs=2, patience=2),
+        )
+        ranker = PathRankRanker(network, ranker_config).fit(trips, rng=0)
+        path = tmp_path / "model.npz"
+        ranker.save(path)
+        return network, ranker, path
+
+    def test_truncated_file(self, trained, tmp_path):
+        network, _, path = trained
+        corrupted = tmp_path / "truncated.npz"
+        corrupted.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(Exception):
+            PathRankRanker(network).load(corrupted)
+
+    def test_random_bytes(self, trained, tmp_path):
+        network, _, _ = trained
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"\x00" * 512)
+        with pytest.raises(Exception):
+            PathRankRanker(network).load(garbage)
+
+    def test_plain_npz_without_metadata(self, trained, tmp_path):
+        network, _, _ = trained
+        plain = tmp_path / "plain.npz"
+        np.savez(plain, weights=np.zeros(4))
+        with pytest.raises(SerializationError):
+            PathRankRanker(network).load(plain)
+
+    def test_wrong_network_size(self, trained):
+        _, _, path = trained
+        other = grid_network(5, 5, seed=1)
+        with pytest.raises(ConfigError):
+            PathRankRanker(other).load(path)
+
+
+class TestCorruptedDatasets:
+    def test_truncated_json(self, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text('{"format_version": 1, "network"', encoding="utf-8")
+        with pytest.raises(SerializationError):
+            TrajectoryDataset.load(broken)
+
+    def test_trip_referencing_missing_edge(self, tmp_path):
+        network = grid_network(4, 4, seed=0)
+        config = FleetConfig(num_drivers=2, trips_per_driver=2,
+                             min_trip_distance=300.0, num_od_hotspots=4)
+        _, trips = generate_fleet(network, rng=0, config=config)
+        dataset = TrajectoryDataset(network, trips)
+        document = dataset.to_dict()
+        document["trips"][0]["vertices"] = [0, 99]  # no such edge
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(ReproError):
+            TrajectoryDataset.load(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "versioned.json"
+        path.write_text('{"format_version": 42, "network": {}, "trips": []}',
+                        encoding="utf-8")
+        with pytest.raises(SerializationError):
+            TrajectoryDataset.load(path)
+
+
+class TestDegenerateNetworks:
+    def test_disconnected_network_candidate_generation(self):
+        network = RoadNetwork()
+        for i in range(4):
+            network.add_vertex(i, float(i), 0.0)
+        network.add_two_way(0, 1, length=1.0)
+        network.add_two_way(2, 3, length=1.0)
+        with pytest.raises(NoPathError):
+            shortest_path(network, 0, 3)
+
+    def test_gps_far_outside_network(self, tiny_network):
+        matcher = MapMatcher(tiny_network, sigma=5.0)
+        faraway = Trajectory(1, 1, [
+            GPSPoint(1e6, 1e6, 0.0),
+            GPSPoint(1e6 + 10, 1e6, 10.0),
+        ])
+        # Either matches with terrible likelihood or raises DataError —
+        # but must not crash with an arbitrary exception.
+        try:
+            result = matcher.match(faraway)
+            assert result.log_likelihood < -1e6
+        except DataError:
+            pass
+
+    def test_training_on_single_query_runs(self, tiny_network):
+        trip = Trip(0, 0, Path(tiny_network, [3, 4, 1, 2]))
+        queries = generate_queries(
+            [trip], TrainingDataConfig(k=3, examine_limit=30), min_candidates=2)
+        from repro.core import Trainer, build_pathrank
+
+        model = build_pathrank("PR-A2", num_vertices=6, embedding_dim=4,
+                               hidden_size=4, fc_hidden=4, rng=0)
+        history = Trainer(model, TrainerConfig(epochs=2, patience=2)).fit(queries)
+        assert history.epochs_run == 2
+
+
+class TestHostileConfigs:
+    def test_negative_dropout_rejected(self):
+        from repro.nn import Dropout
+
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_zero_vertex_model_rejected(self):
+        from repro.core import PathRank
+
+        with pytest.raises(ConfigError):
+            PathRank(num_vertices=0)
+
+    def test_fleet_min_distance_larger_than_network(self):
+        network = grid_network(3, 3, seed=0)
+        config = FleetConfig(num_drivers=1, trips_per_driver=1,
+                             min_trip_distance=1e9, max_od_attempts=3,
+                             num_od_hotspots=2)
+        with pytest.raises(DataError):
+            generate_fleet(network, rng=0, config=config)
+
+    def test_candidate_k_larger_than_examine_limit(self):
+        with pytest.raises(ValueError):
+            TrainingDataConfig(k=50, examine_limit=10)

@@ -1,0 +1,146 @@
+"""Cross-module integration tests: the full paper pipeline, end to end.
+
+Everything here runs at smoke scale (seconds per test).  The assertions
+target *behavioural* properties — the model learns, beats chance,
+round-trips through persistence — rather than headline accuracy, which
+the benchmark suite measures at realistic scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PathRankRanker, RankerConfig, TrainerConfig, Variant
+from repro.experiments import ExperimentConfig, ExperimentPipeline
+from repro.graph import north_jutland_like, shortest_path, weighted_jaccard
+from repro.ranking import (
+    Strategy,
+    TrainingDataConfig,
+    evaluate_scorer,
+    generate_queries,
+)
+from repro.trajectories import (
+    FleetConfig,
+    MapMatcher,
+    TrajectoryDataset,
+    TrajectoryGenerator,
+    Trip,
+    generate_fleet,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A network, a fleet, and a train/test split shared by the tests."""
+    network = north_jutland_like(num_towns=3, town_size_range=(3, 4), seed=7)
+    fleet = FleetConfig(num_drivers=10, trips_per_driver=6,
+                        min_trip_distance=1000.0, num_od_hotspots=15)
+    population, trips = generate_fleet(network, rng=0, config=fleet)
+    dataset = TrajectoryDataset(network, trips)
+    split = dataset.split(train_fraction=0.75, validation_fraction=0.0, rng=0)
+    return network, population, split
+
+
+@pytest.fixture(scope="module")
+def fitted_ranker(world):
+    network, _, split = world
+    config = RankerConfig(
+        variant=Variant.PR_A2,
+        embedding_dim=16,
+        hidden_size=16,
+        fc_hidden=8,
+        training_data=TrainingDataConfig(k=3, examine_limit=60),
+        trainer=TrainerConfig(epochs=12, patience=12),
+    )
+    return PathRankRanker(network, config).fit(split.train, rng=0)
+
+
+class TestEndToEndLearning:
+    def test_training_reduces_loss(self, fitted_ranker):
+        history = fitted_ranker.history
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_beats_random_scorer(self, world, fitted_ranker):
+        _, _, split = world
+        config = fitted_ranker.config.training_data
+        train_queries = generate_queries(split.train, config)
+        test_queries = generate_queries(split.test, config)
+        rng = np.random.default_rng(0)
+
+        class RandomScorer:
+            def score_query(self, query):
+                return rng.random(len(query)).tolist()
+
+        # On data it has seen, the model must clearly out-rank chance...
+        model_train = evaluate_scorer(fitted_ranker, train_queries)
+        random_train = evaluate_scorer(RandomScorer(), train_queries)
+        assert model_train.tau > random_train.tau
+        # ...and stay better-calibrated than chance on held-out data.
+        model_test = evaluate_scorer(fitted_ranker, test_queries)
+        random_test = evaluate_scorer(RandomScorer(), test_queries)
+        assert model_test.mae < random_test.mae
+
+    def test_predictions_discriminate_within_queries(self, world, fitted_ranker):
+        _, _, split = world
+        config = fitted_ranker.config.training_data
+        queries = generate_queries(split.test, config)
+        spreads = [max(fitted_ranker.score_query(q)) - min(fitted_ranker.score_query(q))
+                   for q in queries if len(q) >= 2]
+        assert np.mean(spreads) > 0.01  # not a constant predictor
+
+    def test_rank_is_consistent_with_scores(self, world, fitted_ranker):
+        _, _, split = world
+        trip = split.test[0]
+        ranked = fitted_ranker.rank(trip.source, trip.target)
+        rescored = fitted_ranker.score_paths([p for p, _ in ranked])
+        np.testing.assert_allclose([s for _, s in ranked], rescored, atol=1e-9)
+
+
+class TestRawGpsToModel:
+    """The full preprocessing chain: GPS -> map matching -> training."""
+
+    def test_pipeline_from_raw_gps(self, world):
+        network, population, split = world
+        generator = TrajectoryGenerator(network, population)
+        traces = generator.render_gps(split.train[:10], noise_std=6.0, rng=1)
+        matcher = MapMatcher(network)
+        matched = [
+            Trip(trip.trip_id, trip.driver_id, matcher.match(trace).path)
+            for trip, trace in zip(split.train[:10], traces)
+        ]
+        # Matched paths stay close to ground truth...
+        overlaps = [weighted_jaccard(m.path, t.path)
+                    for m, t in zip(matched, split.train)]
+        assert np.mean(overlaps) > 0.7
+        # ...and feed straight into candidate generation.
+        queries = generate_queries(
+            matched, TrainingDataConfig(k=3, examine_limit=60), min_candidates=2)
+        assert queries
+        for query in queries:
+            assert all(0.0 <= c.score <= 1.0 for c in query.candidates)
+
+
+class TestSmokeExperiment:
+    def test_pipeline_cell_reproducible(self):
+        config = ExperimentConfig.smoke()
+        a = ExperimentPipeline(config).run_cell(config)
+        b = ExperimentPipeline(config).run_cell(config)
+        assert a.metrics.mae == pytest.approx(b.metrics.mae)
+        assert a.metrics.tau == pytest.approx(b.metrics.tau)
+
+
+class TestPersistenceRoundTrip:
+    def test_dataset_and_model_roundtrip(self, world, fitted_ranker, tmp_path):
+        network, _, split = world
+        dataset_path = tmp_path / "dataset.json"
+        TrajectoryDataset(network, split.train).save(dataset_path)
+        restored_dataset = TrajectoryDataset.load(dataset_path)
+        assert len(restored_dataset) == len(split.train)
+
+        model_path = tmp_path / "model.npz"
+        fitted_ranker.save(model_path)
+        restored = PathRankRanker(network, fitted_ranker.config).load(model_path)
+        trip = split.test[0]
+        np.testing.assert_allclose(
+            restored.score_paths([trip.path]),
+            fitted_ranker.score_paths([trip.path]),
+        )

@@ -1,0 +1,98 @@
+"""Tests for the seeding helpers and the exception taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro import DEFAULT_SEED, ReproError, make_rng
+from repro.errors import (
+    ConfigError,
+    DataError,
+    EdgeNotFoundError,
+    GradientError,
+    GraphError,
+    InvalidPathError,
+    NNError,
+    NoPathError,
+    SerializationError,
+    ShapeError,
+    TrainingError,
+    VertexNotFoundError,
+)
+from repro.rng import spawn
+
+
+class TestMakeRng:
+    def test_none_uses_default_seed(self):
+        a = make_rng(None)
+        b = np.random.default_rng(DEFAULT_SEED)
+        assert a.random() == b.random()
+
+    def test_int_seed(self):
+        assert make_rng(5).random() == np.random.default_rng(5).random()
+
+    def test_numpy_integer_seed(self):
+        assert make_rng(np.int64(5)).random() == np.random.default_rng(5).random()
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            make_rng("not-a-seed")
+
+
+class TestSpawn:
+    def test_children_count(self):
+        children = spawn(make_rng(0), 3)
+        assert len(children) == 3
+
+    def test_children_independent(self):
+        a, b = spawn(make_rng(0), 2)
+        assert a.random() != b.random()
+
+    def test_deterministic(self):
+        first = [g.random() for g in spawn(make_rng(7), 3)]
+        second = [g.random() for g in spawn(make_rng(7), 3)]
+        assert first == second
+
+    def test_zero_children(self):
+        assert spawn(make_rng(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(0), -1)
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize("exc", [
+        GraphError, VertexNotFoundError, EdgeNotFoundError, NoPathError,
+        InvalidPathError, NNError, ShapeError, GradientError,
+        SerializationError, ConfigError, DataError, TrainingError,
+    ])
+    def test_catchable_as_repro_error(self, exc):
+        if exc is VertexNotFoundError:
+            instance = exc(1)
+        elif exc in (EdgeNotFoundError, NoPathError):
+            instance = exc(1, 2)
+        else:
+            instance = exc("boom")
+        assert isinstance(instance, ReproError)
+
+    def test_vertex_error_payload(self):
+        error = VertexNotFoundError(42)
+        assert error.vertex_id == 42
+        assert "42" in str(error)
+
+    def test_edge_error_payload(self):
+        error = EdgeNotFoundError(1, 2)
+        assert (error.source, error.target) == (1, 2)
+
+    def test_nn_errors_are_nn_scoped(self):
+        assert issubclass(ShapeError, NNError)
+        assert issubclass(GradientError, NNError)
+
+    def test_graph_errors_are_graph_scoped(self):
+        for exc in (VertexNotFoundError, EdgeNotFoundError, NoPathError,
+                    InvalidPathError):
+            assert issubclass(exc, GraphError)

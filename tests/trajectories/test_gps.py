@@ -1,0 +1,103 @@
+"""Tests for GPS containers and path-to-GPS rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.graph import Path
+from repro.trajectories import GPSPoint, Trajectory, render_path_to_gps
+
+
+class TestGPSPoint:
+    def test_distance(self):
+        assert GPSPoint(0, 0, 0).distance_to(GPSPoint(3, 4, 1)) == 5.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GPSPoint(0, 0, 0).x = 1.0
+
+
+class TestTrajectory:
+    def make(self, times=(0.0, 10.0, 20.0)):
+        points = [GPSPoint(float(i), 0.0, t) for i, t in enumerate(times)]
+        return Trajectory(1, 2, points)
+
+    def test_basic_properties(self):
+        traj = self.make()
+        assert len(traj) == 3
+        assert traj.trip_id == 1
+        assert traj.vehicle_id == 2
+        assert traj.duration == 20.0
+
+    def test_iteration_and_indexing(self):
+        traj = self.make()
+        assert list(traj)[0] == traj[0]
+
+    def test_crow_distance(self):
+        assert self.make().crow_distance == 2.0
+
+    def test_travelled_distance(self):
+        assert self.make().travelled_distance() == 2.0
+
+    def test_too_few_points(self):
+        with pytest.raises(DataError):
+            Trajectory(1, 1, [GPSPoint(0, 0, 0)])
+
+    def test_non_monotone_time(self):
+        points = [GPSPoint(0, 0, 10.0), GPSPoint(1, 0, 5.0)]
+        with pytest.raises(DataError):
+            Trajectory(1, 1, points)
+
+    def test_equal_timestamps_allowed(self):
+        Trajectory(1, 1, [GPSPoint(0, 0, 5.0), GPSPoint(1, 0, 5.0)])
+
+    def test_repr(self):
+        assert "fixes=3" in repr(self.make())
+
+
+class TestRenderPathToGps:
+    def test_noise_free_endpoints(self, tiny_network):
+        path = Path(tiny_network, [0, 1, 2])
+        traj = render_path_to_gps(path, 1, 1, noise_std=0.0, rng=0)
+        first, last = traj[0], traj[-1]
+        v0 = tiny_network.vertex(0)
+        v2 = tiny_network.vertex(2)
+        assert (first.x, first.y) == (v0.x, v0.y)
+        assert (last.x, last.y) == (v2.x, v2.y)
+
+    def test_duration_matches_travel_time(self, tiny_network):
+        path = Path(tiny_network, [0, 1, 2])
+        traj = render_path_to_gps(path, 1, 1, noise_std=0.0, rng=0)
+        assert traj.duration == pytest.approx(path.travel_time)
+
+    def test_sampling_interval(self, tiny_network):
+        path = Path(tiny_network, [0, 3, 4, 5, 2])
+        traj = render_path_to_gps(path, 1, 1, sample_interval=5.0, noise_std=0.0)
+        gaps = [b.t - a.t for a, b in zip(traj.points, traj.points[1:])]
+        assert all(g <= 5.0 + 1e-9 for g in gaps)
+
+    def test_points_near_path_with_noise(self, tiny_network):
+        path = Path(tiny_network, [0, 1, 2])
+        traj = render_path_to_gps(path, 1, 1, noise_std=5.0, rng=0)
+        # Every fix should be within ~6 sigma of the path's bounding box.
+        for p in traj:
+            assert -40.0 <= p.x <= 240.0
+            assert 60.0 <= p.y <= 140.0
+
+    def test_start_time_offset(self, tiny_network):
+        path = Path(tiny_network, [0, 1])
+        traj = render_path_to_gps(path, 1, 1, start_time=100.0, noise_std=0.0)
+        assert traj[0].t == 100.0
+
+    def test_deterministic_given_rng(self, tiny_network):
+        path = Path(tiny_network, [0, 1, 2])
+        a = render_path_to_gps(path, 1, 1, rng=5)
+        b = render_path_to_gps(path, 1, 1, rng=5)
+        assert all(p.x == q.x and p.y == q.y for p, q in zip(a, b))
+
+    def test_validation(self, tiny_network):
+        path = Path(tiny_network, [0, 1])
+        with pytest.raises(ValueError):
+            render_path_to_gps(path, 1, 1, sample_interval=0.0)
+        with pytest.raises(ValueError):
+            render_path_to_gps(path, 1, 1, noise_std=-1.0)

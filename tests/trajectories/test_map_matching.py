@@ -1,0 +1,119 @@
+"""Tests for the HMM map matcher."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.graph import Path, weighted_jaccard
+from repro.trajectories import (
+    GPSPoint,
+    MapMatcher,
+    Trajectory,
+    generate_fleet,
+    render_path_to_gps,
+)
+
+
+class TestMatcherConstruction:
+    def test_validation(self, tiny_network):
+        with pytest.raises(ValueError):
+            MapMatcher(tiny_network, sigma=0.0)
+        with pytest.raises(ValueError):
+            MapMatcher(tiny_network, beta=-1.0)
+        with pytest.raises(ValueError):
+            MapMatcher(tiny_network, candidates_per_point=0)
+
+    def test_empty_network_rejected(self):
+        from repro.graph import RoadNetwork
+
+        net = RoadNetwork()
+        net.add_vertex(0, 0, 0)
+        with pytest.raises(ValueError):
+            MapMatcher(net)
+
+
+class TestExactMatch:
+    def test_noise_free_recovery(self, tiny_network):
+        truth = Path(tiny_network, [0, 1, 4, 5, 2])
+        traj = render_path_to_gps(truth, 1, 1, sample_interval=3.0, noise_std=0.0)
+        result = MapMatcher(tiny_network, sigma=10.0).match(traj)
+        assert weighted_jaccard(result.path, truth) == pytest.approx(1.0)
+
+    def test_matched_endpoints(self, tiny_network):
+        truth = Path(tiny_network, [3, 4, 1, 2])
+        traj = render_path_to_gps(truth, 1, 1, sample_interval=3.0, noise_std=0.0)
+        result = MapMatcher(tiny_network).match(traj)
+        assert result.path.source == 3
+        assert result.path.target == 2
+
+    def test_log_likelihood_finite(self, tiny_network):
+        truth = Path(tiny_network, [0, 1, 2])
+        traj = render_path_to_gps(truth, 1, 1, noise_std=0.0)
+        result = MapMatcher(tiny_network).match(traj)
+        assert np.isfinite(result.log_likelihood)
+
+    def test_noisy_recovery_high_overlap(self, region_network):
+        population, trips = generate_fleet(region_network, num_drivers=5,
+                                           trips_per_driver=3, rng=4)
+        from repro.trajectories import TrajectoryGenerator
+
+        generator = TrajectoryGenerator(region_network, population)
+        gps = generator.render_gps(trips[:6], noise_std=8.0, rng=1)
+        matcher = MapMatcher(region_network)
+        overlaps = [
+            weighted_jaccard(matcher.match(t).path, trip.path)
+            for trip, t in zip(trips[:6], gps)
+        ]
+        assert np.mean(overlaps) > 0.75
+        assert min(overlaps) > 0.4
+
+    def test_result_is_loop_free(self, region_network):
+        population, trips = generate_fleet(region_network, num_drivers=3,
+                                           trips_per_driver=2, rng=5)
+        from repro.trajectories import TrajectoryGenerator
+
+        generator = TrajectoryGenerator(region_network, population)
+        gps = generator.render_gps(trips, noise_std=10.0, rng=2)
+        matcher = MapMatcher(region_network)
+        for traj in gps:
+            assert matcher.match(traj).path.is_simple()
+
+
+class TestDegenerateInputs:
+    def test_two_identical_fixes_rejected(self, tiny_network):
+        v = tiny_network.vertex(0)
+        traj = Trajectory(1, 1, [GPSPoint(v.x, v.y, 0.0), GPSPoint(v.x, v.y, 1.0)])
+        with pytest.raises(DataError):
+            MapMatcher(tiny_network).match(traj)
+
+    def test_matched_edges_exposed(self, tiny_network):
+        truth = Path(tiny_network, [0, 1, 2])
+        traj = render_path_to_gps(truth, 1, 1, noise_std=0.0)
+        result = MapMatcher(tiny_network).match(traj)
+        assert len(result.matched_edges) == len(traj)
+        for key in result.matched_edges:
+            assert tiny_network.has_edge(*key)
+
+
+class TestLoopRemoval:
+    def test_no_loops_untouched(self):
+        assert MapMatcher._remove_loops([1, 2, 3]) == [1, 2, 3]
+
+    def test_simple_loop_cut(self):
+        assert MapMatcher._remove_loops([1, 2, 3, 2, 4]) == [1, 2, 4]
+
+    def test_nested_loops_cut(self):
+        # First the 2-cycle collapses, then the trailing revisit of 1 is
+        # cheaper to drop as a tail: [1,2,3,4,2,5,1,6] -> [1,2,5,1,6] -> [1,2,5].
+        assert MapMatcher._remove_loops([1, 2, 3, 4, 2, 5, 1, 6]) == [1, 2, 5]
+
+    def test_repeated_adjacent(self):
+        assert MapMatcher._remove_loops([1, 1, 2]) == [1, 2]
+
+    def test_spurious_final_spur_drops_tail(self):
+        # A long path with one wrong final vertex must lose only the tail.
+        assert MapMatcher._remove_loops([0, 1, 4, 5, 2, 1]) == [0, 1, 4, 5, 2]
+
+    def test_result_has_no_duplicates(self):
+        cleaned = MapMatcher._remove_loops([3, 1, 2, 1, 3, 5, 3, 9])
+        assert len(cleaned) == len(set(cleaned))
