@@ -1,0 +1,172 @@
+"""Benchmark E11 — the online serving layer under hotspot load.
+
+Replays a Zipf-skewed OD-hotspot query mix (the commuter regime the
+paper's introduction describes) against :class:`RankingService` and
+reports latency percentiles, throughput, and cache hit rates as JSON.
+Two properties are asserted, mirroring the subsystem's contract:
+
+* repeat (cached) queries answer with a mean latency at least 10x lower
+  than cold queries — candidate generation dominates the cold path;
+* coalesced batch scoring produces scores identical (<= 1e-9) to
+  sequential per-query scoring.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_serving.py``)
+or under pytest (``python -m pytest benchmarks/bench_serving.py``).
+"""
+
+import json
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import PathRankRanker, RankerConfig, build_pathrank
+from repro.graph import north_jutland_like
+from repro.ranking import Strategy, TrainingDataConfig
+from repro.serving import (
+    BatchingScorer,
+    ModelRegistry,
+    RankingService,
+    RankRequest,
+    ServingConfig,
+    WorkloadConfig,
+    generate_workload,
+    run_workload,
+)
+
+CANDIDATES = TrainingDataConfig(strategy=Strategy.D_TKDI, k=4,
+                                diversity_threshold=0.8, examine_limit=60)
+
+
+def build_service(tmp_root: str) -> RankingService:
+    """A service over a mid-size region with an untrained (random) model.
+
+    Serving latency does not depend on the weights' quality, so the
+    benchmark skips training and publishes a randomly initialised model.
+    """
+    network = north_jutland_like(num_towns=4, seed=11)
+    ranker = PathRankRanker(network, RankerConfig(
+        embedding_dim=32, hidden_size=32, fc_hidden=16,
+        training_data=CANDIDATES))
+    ranker.model = build_pathrank(
+        "PR-A2", num_vertices=network.num_vertices, embedding_dim=32,
+        hidden_size=32, fc_hidden=16, rng=0)
+    registry = ModelRegistry(tmp_root, network)
+    registry.publish(ranker, version="bench", activate=True)
+    return RankingService(network, registry,
+                          ServingConfig(candidates=CANDIDATES))
+
+
+def measure_cold_vs_cached(service: RankingService,
+                           requests: list[RankRequest]) -> dict:
+    """Mean per-request latency for first-touch vs repeat queries."""
+    unique = list({(r.source, r.target): r for r in requests}.values())
+
+    def replay(label: str) -> float:
+        started = time.perf_counter()
+        for request in unique:
+            response = service.rank(request)
+            assert response.ok, f"{label} replay failed: {response.error}"
+        return (time.perf_counter() - started) * 1000.0 / len(unique)
+
+    cold_ms = replay("cold")
+    cached_ms = replay("cached")
+    return {
+        "unique_queries": len(unique),
+        "cold_mean_ms": cold_ms,
+        "cached_mean_ms": cached_ms,
+        "speedup": cold_ms / cached_ms if cached_ms > 0 else float("inf"),
+    }
+
+
+def measure_batched_equivalence(service: RankingService,
+                                requests: list[RankRequest]) -> dict:
+    """Max |batched - sequential| score deviation over the workload."""
+    model = service.registry.require_snapshot().model
+    unique = list({(r.source, r.target): r for r in requests}.values())
+    candidate_lists = []
+    for request in unique:
+        paths, _ = service._candidates(
+            request, service._candidate_config(request))
+        if paths:
+            candidate_lists.append(paths)
+
+    sequential = [model.score_paths(paths) for paths in candidate_lists]
+    # No score cache here: the point is the forward pass itself.
+    scorer = BatchingScorer(max_batch_size=64)
+    tickets = [scorer.submit(paths) for paths in candidate_lists]
+    scorer.flush(model, "bench")
+    deviation = max(
+        float(np.max(np.abs(ticket.scores - expected)))
+        for ticket, expected in zip(tickets, sequential)
+    )
+    return {
+        "queries": len(candidate_lists),
+        "paths": sum(len(p) for p in candidate_lists),
+        "forward_batches": scorer.batches_run,
+        "max_abs_deviation": deviation,
+    }
+
+
+def run_benchmark() -> dict:
+    with tempfile.TemporaryDirectory() as tmp_root:
+        service = build_service(tmp_root)
+        workload = generate_workload(
+            service.network,
+            WorkloadConfig(num_requests=150, num_hotspots=25,
+                           zipf_exponent=1.1),
+            rng=0,
+        )
+        cold_cached = measure_cold_vs_cached(service, workload)
+        equivalence = measure_batched_equivalence(service, workload)
+        zipf = run_workload(service, workload, batch_size=8)
+        zipf.pop("stats")  # cumulative service stats, reported separately
+        return {
+            "cold_vs_cached": cold_cached,
+            "batched_vs_sequential": equivalence,
+            "zipf_replay": zipf,
+            "service_stats": service.stats(),
+        }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def report() -> dict:
+    return run_benchmark()
+
+
+@pytest.mark.benchmark(group="serving")
+def test_cached_queries_much_faster(report):
+    result = report["cold_vs_cached"]
+    assert result["speedup"] >= 10.0, (
+        f"cached repeats should be >= 10x faster than cold queries: "
+        f"cold {result['cold_mean_ms']:.3f} ms vs "
+        f"cached {result['cached_mean_ms']:.3f} ms"
+    )
+
+
+@pytest.mark.benchmark(group="serving")
+def test_batched_scores_match_sequential(report):
+    assert report["batched_vs_sequential"]["max_abs_deviation"] <= 1e-9
+    # Coalescing must actually coalesce: far fewer forward passes than queries.
+    assert report["batched_vs_sequential"]["forward_batches"] < \
+        report["batched_vs_sequential"]["queries"]
+
+
+@pytest.mark.benchmark(group="serving")
+def test_zipf_replay_hits_the_caches(report):
+    replay = report["zipf_replay"]
+    assert replay["served_by"]["error"] == 0
+    assert replay["candidate_cache_hit_rate"] > 0.5
+    assert replay["throughput_qps"] > 0.0
+
+
+def main() -> None:
+    print(json.dumps(run_benchmark(), indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,10 @@ without writing Python::
     python -m repro.cli evaluate --dataset /tmp/trips.json --model /tmp/model.npz
     python -m repro.cli rank --dataset /tmp/trips.json --model /tmp/model.npz \
         --source 3 --target 47
+    python -m repro.cli serve --network /tmp/net.json --model /tmp/model.npz \
+        --queries-file /tmp/queries.json --json
+    python -m repro.cli bench-serve --network /tmp/net.json \
+        --model /tmp/model.npz --requests 200 --hotspots 20
 """
 
 from __future__ import annotations
@@ -20,15 +24,26 @@ import argparse
 import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path as FilePath
 
 from repro.core.ranker import PathRankRanker, RankerConfig
 from repro.core.trainer import TrainerConfig
 from repro.core.variants import Variant
+from repro.errors import DataError, ReproError, ServingError
 from repro.graph.builders import grid_network, north_jutland_like, ring_radial_network
 from repro.graph.io import load_network_json, save_network_json
 from repro.graph.osm import save_osm_xml
 from repro.ranking.evaluation import evaluate_scorer
 from repro.ranking.training_data import Strategy, TrainingDataConfig, generate_queries
+from repro.serving import (
+    ModelRegistry,
+    RankingService,
+    RankRequest,
+    ServingConfig,
+    WorkloadConfig,
+    generate_workload,
+    run_workload,
+)
 from repro.trajectories.dataset import TrajectoryDataset
 from repro.trajectories.drivers import sample_population
 from repro.trajectories.generator import FleetConfig, TrajectoryGenerator
@@ -92,6 +107,41 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument("--source", type=int, required=True)
     rank.add_argument("--target", type=int, required=True)
     rank.add_argument("--k", type=int, default=5)
+
+    serve = commands.add_parser(
+        "serve", help="answer ranking queries through the serving layer")
+    serve.add_argument("--network", required=True)
+    serve.add_argument("--model", required=True,
+                       help="model checkpoint (.npz); its directory acts as "
+                            "the model registry")
+    serve.add_argument("--queries-file", required=True,
+                       help="JSON request replay: a list of "
+                            '{"source": ..., "target": ...} objects')
+    serve.add_argument("--strategy", choices=[s.value for s in Strategy],
+                       default="D-TkDI")
+    serve.add_argument("--k", type=int, default=5)
+    serve.add_argument("--batch-size", type=int, default=64,
+                       help="coalesce this many requests per forward pass")
+    serve.add_argument("--cache-size", type=int, default=1024)
+    serve.add_argument("--no-fallback", action="store_true",
+                       help="fail requests instead of degrading to the "
+                            "shortest path")
+    serve.add_argument("--json", action="store_true",
+                       help="print responses and stats as JSON")
+
+    bench = commands.add_parser(
+        "bench-serve", help="replay a Zipf-skewed hotspot workload, report JSON")
+    bench.add_argument("--network", required=True)
+    bench.add_argument("--model", required=True)
+    bench.add_argument("--requests", type=int, default=200)
+    bench.add_argument("--hotspots", type=int, default=20)
+    bench.add_argument("--zipf", type=float, default=1.1)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--strategy", choices=[s.value for s in Strategy],
+                       default="D-TkDI")
+    bench.add_argument("--k", type=int, default=5)
+    bench.add_argument("--batch-size", type=int, default=8)
+    bench.add_argument("--cache-size", type=int, default=1024)
 
     return parser
 
@@ -191,18 +241,126 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service(args: argparse.Namespace):
+    """Shared serve / bench-serve bootstrap: network + registry + service."""
+    network = load_network_json(args.network)
+    model_path = FilePath(args.model)
+    if not model_path.exists():
+        # Check before ModelRegistry mkdirs a typo'd parent directory.
+        raise ServingError(f"no such model checkpoint: {model_path}")
+    registry = ModelRegistry(model_path.parent, network)
+    config = ServingConfig(
+        candidates=TrainingDataConfig(
+            strategy=Strategy.from_name(args.strategy), k=args.k),
+        candidate_cache_size=args.cache_size,
+        max_batch_size=max(args.batch_size * args.k, 1),
+        fallback_to_shortest=not getattr(args, "no_fallback", False),
+    )
+    service = RankingService(network, registry, config)
+    service.activate(model_path.stem)
+    return service
+
+
+def _load_queries(path: str) -> list[RankRequest]:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        payload = payload.get("queries")
+    if not isinstance(payload, list) or not payload:
+        raise DataError(f"{path} must hold a non-empty JSON list of queries")
+    requests = []
+    for position, entry in enumerate(payload):
+        if not isinstance(entry, dict) or "source" not in entry \
+                or "target" not in entry:
+            raise DataError(
+                f"query #{position} must be an object with source/target"
+            )
+        requests.append(RankRequest(
+            source=int(entry["source"]), target=int(entry["target"]),
+            k=int(entry["k"]) if "k" in entry else None,
+            request_id=position,
+        ))
+    return requests
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = _build_service(args)
+    requests = _load_queries(args.queries_file)
+    responses = []
+    for start in range(0, len(requests), args.batch_size):
+        responses.extend(service.rank_batch(requests[start:start + args.batch_size]))
+    if args.json:
+        print(json.dumps({
+            "responses": [
+                {
+                    "source": r.request.source,
+                    "target": r.request.target,
+                    "served_by": r.served_by,
+                    "model_version": r.model_version,
+                    "candidate_cache_hit": r.candidate_cache_hit,
+                    "latency_ms": r.latency_ms,
+                    "top_score": r.top.score if r.top else None,
+                    "top_vertices": list(r.top.path.vertices) if r.top else None,
+                    "error": r.error,
+                }
+                for r in responses
+            ],
+            "stats": service.stats(),
+        }))
+        return 0 if all(r.ok for r in responses) else 1
+    for r in responses:
+        if not r.ok:
+            print(f"{r.request.source}->{r.request.target}: ERROR {r.error}")
+            continue
+        top = r.top
+        print(f"{r.request.source}->{r.request.target}: "
+              f"{len(r.results)} candidates via {r.served_by}, "
+              f"top score={top.score:.4f} length={top.path.length:.0f}m "
+              f"({'cache hit' if r.candidate_cache_hit else 'cold'}, "
+              f"{r.latency_ms:.2f} ms)")
+    stats = service.stats()
+    print(f"served {stats['counters']['requests']} requests | "
+          f"candidate-cache hit rate "
+          f"{stats['candidate_cache']['hit_rate']:.2f} | "
+          f"p50 {stats['latency']['p50_ms']:.2f} ms, "
+          f"p95 {stats['latency']['p95_ms']:.2f} ms")
+    return 0 if all(r.ok for r in responses) else 1
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    service = _build_service(args)
+    workload = generate_workload(
+        service.network,
+        WorkloadConfig(num_requests=args.requests, num_hotspots=args.hotspots,
+                       zipf_exponent=args.zipf),
+        rng=args.seed,
+    )
+    summary = run_workload(service, workload, batch_size=args.batch_size)
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
 _COMMANDS = {
     "build-network": _cmd_build_network,
     "simulate-fleet": _cmd_simulate_fleet,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "rank": _cmd_rank,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError, ValueError) as exc:
+        # Missing model/network files, malformed inputs, and out-of-range
+        # parameters should exit with a clean one-line diagnostic, not a
+        # traceback.  (json.JSONDecodeError is a ValueError.)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -2,7 +2,7 @@
 
 from repro.core.batching import encode_paths, minibatches
 from repro.core.model import PathRank
-from repro.core.ranker import PathRankRanker, RankerConfig
+from repro.core.ranker import PathRankRanker, RankerConfig, generate_candidates
 from repro.core.trainer import Trainer, TrainerConfig, TrainingHistory, flatten_queries
 from repro.core.variants import (
     NUM_AUX_TARGETS,
@@ -25,4 +25,5 @@ __all__ = [
     "flatten_queries",
     "PathRankRanker",
     "RankerConfig",
+    "generate_candidates",
 ]

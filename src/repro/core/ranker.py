@@ -41,7 +41,33 @@ from repro.ranking.training_data import (
 from repro.rng import RngLike, make_rng, spawn
 from repro.trajectories.generator import Trip
 
-__all__ = ["RankerConfig", "PathRankRanker"]
+__all__ = ["RankerConfig", "PathRankRanker", "generate_candidates"]
+
+
+def generate_candidates(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    config: TrainingDataConfig,
+) -> list[Path]:
+    """Candidate paths for one (source, target) query.
+
+    This is the model-free half of ranking: the same TkDI / D-TkDI
+    enumeration used to build training data, exposed as a pure function
+    so callers (e.g. the serving layer) can cache its output per query
+    independently of scoring.
+    """
+    if config.strategy is Strategy.TKDI:
+        return yen_k_shortest_paths(network, source, target, config.k)
+    result = diversified_top_k(
+        network,
+        source,
+        target,
+        config.k,
+        threshold=config.diversity_threshold,
+        examine_limit=config.examine_limit,
+    )
+    return list(result.paths)
 
 
 @dataclass(frozen=True)
@@ -146,34 +172,40 @@ class PathRankRanker:
             raise TrainingError("fit() or load() must run before inference")
         return self.model
 
+    def generate_candidates(self, source: int, target: int) -> list[Path]:
+        """Candidate paths for a query, using the configured strategy.
+
+        The first of the two ranking steps; model-free, so its output is
+        cacheable per ``(source, target, strategy, k)``.
+        """
+        return generate_candidates(self.network, source, target,
+                                   self.config.training_data)
+
+    # Historical name for generate_candidates, kept for existing callers.
     def candidates(self, source: int, target: int) -> list[Path]:
-        """Candidate paths for a query, using the configured strategy."""
-        data_config = self.config.training_data
-        if data_config.strategy is Strategy.TKDI:
-            return yen_k_shortest_paths(self.network, source, target, data_config.k)
-        result = diversified_top_k(
-            self.network,
-            source,
-            target,
-            data_config.k,
-            threshold=data_config.diversity_threshold,
-            examine_limit=data_config.examine_limit,
-        )
-        return list(result.paths)
+        return self.generate_candidates(source, target)
+
+    def score_candidates(self, paths: Sequence[Path]) -> np.ndarray:
+        """Estimated preference scores for candidate paths (unsorted).
+
+        The second ranking step; batched callers can concatenate the
+        candidates of many queries and score them in one forward pass.
+        """
+        return self._require_model().score_paths(paths)
 
     def score_paths(self, paths: Sequence[Path]) -> np.ndarray:
-        return self._require_model().score_paths(paths)
+        return self.score_candidates(paths)
 
     def score_query(self, query: RankingQuery) -> list[float]:
         return self._require_model().score_query(query)
 
     def rank(self, source: int, target: int) -> list[tuple[Path, float]]:
         """Candidates sorted by estimated driver preference (best first)."""
-        model = self._require_model()
-        paths = self.candidates(source, target)
+        self._require_model()
+        paths = self.generate_candidates(source, target)
         if not paths:
             return []
-        scores = model.score_paths(paths)
+        scores = self.score_candidates(paths)
         ranked = sorted(zip(paths, scores), key=lambda item: -item[1])
         return [(path, float(score)) for path, score in ranked]
 

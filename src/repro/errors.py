@@ -72,3 +72,8 @@ class DataError(ReproError):
 
 class TrainingError(ReproError):
     """Raised when model training cannot proceed (e.g. empty dataset)."""
+
+
+class ServingError(ReproError):
+    """Raised for online-serving failures (bad registry state, unflushed
+    batch tickets, or a service without a usable model and no fallback)."""

@@ -1,0 +1,92 @@
+"""Online serving: turn a trained PathRank model into a query service.
+
+The paper motivates PathRank with commercial navigation backends that
+must answer live "which path to put on top?" queries.  This package is
+that layer.  Where :class:`~repro.core.ranker.PathRankRanker` is the
+offline training API, ``repro.serving`` adds the machinery a production
+deployment needs around it:
+
+* :class:`ModelRegistry` — versioned ``.npz`` model artifacts on disk,
+  with atomic hot-swap: activation replaces a single snapshot reference,
+  so in-flight requests finish on the version they started with.
+* :class:`CandidateCache` / :class:`ScoreCache` — bounded LRU caches for
+  the two expensive steps.  Candidate sets are keyed on
+  ``(source, target, strategy, k)`` and survive model swaps; per-path
+  scores are keyed on the model version so a swap can never serve a
+  stale score.
+* :class:`BatchingScorer` — coalesces the candidate lists of many
+  requests into padded batches and runs one forward pass per batch.
+  The masked recurrence makes batched scores identical to sequential
+  per-query scores.
+* :class:`RankingService` — the facade: request/response dataclasses,
+  per-request latency and cache instrumentation, and graceful
+  degradation to the shortest path when no model is available.
+
+Usage::
+
+    from repro.serving import (ModelRegistry, RankingService, RankRequest,
+                               ServingConfig)
+
+    # Offline: train once, publish into a registry directory.
+    ranker = PathRankRanker(network, config).fit(trips, rng=0)
+    registry = ModelRegistry("artifacts/models", network)
+    version = registry.publish(ranker, activate=True)
+
+    # Online: answer queries; repeats hit the caches, batches share one
+    # forward pass, and a later ``service.activate("v0002")`` hot-swaps
+    # without dropping requests.
+    service = RankingService(network, registry, ServingConfig())
+    response = service.rank(RankRequest(source=3, target=47))
+    for suggestion in response.results:
+        print(suggestion.position, suggestion.score, suggestion.path)
+    print(service.stats())
+
+The load-testing helpers in :mod:`repro.serving.loadgen` (Zipf-skewed
+OD-hotspot mixes) back both ``python -m repro.cli bench-serve`` and
+``benchmarks/bench_serving.py``.
+"""
+
+from repro.serving.batching import BatchingScorer, ScoreTicket
+from repro.serving.cache import CacheStats, CandidateCache, LRUCache, ScoreCache
+from repro.serving.instrumentation import (
+    LatencyTracker,
+    ServiceCounters,
+    percentile,
+)
+from repro.serving.loadgen import (
+    WorkloadConfig,
+    generate_workload,
+    run_workload,
+    zipf_weights,
+)
+from repro.serving.registry import ActiveModel, ModelRegistry
+from repro.serving.service import (
+    RankedPath,
+    RankingService,
+    RankRequest,
+    RankResponse,
+    ServingConfig,
+)
+
+__all__ = [
+    "ActiveModel",
+    "BatchingScorer",
+    "CacheStats",
+    "CandidateCache",
+    "LatencyTracker",
+    "LRUCache",
+    "ModelRegistry",
+    "percentile",
+    "RankedPath",
+    "RankingService",
+    "RankRequest",
+    "RankResponse",
+    "ScoreCache",
+    "ScoreTicket",
+    "ServiceCounters",
+    "ServingConfig",
+    "WorkloadConfig",
+    "generate_workload",
+    "run_workload",
+    "zipf_weights",
+]

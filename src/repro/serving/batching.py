@@ -1,0 +1,159 @@
+"""Coalesced scoring: one padded forward pass for many queued requests.
+
+Per-query scoring wastes the batch dimension — a typical query carries
+only ``k`` ≈ 5 candidate paths, so the GRU runs at batch 5.  The
+:class:`BatchingScorer` queues the candidate lists of many concurrent
+requests, concatenates them into padded batches of up to
+``max_batch_size`` paths (``core.batching.encode_paths``), runs one
+forward pass per batch, and scatters the scores back to each request's
+ticket.  Because the recurrence is masked, padded steps propagate the
+hidden state unchanged and every path's score is *identical* to what
+sequential per-query scoring would produce.
+
+Duplicate paths inside one flush are scored once, and a
+:class:`~repro.serving.cache.ScoreCache` (keyed by model version) lets
+repeat paths skip the forward pass across flushes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.model import PathRank
+from repro.errors import ServingError
+from repro.graph.path import Path
+from repro.serving.cache import ScoreCache
+
+__all__ = ["ScoreTicket", "BatchingScorer"]
+
+
+class ScoreTicket:
+    """Handle returned by :meth:`BatchingScorer.submit`.
+
+    ``scores`` becomes available after the next :meth:`flush`; reading
+    it earlier raises :class:`ServingError`.
+    """
+
+    __slots__ = ("paths", "_scores")
+
+    def __init__(self, paths: Sequence[Path]) -> None:
+        self.paths = list(paths)
+        self._scores: np.ndarray | None = None
+
+    @property
+    def ready(self) -> bool:
+        return self._scores is not None
+
+    @property
+    def scores(self) -> np.ndarray:
+        if self._scores is None:
+            raise ServingError("ticket not scored yet; call flush() first")
+        return self._scores
+
+
+class BatchingScorer:
+    """Queues candidate lists and scores them in coalesced batches."""
+
+    def __init__(self, max_batch_size: int = 64,
+                 score_cache: ScoreCache | None = None) -> None:
+        if max_batch_size < 1:
+            raise ServingError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        self.max_batch_size = max_batch_size
+        self.score_cache = score_cache
+        self._pending: list[ScoreTicket] = []
+        self._lock = threading.RLock()
+        # Forward-pass accounting, for instrumentation and benchmarks.
+        self.batches_run = 0
+        self.paths_scored = 0
+        self.cache_hits = 0
+
+    def pending_requests(self) -> int:
+        return len(self._pending)
+
+    def pending_paths(self) -> int:
+        return sum(len(ticket.paths) for ticket in self._pending)
+
+    def submit(self, paths: Sequence[Path]) -> ScoreTicket:
+        ticket = ScoreTicket(paths)
+        with self._lock:
+            self._pending.append(ticket)
+        return ticket
+
+    def flush(self, model: PathRank, model_version: str | None = None) -> int:
+        """Score every queued ticket; returns the number of forward batches.
+
+        Scores are bit-identical to per-query sequential scoring: the
+        masked recurrence makes each path's result independent of its
+        batch neighbours and of padding length.
+
+        Concurrent callers should prefer :meth:`score_many`: a bare
+        ``submit`` + ``flush`` pair lets another thread's flush claim the
+        ticket and score it under *that thread's* model snapshot.
+        """
+        with self._lock:
+            tickets, self._pending = self._pending, []
+        if not tickets:
+            return 0
+
+        # The score cache is keyed by model version; with no version to
+        # key on, two different models would silently share entries, so
+        # the cache only participates when a version is supplied.
+        use_cache = self.score_cache is not None and model_version is not None
+
+        # Deduplicate by vertex sequence and consult the score cache.
+        unique: dict[tuple[int, ...], Path] = {}
+        resolved: dict[tuple[int, ...], float] = {}
+        for ticket in tickets:
+            for path in ticket.paths:
+                key = path.vertices
+                if key in unique or key in resolved:
+                    continue
+                if use_cache:
+                    cached = self.score_cache.lookup(model_version, path)
+                    if cached is not None:
+                        resolved[key] = cached
+                        self.cache_hits += 1
+                        continue
+                unique[key] = path
+
+        batches_before = self.batches_run
+        to_score = list(unique.values())
+        for start in range(0, len(to_score), self.max_batch_size):
+            chunk = to_score[start:start + self.max_batch_size]
+            scores = model.score_paths(chunk)
+            self.batches_run += 1
+            self.paths_scored += len(chunk)
+            for path, score in zip(chunk, scores):
+                resolved[path.vertices] = float(score)
+                if use_cache:
+                    self.score_cache.store(model_version, path, float(score))
+
+        for ticket in tickets:
+            ticket._scores = np.array(
+                [resolved[path.vertices] for path in ticket.paths], dtype=float
+            )
+        return self.batches_run - batches_before
+
+    def score_many(self, model: PathRank,
+                   candidate_lists: Sequence[Sequence[Path]],
+                   model_version: str | None = None) -> list[np.ndarray]:
+        """Atomically coalesce and score a group of candidate lists.
+
+        Holding the lock across submit + flush guarantees the whole
+        group is scored by *this* model, even when other threads are
+        scoring against a different (hot-swapped) snapshot concurrently.
+        """
+        with self._lock:
+            tickets = [self.submit(paths) for paths in candidate_lists]
+            self.flush(model, model_version)
+        return [ticket.scores for ticket in tickets]
+
+    def score_paths(self, model: PathRank, paths: Sequence[Path],
+                    model_version: str | None = None) -> np.ndarray:
+        """Submit-and-flush convenience for a single candidate list."""
+        return self.score_many(model, [paths], model_version)[0]

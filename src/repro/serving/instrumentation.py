@@ -1,0 +1,93 @@
+"""Latency and throughput accounting for the serving layer.
+
+Kept deliberately tiny: a bounded reservoir of per-request latencies
+with nearest-rank percentiles, and the service-level counters the
+``serve`` / ``bench-serve`` CLI commands report as JSON.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["percentile", "LatencyTracker", "ServiceCounters"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 on an empty list."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, int(round(q / 100.0 * len(ordered) + 0.5)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class LatencyTracker:
+    """Records per-request latencies (milliseconds), bounded memory.
+
+    Keeps the most recent ``window`` samples for percentiles while the
+    count/total stay exact over the whole lifetime.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._samples: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, latency_ms: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._total += latency_ms
+            self._samples.append(latency_ms)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean_ms(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        with self._lock:
+            return percentile(list(self._samples), q)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.percentile_ms(50.0),
+            "p95_ms": self.percentile_ms(95.0),
+        }
+
+
+@dataclass
+class ServiceCounters:
+    """How each request was answered, plus degradations and failures."""
+
+    requests: int = 0
+    model_served: int = 0
+    fallback_served: int = 0
+    failed: int = 0
+    hot_swaps: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def bump(self, field_name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, field_name, getattr(self, field_name) + amount)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "requests": self.requests,
+            "model_served": self.model_served,
+            "fallback_served": self.fallback_served,
+            "failed": self.failed,
+            "hot_swaps": self.hot_swaps,
+        }

@@ -1,0 +1,138 @@
+"""Synthetic serving workloads: Zipf-skewed OD-hotspot query mixes.
+
+Navigation traffic is dominated by commuter hotspots — the same few
+(source, destination) pairs repeat over and over.  The generator draws a
+fixed pool of hotspot OD pairs from the network and samples each request
+from that pool with Zipf-distributed popularity, which is exactly the
+regime caches are built for.  ``run_workload`` replays a request list
+against a :class:`RankingService` and summarises latency, throughput,
+and cache behaviour as a plain JSON-able dict.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NoPathError
+from repro.graph.network import RoadNetwork
+from repro.graph.shortest_path import shortest_path_cost
+from repro.rng import RngLike, make_rng
+from repro.serving.instrumentation import percentile
+from repro.serving.service import RankingService, RankRequest
+
+__all__ = ["WorkloadConfig", "zipf_weights", "generate_workload",
+           "run_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of a synthetic query stream."""
+
+    num_requests: int = 200
+    num_hotspots: int = 20
+    zipf_exponent: float = 1.1
+    min_hop_distance: float = 1.0  # metres; rejects degenerate OD pairs
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ValueError(f"num_requests must be >= 1, got {self.num_requests}")
+        if self.num_hotspots < 1:
+            raise ValueError(f"num_hotspots must be >= 1, got {self.num_hotspots}")
+        if self.zipf_exponent <= 0.0:
+            raise ValueError(
+                f"zipf_exponent must be > 0, got {self.zipf_exponent}"
+            )
+
+
+def zipf_weights(n: int, exponent: float) -> np.ndarray:
+    """Normalised Zipf popularity weights for ranks ``1..n``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    weights = 1.0 / np.arange(1, n + 1, dtype=float) ** exponent
+    return weights / weights.sum()
+
+
+def _hotspot_pool(network: RoadNetwork, config: WorkloadConfig,
+                  rng: np.random.Generator) -> list[tuple[int, int]]:
+    """Reachable OD pairs acting as the workload's commuter hotspots."""
+    ids = network.vertex_ids()
+    pool: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = max(200, 50 * config.num_hotspots)
+    while len(pool) < config.num_hotspots and attempts < max_attempts:
+        attempts += 1
+        source, target = (int(v) for v in rng.choice(ids, size=2, replace=False))
+        if (source, target) in seen:
+            continue
+        try:
+            cost = shortest_path_cost(network, source, target)
+        except NoPathError:
+            continue
+        if cost < config.min_hop_distance:
+            continue
+        seen.add((source, target))
+        pool.append((source, target))
+    if not pool:
+        raise ValueError(
+            "could not find any reachable OD pair; is the network connected?"
+        )
+    return pool
+
+
+def generate_workload(network: RoadNetwork,
+                      config: WorkloadConfig | None = None,
+                      rng: RngLike = None) -> list[RankRequest]:
+    """A Zipf-skewed request stream over a fixed hotspot pool."""
+    config = config or WorkloadConfig()
+    generator = make_rng(rng)
+    pool = _hotspot_pool(network, config, generator)
+    weights = zipf_weights(len(pool), config.zipf_exponent)
+    draws = generator.choice(len(pool), size=config.num_requests, p=weights)
+    return [
+        RankRequest(source=pool[int(i)][0], target=pool[int(i)][1],
+                    request_id=request_id)
+        for request_id, i in enumerate(draws)
+    ]
+
+
+def run_workload(service: RankingService, requests: Sequence[RankRequest],
+                 batch_size: int = 1) -> dict[str, object]:
+    """Replay ``requests`` and summarise what the service did.
+
+    ``batch_size`` > 1 feeds the service in coalesced chunks (one padded
+    forward pass per chunk); 1 replays strictly sequentially.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    latencies: list[float] = []
+    outcomes = {"model": 0, "fallback": 0, "error": 0}
+    candidate_hits = 0
+    started = time.perf_counter()
+    for start in range(0, len(requests), batch_size):
+        chunk = list(requests[start:start + batch_size])
+        for response in service.rank_batch(chunk):
+            latencies.append(response.latency_ms)
+            outcomes[response.served_by] += 1
+            candidate_hits += int(response.candidate_cache_hit)
+    elapsed = time.perf_counter() - started
+    return {
+        "requests": len(requests),
+        "batch_size": batch_size,
+        "elapsed_s": elapsed,
+        "throughput_qps": len(requests) / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": {
+            "mean": float(np.mean(latencies)) if latencies else 0.0,
+            "p50": percentile(latencies, 50.0),
+            "p95": percentile(latencies, 95.0),
+        },
+        "served_by": outcomes,
+        "candidate_cache_hit_rate": (
+            candidate_hits / len(requests) if requests else 0.0
+        ),
+        "stats": service.stats(),
+    }

@@ -1,0 +1,258 @@
+"""The `RankingService` facade: online query answering over one network.
+
+Ties the serving pieces together: candidate generation behind a
+:class:`CandidateCache`, scoring behind a :class:`BatchingScorer` with a
+version-keyed :class:`ScoreCache`, the model itself behind a
+:class:`ModelRegistry` snapshot, and per-request latency / outcome
+instrumentation.  When no model is active (or scoring fails with a
+library error) the service degrades gracefully to the shortest path
+instead of failing the request.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field, replace
+
+from repro.core.ranker import generate_candidates
+from repro.errors import ReproError
+from repro.graph.network import RoadNetwork
+from repro.graph.path import Path
+from repro.graph.shortest_path import shortest_path
+from repro.ranking.training_data import TrainingDataConfig
+from repro.serving.batching import BatchingScorer
+from repro.serving.cache import CandidateCache, ScoreCache
+from repro.serving.instrumentation import LatencyTracker, ServiceCounters
+from repro.serving.registry import ActiveModel, ModelRegistry
+
+__all__ = ["ServingConfig", "RankRequest", "RankedPath", "RankResponse",
+           "RankingService"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of one :class:`RankingService` instance."""
+
+    candidates: TrainingDataConfig = field(default_factory=TrainingDataConfig)
+    candidate_cache_size: int = 1024
+    score_cache_size: int = 8192
+    max_batch_size: int = 64
+    fallback_to_shortest: bool = True
+    latency_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+
+
+@dataclass(frozen=True)
+class RankRequest:
+    """One live (source, destination) query.
+
+    ``k`` overrides the service's configured candidate-set size for this
+    request only (it participates in the candidate-cache key).
+    """
+
+    source: int
+    target: int
+    k: int | None = None
+    request_id: int | None = None
+
+
+@dataclass(frozen=True)
+class RankedPath:
+    """One ranked suggestion: position 1 is the top recommendation."""
+
+    path: Path
+    score: float
+    position: int
+
+
+@dataclass(frozen=True)
+class RankResponse:
+    """Outcome of one request, with serving provenance attached."""
+
+    request: RankRequest
+    results: tuple[RankedPath, ...]
+    served_by: str  # "model" | "fallback" | "error"
+    model_version: str | None
+    candidate_cache_hit: bool
+    latency_ms: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.served_by != "error"
+
+    @property
+    def top(self) -> RankedPath | None:
+        return self.results[0] if self.results else None
+
+
+class RankingService:
+    """Answers ranking queries against the registry's active model."""
+
+    def __init__(self, network: RoadNetwork, registry: ModelRegistry,
+                 config: ServingConfig | None = None) -> None:
+        self.network = network
+        self.registry = registry
+        self.config = config or ServingConfig()
+        self.candidate_cache = CandidateCache(self.config.candidate_cache_size)
+        self.score_cache = ScoreCache(self.config.score_cache_size)
+        self.scorer = BatchingScorer(self.config.max_batch_size,
+                                     score_cache=self.score_cache)
+        self.latency = LatencyTracker(self.config.latency_window)
+        self.counters = ServiceCounters()
+
+    # ------------------------------------------------------------------
+    # Candidate step
+    # ------------------------------------------------------------------
+    def _candidate_config(self, request: RankRequest) -> TrainingDataConfig:
+        base = self.config.candidates
+        if request.k is None or request.k == base.k:
+            return base
+        return replace(base, k=request.k,
+                       examine_limit=max(base.examine_limit, request.k))
+
+    def _candidates(self, request: RankRequest,
+                    config: TrainingDataConfig) -> tuple[list[Path], bool]:
+        cached = self.candidate_cache.lookup(request.source, request.target,
+                                             config)
+        if cached is not None:
+            return cached, True
+        paths = generate_candidates(self.network, request.source,
+                                    request.target, config)
+        self.candidate_cache.store(request.source, request.target, config,
+                                   paths)
+        return paths, False
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def rank(self, request: RankRequest) -> RankResponse:
+        """Answer one query; never raises for per-request failures."""
+        return self.rank_batch([request])[0]
+
+    def rank_batch(self, requests: Sequence[RankRequest]) -> list[RankResponse]:
+        """Answer many queries with one coalesced scoring pass.
+
+        The model snapshot is taken once for the whole batch, so a
+        concurrent hot-swap cannot split the batch across versions.
+        """
+        if not requests:
+            return []
+        started = time.perf_counter()
+        active = self.registry.snapshot()
+
+        prepared: list[tuple[RankRequest, list[Path], bool, str | None]] = []
+        if active is None:
+            # Candidate enumeration is wasted work when only the
+            # shortest-path fallback can answer.
+            prepared = [(request, [], False, None) for request in requests]
+        else:
+            for request in requests:
+                config = self._candidate_config(request)
+                try:
+                    paths, hit = self._candidates(request, config)
+                    prepared.append((request, paths, hit, None))
+                except ReproError as exc:
+                    prepared.append((request, [], False, str(exc)))
+
+        scores_by_row: dict[int, object] = {}
+        flush_error = None
+        if active is not None:
+            scorable = [(row, paths) for row, (_, paths, _, error)
+                        in enumerate(prepared) if error is None]
+            try:
+                scored = self.scorer.score_many(
+                    active.model, [paths for _, paths in scorable],
+                    active.version)
+            except ReproError as exc:
+                active, flush_error = None, str(exc)
+            else:
+                scores_by_row = {row: scores for (row, _), scores
+                                 in zip(scorable, scored)}
+
+        responses = []
+        for row, (request, paths, hit, error) in enumerate(prepared):
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            if error is not None:
+                responses.append(self._error_response(request, error,
+                                                      hit, elapsed_ms))
+            elif active is None:
+                responses.append(self._fallback_response(
+                    request, hit, elapsed_ms, flush_error))
+            else:
+                responses.append(self._model_response(
+                    request, paths, scores_by_row[row], active, hit,
+                    elapsed_ms))
+        for response in responses:
+            self.latency.record(response.latency_ms)
+            self.counters.bump("requests")
+        return responses
+
+    def _model_response(self, request: RankRequest, paths: list[Path],
+                        scores, active: ActiveModel, hit: bool,
+                        elapsed_ms: float) -> RankResponse:
+        order = sorted(range(len(paths)), key=lambda i: -scores[i])
+        results = tuple(
+            RankedPath(path=paths[i], score=float(scores[i]), position=pos)
+            for pos, i in enumerate(order, start=1)
+        )
+        self.counters.bump("model_served")
+        return RankResponse(request=request, results=results,
+                            served_by="model", model_version=active.version,
+                            candidate_cache_hit=hit, latency_ms=elapsed_ms)
+
+    def _fallback_response(self, request: RankRequest, hit: bool,
+                           elapsed_ms: float,
+                           cause: str | None) -> RankResponse:
+        if not self.config.fallback_to_shortest:
+            reason = cause or "no active model"
+            return self._error_response(
+                request, f"{reason} (fallback disabled)", hit, elapsed_ms)
+        try:
+            path = shortest_path(self.network, request.source, request.target)
+        except ReproError as exc:
+            return self._error_response(request, str(exc), hit, elapsed_ms)
+        self.counters.bump("fallback_served")
+        results = (RankedPath(path=path, score=0.0, position=1),)
+        return RankResponse(request=request, results=results,
+                            served_by="fallback", model_version=None,
+                            candidate_cache_hit=hit,
+                            latency_ms=elapsed_ms, error=cause)
+
+    def _error_response(self, request: RankRequest, error: str, hit: bool,
+                        elapsed_ms: float) -> RankResponse:
+        self.counters.bump("failed")
+        return RankResponse(request=request, results=(), served_by="error",
+                            model_version=None, candidate_cache_hit=hit,
+                            latency_ms=elapsed_ms, error=error)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def activate(self, version: str) -> ActiveModel:
+        """Hot-swap to ``version`` (in-flight batches keep their snapshot)."""
+        active = self.registry.activate(version)
+        self.counters.bump("hot_swaps")
+        return active
+
+    def stats(self) -> dict[str, object]:
+        """Everything ``serve --json`` and the load benchmark report."""
+        active = self.registry.snapshot()
+        return {
+            "active_version": active.version if active else None,
+            "counters": self.counters.as_dict(),
+            "latency": self.latency.as_dict(),
+            "candidate_cache": self.candidate_cache.stats.as_dict(),
+            "score_cache": self.score_cache.stats.as_dict(),
+            "scoring": {
+                "batches_run": self.scorer.batches_run,
+                "paths_scored": self.scorer.paths_scored,
+                "max_batch_size": self.scorer.max_batch_size,
+            },
+        }

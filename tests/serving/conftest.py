@@ -1,0 +1,49 @@
+"""Serving-layer fixtures: small networks with untrained (random) models.
+
+Serving behaviour — caching, batching, hot-swap, fallback — does not
+depend on the quality of the weights, so these fixtures skip training
+entirely and publish randomly initialised models, which keeps the suite
+fast.
+"""
+
+import pytest
+
+from repro.core import PathRankRanker, RankerConfig, build_pathrank
+from repro.ranking import Strategy, TrainingDataConfig
+from repro.serving import ModelRegistry, RankingService, ServingConfig
+
+CANDIDATES = TrainingDataConfig(strategy=Strategy.TKDI, k=3)
+
+
+def _make_ranker(network, seed: int) -> PathRankRanker:
+    ranker = PathRankRanker(network, RankerConfig(
+        embedding_dim=8, hidden_size=8, fc_hidden=4,
+        training_data=CANDIDATES))
+    ranker.model = build_pathrank(
+        "PR-A2", num_vertices=network.num_vertices, embedding_dim=8,
+        hidden_size=8, fc_hidden=4, rng=seed)
+    return ranker
+
+
+@pytest.fixture(scope="session")
+def candidates_config() -> TrainingDataConfig:
+    return CANDIDATES
+
+
+@pytest.fixture(scope="session")
+def make_ranker():
+    """Factory: a PathRankRanker carrying a randomly initialised model."""
+    return _make_ranker
+
+
+@pytest.fixture
+def registry(tmp_path, tiny_network) -> ModelRegistry:
+    return ModelRegistry(tmp_path / "models", tiny_network)
+
+
+@pytest.fixture
+def service(tiny_network, registry, make_ranker) -> RankingService:
+    """A service over ``tiny_network`` with version ``v0001`` active."""
+    registry.publish(make_ranker(tiny_network, seed=1), activate=True)
+    return RankingService(tiny_network, registry,
+                          ServingConfig(candidates=CANDIDATES))

@@ -113,3 +113,114 @@ class TestRank:
         code = main(["rank", "--dataset", str(dataset), "--model", str(model),
                      "--source", "0", "--target", "99999"])
         assert code == 2
+
+
+@pytest.fixture(scope="module")
+def queries_file(artifacts, tmp_path_factory):
+    """An offline replay file with a deliberate repeat query."""
+    from repro.graph import load_network_json
+
+    network_path, _, _ = artifacts
+    ids = load_network_json(network_path).vertex_ids()
+    queries = [
+        {"source": ids[0], "target": ids[-1]},
+        {"source": ids[1], "target": ids[-2]},
+        {"source": ids[0], "target": ids[-1]},  # repeat: must hit the cache
+    ]
+    path = tmp_path_factory.mktemp("serve") / "queries.json"
+    path.write_text(json.dumps(queries))
+    return path
+
+
+class TestServe:
+    def test_serve_replays_queries(self, artifacts, queries_file, capsys):
+        network, _, model = artifacts
+        code = main(["serve", "--network", str(network), "--model", str(model),
+                     "--queries-file", str(queries_file), "--k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache hit" in out
+        assert "served 3 requests" in out
+
+    def test_serve_json_reports_cache_hits(self, artifacts, queries_file,
+                                           capsys):
+        network, _, model = artifacts
+        code = main(["serve", "--network", str(network), "--model", str(model),
+                     "--queries-file", str(queries_file), "--k", "3",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["responses"]) == 3
+        assert all(r["served_by"] == "model" for r in payload["responses"])
+        assert payload["responses"][2]["candidate_cache_hit"] is True
+        # Identical queries must produce identical rankings.
+        assert payload["responses"][2]["top_vertices"] == \
+            payload["responses"][0]["top_vertices"]
+        assert payload["stats"]["candidate_cache"]["hits"] >= 1
+
+    def test_serve_json_failed_request_exits_nonzero(self, artifacts,
+                                                     tmp_path, capsys):
+        network, _, model = artifacts
+        bad = tmp_path / "unreachable.json"
+        bad.write_text('[{"source": 0, "target": 99999}]')
+        code = main(["serve", "--network", str(network), "--model", str(model),
+                     "--queries-file", str(bad), "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["responses"][0]["served_by"] == "error"
+
+    def test_serve_missing_model_exits_cleanly(self, artifacts, queries_file,
+                                               capsys):
+        network, _, _ = artifacts
+        code = main(["serve", "--network", str(network),
+                     "--model", str(network.parent / "absent.npz"),
+                     "--queries-file", str(queries_file)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_serve_missing_network_exits_cleanly(self, artifacts, queries_file,
+                                                 capsys):
+        _, _, model = artifacts
+        code = main(["serve", "--network", "/nonexistent/net.json",
+                     "--model", str(model),
+                     "--queries-file", str(queries_file)])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_serve_malformed_queries_exits_cleanly(self, artifacts, tmp_path,
+                                                   capsys):
+        network, _, model = artifacts
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"queries": "not a list"}')
+        code = main(["serve", "--network", str(network), "--model", str(model),
+                     "--queries-file", str(bad)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_rank_missing_model_exits_cleanly(self, artifacts, capsys):
+        _, dataset, _ = artifacts
+        code = main(["rank", "--dataset", str(dataset),
+                     "--model", "/nonexistent/model.npz",
+                     "--source", "0", "--target", "1"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+
+class TestBenchServe:
+    def test_bench_serve_reports_json(self, artifacts, capsys):
+        network, _, model = artifacts
+        code = main(["bench-serve", "--network", str(network),
+                     "--model", str(model), "--requests", "40",
+                     "--hotspots", "5", "--k", "3", "--seed", "1"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["requests"] == 40
+        assert payload["served_by"]["error"] == 0
+        assert payload["throughput_qps"] > 0
+        assert set(payload["latency_ms"]) == {"mean", "p50", "p95"}
+        # A Zipf mix over 5 hotspots repeats constantly: the cache must show it.
+        assert payload["candidate_cache_hit_rate"] > 0.5
