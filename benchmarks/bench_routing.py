@@ -1,0 +1,104 @@
+"""Benchmark E12 — routing backends: dict reference vs CSR kernel.
+
+Compares the two routing backends on generated grid networks across
+sizes for the three workloads candidate generation leans on —
+single-source Dijkstra, point-to-point shortest path, and Yen's
+k-shortest-paths — and writes the result as ``BENCH_routing.json``.
+Every timed block is parity-checked: a backend that returns different
+costs fails the run instead of reporting a bogus speedup.
+
+Targets (asserted standalone at full scale): the CSR backend is at
+least **5x** faster on single-source queries and **3x** faster on
+k-shortest-path candidate generation at the largest benchmarked size.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_routing.py``,
+add ``--smoke`` for the tiny preset) or under pytest, where the smoke
+preset keeps the tier-1 suite fast while still asserting that the CSR
+backend is not slower than the reference and that the report parses as
+valid ``BENCH_routing.json``.
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro.graph.routing_bench import (
+    apply_overrides,
+    full_config,
+    run_routing_benchmark,
+    smoke_config,
+    validate_report,
+    write_report,
+)
+
+#: Full-scale acceptance floors for the largest benchmarked network.
+SSSP_TARGET = 5.0
+KSP_TARGET = 3.0
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke scale — see conftest.routing_smoke_report)
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="routing")
+def test_smoke_csr_backend_not_slower(routing_smoke_report):
+    """Even on a tiny grid the CSR kernel must not lose to the dict
+    backend on any benchmarked workload."""
+    for entry in routing_smoke_report["networks"]:
+        for block in ("single_source", "point_to_point", "ksp"):
+            speedup = entry[block]["speedup"]
+            assert speedup >= 1.0, (
+                f"{entry['name']} {block}: CSR is slower than the dict "
+                f"reference (speedup {speedup:.2f}x)"
+            )
+
+
+@pytest.mark.benchmark(group="routing")
+def test_smoke_report_is_valid_bench_routing_json(routing_smoke_report):
+    """The emitted document must round-trip as valid BENCH_routing.json."""
+    validate_report(routing_smoke_report)  # raises DataError on violation
+    assert routing_smoke_report["preset"] == "smoke"
+
+
+@pytest.mark.benchmark(group="routing")
+def test_smoke_backends_agree_on_costs(routing_smoke_report):
+    for entry in routing_smoke_report["networks"]:
+        for key, diff in entry["parity"].items():
+            assert diff <= 1e-9, f"{entry['name']} {key}: {diff}"
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the dict vs CSR routing backends")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny preset (one small grid, sub-second)")
+    parser.add_argument("--out", default="BENCH_routing.json",
+                        help="report path (default: BENCH_routing.json)")
+    parser.add_argument("--sizes", default=None,
+                        help="comma-separated grid sizes, e.g. 12,24,40")
+    parser.add_argument("--k", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    config = apply_overrides(smoke_config() if args.smoke else full_config(),
+                             sizes=args.sizes, k=args.k, seed=args.seed)
+    report = run_routing_benchmark(config)
+    write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+
+    if not args.smoke:
+        largest = report["largest"]
+        assert largest["single_source_speedup"] >= SSSP_TARGET, (
+            f"single-source speedup {largest['single_source_speedup']:.1f}x "
+            f"below the {SSSP_TARGET}x target")
+        assert largest["ksp_speedup"] >= KSP_TARGET, (
+            f"ksp speedup {largest['ksp_speedup']:.1f}x below the "
+            f"{KSP_TARGET}x target")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,11 +10,17 @@ Scale can be raised with ``REPRO_BENCH_PRESET=paper`` to regenerate the
 EXPERIMENTS.md headline numbers.
 """
 
+import json
 import os
 
 import pytest
 
 from repro.experiments import ExperimentConfig, ExperimentPipeline
+from repro.graph.routing_bench import (
+    run_routing_benchmark,
+    smoke_config,
+    write_report,
+)
 
 
 def _preset() -> ExperimentConfig:
@@ -34,6 +40,31 @@ def bench_config() -> ExperimentConfig:
 @pytest.fixture(scope="session")
 def pipeline(bench_config) -> ExperimentPipeline:
     return ExperimentPipeline(bench_config)
+
+
+def pytest_collect_file(file_path, parent):
+    """Wire the routing benchmark's smoke assertions into tier-1 runs.
+
+    Benchmark modules are named ``bench_*.py`` and therefore invisible
+    to the default ``test_*.py`` collection — the heavyweight table /
+    figure benches must stay opt-in.  The routing bench's smoke mode is
+    sub-second and guards the CSR backend (not-slower + valid
+    ``BENCH_routing.json``), so it alone is collected explicitly.
+    """
+    if file_path.name == "bench_routing.py":
+        return pytest.Module.from_parent(parent, path=file_path)
+
+
+@pytest.fixture(scope="session")
+def routing_smoke_report(tmp_path_factory):
+    """The routing benchmark at smoke scale, round-tripped through its
+    JSON report so the schema tests exercise what ``bench-routing``
+    actually writes.  This wrapper is what wires ``bench_routing.py``
+    into the tier-1 test run at a tiny, stable-cost preset."""
+    report = run_routing_benchmark(smoke_config())
+    out = tmp_path_factory.mktemp("routing") / "BENCH_routing.json"
+    write_report(report, out)
+    return json.loads(out.read_text(encoding="utf-8"))
 
 
 @pytest.fixture(scope="session")

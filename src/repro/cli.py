@@ -16,6 +16,7 @@ without writing Python::
         --queries-file /tmp/queries.json --json
     python -m repro.cli bench-serve --network /tmp/net.json \
         --model /tmp/model.npz --requests 200 --hotspots 20
+    python -m repro.cli bench-routing --out BENCH_routing.json
 """
 
 from __future__ import annotations
@@ -33,6 +34,13 @@ from repro.errors import DataError, ReproError, ServingError
 from repro.graph.builders import grid_network, north_jutland_like, ring_radial_network
 from repro.graph.io import load_network_json, save_network_json
 from repro.graph.osm import save_osm_xml
+from repro.graph.routing_bench import (
+    apply_overrides,
+    full_config,
+    run_routing_benchmark,
+    smoke_config,
+    write_report,
+)
 from repro.ranking.evaluation import evaluate_scorer
 from repro.ranking.training_data import Strategy, TrainingDataConfig, generate_queries
 from repro.serving import (
@@ -142,6 +150,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--k", type=int, default=5)
     bench.add_argument("--batch-size", type=int, default=8)
     bench.add_argument("--cache-size", type=int, default=1024)
+
+    routing = commands.add_parser(
+        "bench-routing",
+        help="compare the dict and CSR routing backends, report JSON")
+    routing.add_argument("--smoke", action="store_true",
+                         help="tiny sub-second preset")
+    routing.add_argument("--sizes", default=None,
+                         help="comma-separated grid sizes, e.g. 12,24,40")
+    routing.add_argument("--k", type=int, default=None,
+                         help="paths per Yen query")
+    routing.add_argument("--seed", type=int, default=None)
+    routing.add_argument("--out", default=None,
+                         help="also write the report to this path")
 
     return parser
 
@@ -340,6 +361,16 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_routing(args: argparse.Namespace) -> int:
+    config = apply_overrides(smoke_config() if args.smoke else full_config(),
+                             sizes=args.sizes, k=args.k, seed=args.seed)
+    report = run_routing_benchmark(config)
+    if args.out:
+        write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 _COMMANDS = {
     "build-network": _cmd_build_network,
     "simulate-fleet": _cmd_simulate_fleet,
@@ -348,6 +379,7 @@ _COMMANDS = {
     "rank": _cmd_rank,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
+    "bench-routing": _cmd_bench_routing,
 }
 
 

@@ -55,7 +55,10 @@ def generate_candidates(
     This is the model-free half of ranking: the same TkDI / D-TkDI
     enumeration used to build training data, exposed as a pure function
     so callers (e.g. the serving layer) can cache its output per query
-    independently of scoring.
+    independently of scoring.  The enumeration runs on the configured
+    routing backend (the CSR kernel by default — see
+    :mod:`repro.graph.csr`); results are plain :class:`Path` objects
+    either way.
     """
     if config.strategy is Strategy.TKDI:
         return yen_k_shortest_paths(network, source, target, config.k)

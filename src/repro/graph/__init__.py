@@ -1,6 +1,43 @@
-"""Spatial-network substrate: road graphs, routing, path enumeration."""
+"""Spatial-network substrate: road graphs, routing, path enumeration.
+
+Routing backends
+----------------
+Two interchangeable routing implementations serve the hot paths
+(``shortest_path``, Yen / diversified candidate enumeration, serving):
+
+* **dict** — the reference implementation in ``shortest_path.py`` /
+  ``ksp.py``, operating directly on :class:`RoadNetwork`'s
+  dict-of-dataclasses adjacency.  Simple, validated against networkx,
+  and the parity oracle for the kernel.
+* **csr** *(default)* — :class:`CSRGraph` in ``csr.py``: the network
+  flattened into CSR arrays with preallocated, generation-stamped
+  search buffers, plus ALT (landmark) lower bounds for A* and Yen spur
+  searches.  Roughly an order of magnitude faster on city-scale graphs
+  (see ``benchmarks/bench_routing.py``).
+
+The kernel is built lazily on first routing call via
+:func:`csr_for` and cached per network.  Staleness is handled through
+:attr:`RoadNetwork.fingerprint` — a content hash recomputed after any
+mutation — so adding or removing edges transparently rebuilds the
+kernel (and invalidates serving's candidate cache) on the next query.
+Results cross the backend boundary as plain vertex-id sequences and are
+re-wrapped in :class:`Path` objects, so downstream code is
+backend-agnostic.
+
+To force the reference backend, set ``REPRO_ROUTING_BACKEND=dict`` in
+the environment, call :func:`set_routing_backend("dict")
+<set_routing_backend>`, or use the :func:`use_routing_backend` context
+manager; individual calls also accept ``backend="dict"``.
+"""
 
 from repro.graph.builders import grid_network, north_jutland_like, ring_radial_network
+from repro.graph.csr import (
+    CSRGraph,
+    csr_for,
+    get_routing_backend,
+    set_routing_backend,
+    use_routing_backend,
+)
 from repro.graph.diversified import DiversifiedResult, diversified_top_k
 from repro.graph.io import (
     load_network_csv,
@@ -40,6 +77,11 @@ __all__ = [
     "Vertex",
     "Edge",
     "Path",
+    "CSRGraph",
+    "csr_for",
+    "get_routing_backend",
+    "set_routing_backend",
+    "use_routing_backend",
     "grid_network",
     "ring_radial_network",
     "north_jutland_like",

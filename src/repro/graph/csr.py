@@ -1,0 +1,844 @@
+"""Array-backed routing kernel: CSR graphs, buffer-reusing searches, ALT.
+
+The dict-of-dataclasses :class:`~repro.graph.network.RoadNetwork` is the
+*reference* routing substrate: clear, validated, and easy to test
+against networkx.  It is also slow on the hot path — every edge
+relaxation pays for an ``out_edges`` list copy, a cost-function call,
+and dataclass attribute access, and Yen's algorithm multiplies that by
+thousands of point-to-point searches per candidate-generation query.
+
+:class:`CSRGraph` flattens a network once into compressed-sparse-row
+arrays (``indptr``/``indices`` plus per-cost weight arrays for length
+and travel time) and runs the same algorithms over plain scalar arrays:
+
+* array Dijkstra (single-source and early-exit point-to-point),
+* bidirectional Dijkstra,
+* A* with euclidean or ALT (landmark) heuristics, and
+* Yen's k-shortest-paths with ALT-accelerated spur searches.
+
+Distance / parent / visited buffers are preallocated once and reused
+across calls via generation stamps, so repeated queries allocate almost
+nothing.  Landmark lower bounds follow ``graph/landmarks.py``: the same
+farthest-point selection and triangle-inequality bounds, with the
+per-landmark tables stored as dense arrays and the per-query heuristic
+vectorised over all vertices.
+
+**Backend seam.**  Hot consumers (``yen_path_generator``, the
+diversified generator, ``generate_candidates``, serving) dispatch
+through :func:`resolve_backend` / :func:`csr_for` and convert kernel
+results back to :class:`~repro.graph.path.Path` objects at the
+boundary, so downstream code never sees CSR internals.  The kernel is
+cached per network and rebuilt automatically when the network's
+:attr:`~repro.graph.network.RoadNetwork.fingerprint` changes.  Set the
+environment variable ``REPRO_ROUTING_BACKEND=dict`` (or call
+:func:`set_routing_backend`) to force the reference implementation.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from bisect import bisect_left
+from collections import OrderedDict
+from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
+from heapq import heappop, heappush
+from itertools import count
+from math import inf
+
+import numpy as np
+
+try:  # scipy ships with the environment but stays optional: the pure
+    # Python kernel below answers every query, just slower on SSSP.
+    from scipy.sparse import csr_matrix as _sp_csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _sp_dijkstra
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _HAVE_SCIPY = False
+
+from repro.errors import ConfigError, NoPathError, VertexNotFoundError
+from repro.graph.network import RoadNetwork
+from repro.graph.shortest_path import CostFunction, length_cost, travel_time_cost
+from repro.rng import RngLike, make_rng
+
+__all__ = [
+    "CSRGraph",
+    "csr_for",
+    "get_routing_backend",
+    "set_routing_backend",
+    "use_routing_backend",
+    "resolve_backend",
+    "ALT_NUM_LANDMARKS",
+    "ALT_MIN_VERTICES",
+]
+
+#: Landmarks built per (network, cost) pair for the ALT heuristic.
+ALT_NUM_LANDMARKS = 8
+
+#: Below this vertex count Yen skips building landmarks: the plain
+#: array Dijkstra already answers tiny-graph queries in microseconds.
+ALT_MIN_VERTICES = 128
+
+#: Custom cost functions get their per-edge weight arrays memoised in a
+#: bounded FIFO so e.g. per-driver cost closures do not grow unbounded.
+_CUSTOM_WEIGHT_CAP = 16
+
+
+class CSRGraph:
+    """A :class:`RoadNetwork` flattened into CSR arrays for fast routing.
+
+    All public methods take and return *vertex ids* (the network's own
+    identifiers); internal computation uses dense CSR indices.  Searches
+    are serialised by an internal lock because the scratch buffers are
+    shared; the kernel is therefore safe to use from the threaded
+    serving layer.
+    """
+
+    def __init__(self, network: RoadNetwork) -> None:
+        # Deliberately no strong reference to the network: csr_for keeps
+        # kernels in a WeakKeyDictionary keyed by the network, and a
+        # value -> key reference would pin every routed network forever.
+        self.network_name = network.name
+        #: Fingerprint of the network at build time; :func:`csr_for`
+        #: compares it against the live network to detect staleness.
+        self.fingerprint = network.fingerprint
+
+        ids = sorted(network.vertex_ids())
+        n = len(ids)
+        self.num_vertices = n
+        self.ids: list[int] = ids
+        self._index: dict[int, int] = {vid: i for i, vid in enumerate(ids)}
+
+        xs = np.empty(n, dtype=np.float64)
+        ys = np.empty(n, dtype=np.float64)
+        indptr = [0]
+        indices: list[int] = []
+        edges = []
+        for i, vid in enumerate(ids):
+            vertex = network.vertex(vid)
+            xs[i] = vertex.x
+            ys[i] = vertex.y
+            out = sorted(network.out_edges(vid),
+                         key=lambda e: self._index[e.target])
+            for edge in out:
+                indices.append(self._index[edge.target])
+                edges.append(edge)
+            indptr.append(len(indices))
+        m = len(indices)
+        self.num_edges = m
+        self.x = xs
+        self.y = ys
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self._indptr_list = indptr
+        self._indices_list = indices
+        self._edges = edges
+        self._max_speed_mps = max((e.speed for e in edges), default=1.0) / 3.6
+
+        self._weight_lists: dict[object, list[float]] = {
+            "length": [e.length for e in edges],
+            "travel_time": [e.travel_time for e in edges],
+        }
+        self._custom_order: OrderedDict[object, None] = OrderedDict()
+        self._forward_adj: dict[object, list[list[tuple[int, float]]]] = {}
+        self._reverse_adj: dict[object, list[list[tuple[int, float]]]] = {}
+        self._matrices: dict[tuple[object, bool], object] = {}
+        self._alt_tables: dict[object, tuple[np.ndarray, np.ndarray, list[int]]] = {}
+
+        # Scratch buffers, reused across searches via generation stamps:
+        # an entry is valid for the current search only when its stamp
+        # equals the current generation, so no O(n) reset per query.
+        self._dist = [inf] * n
+        self._parent = [-1] * n
+        self._seen = [0] * n
+        self._done = [0] * n
+        self._ban = [0] * n
+        self._gen = 0
+        self._ban_gen = 0
+        # Second buffer set for the backward half of bidirectional search.
+        self._dist_b = [inf] * n
+        self._parent_b = [-1] * n
+        self._seen_b = [0] * n
+        self._done_b = [0] * n
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Weights and adjacency
+    # ------------------------------------------------------------------
+    def _weight_key(self, cost: CostFunction | None) -> object:
+        if cost is None or cost is length_cost:
+            return "length"
+        if cost is travel_time_cost:
+            return "travel_time"
+        return cost
+
+    def edge_weights(self, cost: CostFunction | None = None) -> list[float]:
+        """Per-edge weights in CSR order for ``cost`` (evaluated once)."""
+        key = self._weight_key(cost)
+        weights = self._weight_lists.get(key)
+        if weights is None:
+            weights = [float(cost(edge)) for edge in self._edges]
+            if weights and min(weights) < 0:
+                raise ValueError(
+                    f"negative edge cost under {cost!r}; routing requires "
+                    "non-negative costs"
+                )
+            self._remember_custom(key)
+            self._weight_lists[key] = weights
+        return weights
+
+    def _remember_custom(self, key: object) -> None:
+        self._custom_order[key] = None
+        self._custom_order.move_to_end(key)
+        while len(self._custom_order) > _CUSTOM_WEIGHT_CAP:
+            stale, _ = self._custom_order.popitem(last=False)
+            self._weight_lists.pop(stale, None)
+            self._forward_adj.pop(stale, None)
+            self._reverse_adj.pop(stale, None)
+            self._alt_tables.pop(stale, None)
+            self._matrices.pop((stale, False), None)
+            self._matrices.pop((stale, True), None)
+
+    def _forward(self, cost: CostFunction | None) -> list[list[tuple[int, float]]]:
+        key = self._weight_key(cost)
+        adj = self._forward_adj.get(key)
+        if adj is None:
+            weights = self.edge_weights(cost)
+            indptr, indices = self._indptr_list, self._indices_list
+            adj = [
+                list(zip(indices[indptr[u]:indptr[u + 1]],
+                         weights[indptr[u]:indptr[u + 1]]))
+                for u in range(self.num_vertices)
+            ]
+            self._forward_adj[key] = adj
+        return adj
+
+    def _reverse(self, cost: CostFunction | None) -> list[list[tuple[int, float]]]:
+        key = self._weight_key(cost)
+        adj = self._reverse_adj.get(key)
+        if adj is None:
+            weights = self.edge_weights(cost)
+            indptr, indices = self._indptr_list, self._indices_list
+            adj = [[] for _ in range(self.num_vertices)]
+            for u in range(self.num_vertices):
+                for j in range(indptr[u], indptr[u + 1]):
+                    adj[indices[j]].append((u, weights[j]))
+            self._reverse_adj[key] = adj
+        return adj
+
+    def index_of(self, vertex_id: int) -> int:
+        """The dense CSR index of a vertex id."""
+        try:
+            return self._index[vertex_id]
+        except KeyError:
+            raise VertexNotFoundError(vertex_id) from None
+
+    def _edge_index(self, u: int, v: int) -> int:
+        """CSR position of edge ``(u, v)`` (both CSR indices).
+
+        Out-edges are sorted by target at build time, so a binary search
+        over the vertex's slice recovers the position without keeping an
+        m-entry lookup dict alive per kernel.
+        """
+        j = bisect_left(self._indices_list, v, self._indptr_list[u],
+                        self._indptr_list[u + 1])
+        return j
+
+    def _matrix(self, cost: CostFunction | None, reverse: bool):
+        """The scipy CSR matrix for a cost (transposed when ``reverse``)."""
+        key = (self._weight_key(cost), reverse)
+        matrix = self._matrices.get(key)
+        if matrix is None:
+            weights = np.asarray(self.edge_weights(cost), dtype=np.float64)
+            matrix = _sp_csr_matrix(
+                (weights, self.indices, self.indptr),
+                shape=(self.num_vertices, self.num_vertices),
+            )
+            if reverse:
+                matrix = matrix.T.tocsr()
+            self._matrices[key] = matrix
+        return matrix
+
+    def _single_source_idx(self, source: int, cost: CostFunction | None,
+                           reverse: bool = False) -> np.ndarray:
+        """Distances from one CSR index to all vertices (or *to* it when
+        ``reverse``), through scipy's C implementation when present."""
+        if _HAVE_SCIPY:
+            return _sp_dijkstra(self._matrix(cost, reverse), directed=True,
+                                indices=source)
+        adj = self._reverse(cost) if reverse else self._forward(cost)
+        return self._sssp_array(source, adj)
+
+    # ------------------------------------------------------------------
+    # Core searches (CSR indices)
+    # ------------------------------------------------------------------
+    def _sssp_array(self, source: int,
+                    adj: list[list[tuple[int, float]]]) -> np.ndarray:
+        """Full single-source distances as an array indexed by CSR index.
+
+        The tightest loop in the kernel: no target, ban, or heuristic
+        checks — just heap pops and scalar relaxations over flat lists.
+        """
+        with self._lock:
+            self._gen += 1
+            gen = self._gen
+            dist, seen, done = self._dist, self._seen, self._done
+            dist[source] = 0.0
+            seen[source] = gen
+            heap = [(0.0, source)]
+            push, pop = heappush, heappop
+            while heap:
+                d, u = pop(heap)
+                if done[u] == gen:
+                    continue
+                done[u] = gen
+                for v, w in adj[u]:
+                    if done[v] == gen:
+                        continue
+                    nd = d + w
+                    if seen[v] != gen or nd < dist[v]:
+                        dist[v] = nd
+                        seen[v] = gen
+                        push(heap, (nd, v))
+            out = np.array(dist, dtype=np.float64)
+            out[np.asarray(seen) != gen] = np.inf
+            return out
+
+    def _p2p(
+        self,
+        source: int,
+        target: int,
+        adj: list[list[tuple[int, float]]],
+        h: list[float] | None = None,
+        banned_vertices: Iterable[int] = (),
+        banned_edges: frozenset[tuple[int, int]] | set[tuple[int, int]] = frozenset(),
+    ) -> tuple[list[int], float] | None:
+        """Point-to-point search with optional heuristic and bans.
+
+        Returns ``(vertex_index_path, cost)`` or ``None`` when the
+        target is unreachable.  With an admissible consistent ``h`` this
+        is A*; with ``h=None`` it is Dijkstra with early exit.
+        """
+        with self._lock:
+            self._ban_gen += 1
+            bgen = self._ban_gen
+            ban = self._ban
+            for v in banned_vertices:
+                ban[v] = bgen
+            if ban[source] == bgen:
+                return None
+            self._gen += 1
+            gen = self._gen
+            dist, seen, done, parent = (self._dist, self._seen, self._done,
+                                        self._parent)
+            dist[source] = 0.0
+            seen[source] = gen
+            parent[source] = -1
+            heap = [(0.0 if h is None else h[source], source)]
+            push, pop = heappush, heappop
+            check_edges = bool(banned_edges)
+            while heap:
+                _, u = pop(heap)
+                if done[u] == gen:
+                    continue
+                done[u] = gen
+                if u == target:
+                    break
+                d = dist[u]
+                for v, w in adj[u]:
+                    if done[v] == gen or ban[v] == bgen:
+                        continue
+                    if check_edges and (u, v) in banned_edges:
+                        continue
+                    nd = d + w
+                    if seen[v] != gen or nd < dist[v]:
+                        dist[v] = nd
+                        seen[v] = gen
+                        parent[v] = u
+                        push(heap, (nd if h is None else nd + h[v], v))
+            if done[target] != gen:
+                return None
+            path = [target]
+            node = target
+            while node != source:
+                node = parent[node]
+                path.append(node)
+            path.reverse()
+            return path, dist[target]
+
+    def _bidirectional(
+        self,
+        source: int,
+        target: int,
+        fadj: list[list[tuple[int, float]]],
+        radj: list[list[tuple[int, float]]],
+    ) -> tuple[list[int], float] | None:
+        """Meet-in-the-middle Dijkstra over the CSR arrays."""
+        with self._lock:
+            self._gen += 1
+            gen = self._gen
+            dist_f, seen_f, done_f, parent_f = (self._dist, self._seen,
+                                                self._done, self._parent)
+            dist_b, seen_b, done_b, parent_b = (self._dist_b, self._seen_b,
+                                                self._done_b, self._parent_b)
+            dist_f[source] = 0.0
+            seen_f[source] = gen
+            parent_f[source] = -1
+            dist_b[target] = 0.0
+            seen_b[target] = gen
+            parent_b[target] = -1
+            heap_f = [(0.0, source)]
+            heap_b = [(0.0, target)]
+            best = inf
+            meeting = -1
+            push, pop = heappush, heappop
+
+            while heap_f and heap_b:
+                if heap_f[0][0] + heap_b[0][0] >= best:
+                    break
+                if heap_f[0][0] <= heap_b[0][0]:
+                    d, u = pop(heap_f)
+                    if done_f[u] == gen:
+                        continue
+                    done_f[u] = gen
+                    for v, w in fadj[u]:
+                        nd = d + w
+                        if seen_f[v] != gen or nd < dist_f[v]:
+                            dist_f[v] = nd
+                            seen_f[v] = gen
+                            parent_f[v] = u
+                            push(heap_f, (nd, v))
+                        if seen_b[v] == gen and nd + dist_b[v] < best:
+                            best = nd + dist_b[v]
+                            meeting = v
+                else:
+                    d, u = pop(heap_b)
+                    if done_b[u] == gen:
+                        continue
+                    done_b[u] = gen
+                    for v, w in radj[u]:
+                        nd = d + w
+                        if seen_b[v] != gen or nd < dist_b[v]:
+                            dist_b[v] = nd
+                            seen_b[v] = gen
+                            parent_b[v] = u
+                            push(heap_b, (nd, v))
+                        if seen_f[v] == gen and nd + dist_f[v] < best:
+                            best = nd + dist_f[v]
+                            meeting = v
+
+            if meeting < 0:
+                return None
+            path = [meeting]
+            node = meeting
+            while node != source:
+                node = parent_f[node]
+                path.append(node)
+            path.reverse()
+            node = meeting
+            while node != target:
+                node = parent_b[node]
+                path.append(node)
+            return path, best
+
+    # ------------------------------------------------------------------
+    # ALT landmarks
+    # ------------------------------------------------------------------
+    def ensure_alt(
+        self,
+        cost: CostFunction | None = None,
+        num_landmarks: int = ALT_NUM_LANDMARKS,
+        rng: RngLike = None,
+    ) -> list[int]:
+        """Build (or reuse) landmark tables for ``cost``; returns the
+        landmark vertex ids.
+
+        Selection mirrors :class:`repro.graph.landmarks.LandmarkIndex`:
+        a random first landmark, then farthest-point additions, spreading
+        landmarks to the periphery where the triangle-inequality bounds
+        are tightest.  Tables hold distances both *from* and *to* every
+        landmark (the reverse search runs on the transposed CSR arrays).
+        """
+        key = self._weight_key(cost)
+        cached = self._alt_tables.get(key)
+        if cached is not None:
+            return [self.ids[i] for i in cached[2]]
+        if num_landmarks < 1:
+            raise ValueError(f"num_landmarks must be >= 1, got {num_landmarks}")
+        generator = make_rng(rng)
+        n = self.num_vertices
+        num_landmarks = min(num_landmarks, n)
+
+        landmarks = [int(generator.integers(n))]
+        from_rows = [self._single_source_idx(landmarks[0], cost)]
+        to_rows = [self._single_source_idx(landmarks[0], cost, reverse=True)]
+        while len(landmarks) < num_landmarks:
+            nearest = np.min(np.vstack(from_rows), axis=0)
+            nearest[~np.isfinite(nearest)] = -1.0
+            nearest[landmarks] = -1.0
+            candidate = int(np.argmax(nearest))
+            if nearest[candidate] <= 0.0:
+                break
+            landmarks.append(candidate)
+            from_rows.append(self._single_source_idx(candidate, cost))
+            to_rows.append(self._single_source_idx(candidate, cost,
+                                                   reverse=True))
+
+        #: to_l[v, j] = d(v -> L_j); from_l[v, j] = d(L_j -> v).  The
+        #: trailing OrderedDict memoises per-target heuristic arrays.
+        to_l = np.stack(to_rows, axis=1)
+        from_l = np.stack(from_rows, axis=1)
+        self._alt_tables[key] = (to_l, from_l, landmarks, OrderedDict())
+        return [self.ids[i] for i in landmarks]
+
+    #: Per-target heuristic arrays kept per cost key; hotspot-skewed
+    #: serving traffic re-queries a small pool of destinations.
+    _H_CACHE_CAP = 64
+
+    def _alt_heuristic(self, key: object, target: int) -> list[float] | None:
+        """Vectorised ALT lower bounds towards ``target`` (CSR index),
+        or ``None`` when no tables exist for this cost."""
+        cached = self._alt_tables.get(key)
+        if cached is None:
+            return None
+        to_l, from_l, _, h_cache = cached
+        h_list = h_cache.get(target)
+        if h_list is not None:
+            h_cache.move_to_end(target)
+            return h_list
+        with np.errstate(invalid="ignore"):
+            a = to_l - to_l[target]
+            b = from_l[target] - from_l
+        # Non-finite bounds (a vertex or the target missing a landmark
+        # distance) are dropped to 0, which is always admissible.
+        a[~np.isfinite(a)] = 0.0
+        b[~np.isfinite(b)] = 0.0
+        h = np.maximum(np.maximum(a, b).max(axis=1), 0.0)
+        h_list = h.tolist()
+        h_cache[target] = h_list
+        while len(h_cache) > self._H_CACHE_CAP:
+            h_cache.popitem(last=False)
+        return h_list
+
+    def alt_bounds(self, target_id: int,
+                   cost: CostFunction | None = None) -> np.ndarray:
+        """Lower bounds on d(v, target) for every vertex, by CSR index.
+
+        Builds the landmark tables on first use.  Exposed for the
+        admissibility tests and for diagnostics.
+        """
+        target = self.index_of(target_id)
+        self.ensure_alt(cost)
+        return np.asarray(self._alt_heuristic(self._weight_key(cost), target))
+
+    def _heuristic_for(
+        self,
+        cost: CostFunction | None,
+        target: int,
+        use_alt: bool | None,
+    ) -> list[float] | None:
+        """Resolve the spur-search heuristic for Yen / point-to-point.
+
+        ``use_alt=None`` (auto) builds landmarks once the network is big
+        enough to repay the preprocessing; ``True`` forces a build;
+        ``False`` disables the heuristic entirely.
+        """
+        if use_alt is False:
+            return None
+        key = self._weight_key(cost)
+        if key not in self._alt_tables:
+            if use_alt is None and self.num_vertices < ALT_MIN_VERTICES:
+                return None
+            self.ensure_alt(cost)
+        return self._alt_heuristic(key, target)
+
+    def _euclidean_heuristic(self, target: int,
+                             key: object) -> list[float] | None:
+        """Straight-line lower bounds; valid for the geometric costs only."""
+        if key == "length":
+            h = np.hypot(self.x - self.x[target], self.y - self.y[target])
+        elif key == "travel_time":
+            h = np.hypot(self.x - self.x[target],
+                         self.y - self.y[target]) / self._max_speed_mps
+        else:
+            return None
+        return h.tolist()
+
+    # ------------------------------------------------------------------
+    # Public queries (vertex ids)
+    # ------------------------------------------------------------------
+    def single_source(self, source_id: int,
+                      cost: CostFunction | None = None) -> np.ndarray:
+        """Distances from ``source_id`` to every vertex, by CSR index
+        (``numpy.inf`` where unreachable)."""
+        return self._single_source_idx(self.index_of(source_id), cost)
+
+    def single_source_dict(self, source_id: int,
+                           cost: CostFunction | None = None) -> dict[int, float]:
+        """Reachable-vertex distances as an id-keyed dict (reference-API
+        compatible with :func:`repro.graph.shortest_path.dijkstra`)."""
+        arr = self.single_source(source_id, cost)
+        ids = self.ids
+        return {ids[i]: float(d) for i, d in enumerate(arr) if d != np.inf}
+
+    def shortest_path_ids(
+        self,
+        source_id: int,
+        target_id: int,
+        cost: CostFunction | None = None,
+    ) -> tuple[list[int], float]:
+        """Least-cost path as vertex ids, plus its cost.
+
+        Uses ALT-guided A* when landmark tables already exist for this
+        cost (e.g. after a Yen query), plain early-exit Dijkstra
+        otherwise.  Raises :class:`NoPathError` when unreachable.
+        """
+        if source_id == target_id:
+            raise NoPathError(source_id, target_id)
+        source = self.index_of(source_id)
+        target = self.index_of(target_id)
+        key = self._weight_key(cost)
+        h = self._alt_heuristic(key, target) if key in self._alt_tables else None
+        result = self._p2p(source, target, self._forward(cost), h)
+        if result is None:
+            raise NoPathError(source_id, target_id)
+        path, total = result
+        ids = self.ids
+        return [ids[i] for i in path], total
+
+    def shortest_path_cost(self, source_id: int, target_id: int,
+                           cost: CostFunction | None = None) -> float:
+        """The least cost between two vertices (0.0 for equal ids)."""
+        if source_id == target_id:
+            return 0.0
+        return self.shortest_path_ids(source_id, target_id, cost)[1]
+
+    def bidirectional_ids(
+        self,
+        source_id: int,
+        target_id: int,
+        cost: CostFunction | None = None,
+    ) -> tuple[list[int], float]:
+        """Bidirectional Dijkstra; same contract as :meth:`shortest_path_ids`."""
+        if source_id == target_id:
+            raise NoPathError(source_id, target_id)
+        source = self.index_of(source_id)
+        target = self.index_of(target_id)
+        result = self._bidirectional(source, target, self._forward(cost),
+                                     self._reverse(cost))
+        if result is None:
+            raise NoPathError(source_id, target_id)
+        path, total = result
+        ids = self.ids
+        return [ids[i] for i in path], total
+
+    def astar_ids(
+        self,
+        source_id: int,
+        target_id: int,
+        cost: CostFunction | None = None,
+        heuristic: str | None = None,
+    ) -> tuple[list[int], float]:
+        """A* search.  ``heuristic`` is ``"alt"``, ``"euclidean"``, or
+        ``None`` for auto (ALT tables if built, else euclidean for the
+        geometric costs, else plain Dijkstra)."""
+        if source_id == target_id:
+            raise NoPathError(source_id, target_id)
+        source = self.index_of(source_id)
+        target = self.index_of(target_id)
+        key = self._weight_key(cost)
+        if heuristic == "alt":
+            self.ensure_alt(cost)
+            h = self._alt_heuristic(key, target)
+        elif heuristic == "euclidean":
+            h = self._euclidean_heuristic(target, key)
+            if h is None:
+                raise ConfigError(
+                    "euclidean heuristic is only admissible for the length "
+                    "and travel-time costs"
+                )
+        elif heuristic is None:
+            if key in self._alt_tables:
+                h = self._alt_heuristic(key, target)
+            else:
+                h = self._euclidean_heuristic(target, key)
+        else:
+            raise ConfigError(f"unknown heuristic {heuristic!r}")
+        result = self._p2p(source, target, self._forward(cost), h)
+        if result is None:
+            raise NoPathError(source_id, target_id)
+        path, total = result
+        ids = self.ids
+        return [ids[i] for i in path], total
+
+    # ------------------------------------------------------------------
+    # Yen's k shortest paths
+    # ------------------------------------------------------------------
+    def yen_ids(
+        self,
+        source_id: int,
+        target_id: int,
+        cost: CostFunction | None = None,
+        max_paths: int | None = None,
+        use_alt: bool | None = None,
+    ) -> Iterator[tuple[tuple[int, ...], float]]:
+        """Yield ``(vertex_ids, cost)`` for loopless paths in
+        non-decreasing cost order (Yen, 1971).
+
+        Structurally mirrors the reference generator in ``ksp.py``; the
+        spur searches run over the CSR arrays and, on networks of at
+        least :data:`ALT_MIN_VERTICES` vertices, are ALT-guided A*
+        toward the (fixed) target — the bans only remove edges, so the
+        landmark bounds stay admissible.
+        """
+        if source_id == target_id:
+            raise NoPathError(source_id, target_id)
+        s = self.index_of(source_id)
+        t = self.index_of(target_id)
+        adj = self._forward(cost)
+        weights = self.edge_weights(cost)
+        h = self._heuristic_for(cost, t, use_alt)
+
+        first = self._p2p(s, t, adj, h)
+        if first is None:
+            raise NoPathError(source_id, target_id)
+        ids = self.ids
+        edge_index = self._edge_index
+
+        def prefix_costs(verts: list[int]) -> list[float]:
+            acc = [0.0]
+            total = 0.0
+            for u, v in zip(verts, verts[1:]):
+                total += weights[edge_index(u, v)]
+                acc.append(total)
+            return acc
+
+        first_verts, first_cost = first
+        yield tuple(ids[i] for i in first_verts), first_cost
+
+        accepted: list[tuple[list[int], list[float]]] = [
+            (first_verts, prefix_costs(first_verts))
+        ]
+        seen_paths: set[tuple[int, ...]] = {tuple(first_verts)}
+        counter = count()
+        candidates: list[tuple[float, int, list[int]]] = []
+        produced = 1
+
+        while max_paths is None or produced < max_paths:
+            prev_verts, prev_prefix = accepted[-1]
+            for spur_index in range(len(prev_verts) - 1):
+                spur_vertex = prev_verts[spur_index]
+                root = prev_verts[: spur_index + 1]
+
+                banned_edges: set[tuple[int, int]] = set()
+                for verts, _ in accepted:
+                    if verts[: spur_index + 1] == root:
+                        banned_edges.add((verts[spur_index],
+                                          verts[spur_index + 1]))
+                result = self._p2p(spur_vertex, t, adj, h,
+                                   banned_vertices=root[:-1],
+                                   banned_edges=banned_edges)
+                if result is None:
+                    continue
+                spur_verts, spur_cost = result
+                total_verts = root[:-1] + spur_verts
+                key = tuple(total_verts)
+                if key in seen_paths:
+                    continue
+                seen_paths.add(key)
+                heappush(candidates, (prev_prefix[spur_index] + spur_cost,
+                                      next(counter), total_verts))
+
+            if not candidates:
+                return
+            best_cost, _, best_verts = heappop(candidates)
+            accepted.append((best_verts, prefix_costs(best_verts)))
+            produced += 1
+            yield tuple(ids[i] for i in best_verts), best_cost
+
+    def __repr__(self) -> str:
+        return (f"CSRGraph(vertices={self.num_vertices}, "
+                f"edges={self.num_edges}, network={self.network_name!r})")
+
+
+# ----------------------------------------------------------------------
+# Backend seam
+# ----------------------------------------------------------------------
+_VALID_BACKENDS = ("auto", "csr", "dict")
+
+
+def _backend_from_env() -> str:
+    name = os.environ.get("REPRO_ROUTING_BACKEND", "auto").strip().lower()
+    return name if name in _VALID_BACKENDS else "auto"
+
+
+_routing_backend = _backend_from_env()
+
+
+def set_routing_backend(name: str) -> None:
+    """Select the process-wide routing backend.
+
+    ``"csr"`` (and ``"auto"``, the default) route hot consumers through
+    the CSR kernel; ``"dict"`` forces the reference dict-based
+    implementation everywhere.
+    """
+    global _routing_backend
+    if name not in _VALID_BACKENDS:
+        raise ConfigError(
+            f"unknown routing backend {name!r}; expected one of "
+            f"{', '.join(_VALID_BACKENDS)}"
+        )
+    _routing_backend = name
+
+
+def get_routing_backend() -> str:
+    """The currently selected routing backend name."""
+    return _routing_backend
+
+
+@contextmanager
+def use_routing_backend(name: str):
+    """Temporarily select a routing backend (tests, benchmarks)."""
+    previous = get_routing_backend()
+    set_routing_backend(name)
+    try:
+        yield
+    finally:
+        set_routing_backend(previous)
+
+
+def resolve_backend(override: str | None = None) -> str:
+    """Resolve an optional per-call override against the global setting
+    to a concrete backend: ``"csr"`` or ``"dict"``."""
+    name = override if override is not None else _routing_backend
+    if name not in _VALID_BACKENDS:
+        raise ConfigError(
+            f"unknown routing backend {name!r}; expected one of "
+            f"{', '.join(_VALID_BACKENDS)}"
+        )
+    return "dict" if name == "dict" else "csr"
+
+
+_csr_cache: "weakref.WeakKeyDictionary[RoadNetwork, CSRGraph]" = \
+    weakref.WeakKeyDictionary()
+_csr_cache_lock = threading.Lock()
+
+
+def csr_for(network: RoadNetwork) -> CSRGraph:
+    """The cached CSR kernel for ``network``, rebuilt when stale.
+
+    Staleness is detected through the network's content fingerprint, so
+    mutating the network (adding/removing vertices or edges) transparently
+    triggers a rebuild on the next routing call.
+    """
+    graph = _csr_cache.get(network)
+    if graph is not None and graph.fingerprint == network.fingerprint:
+        return graph
+    with _csr_cache_lock:
+        graph = _csr_cache.get(network)
+        if graph is None or graph.fingerprint != network.fingerprint:
+            graph = CSRGraph(network)
+            _csr_cache[network] = graph
+        return graph

@@ -59,6 +59,7 @@ def diversified_top_k(
     cost: CostFunction = length_cost,
     similarity: SimilarityFunction = weighted_jaccard,
     examine_limit: int = DEFAULT_EXAMINE_LIMIT,
+    backend: str | None = None,
 ) -> DiversifiedResult:
     """Greedy diversified top-k selection over the Yen enumeration.
 
@@ -66,6 +67,10 @@ def diversified_top_k(
     every previously kept path.  ``threshold = 1.0`` degenerates to plain
     top-k (every path accepted); small thresholds demand strong
     diversity and may exhaust the enumeration early.
+
+    The underlying Yen enumeration runs on the selected routing backend
+    (the CSR kernel by default); similarity filtering always operates on
+    the :class:`Path` objects produced at the backend boundary.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
@@ -80,7 +85,7 @@ def diversified_top_k(
     examined = 0
     exhausted = True
     for path in yen_path_generator(network, source, target, cost,
-                                   max_paths=examine_limit):
+                                   max_paths=examine_limit, backend=backend):
         examined += 1
         if all(similarity(path, existing) <= threshold for existing in kept):
             kept.append(path)

@@ -5,6 +5,13 @@ training-data strategy and the lazy :func:`yen_path_generator` that the
 diversified strategy (D-TkDI) consumes: diversification may need to
 examine far more than *k* paths before accepting *k* diverse ones, so it
 pulls paths in non-decreasing cost order until satisfied.
+
+Both functions dispatch through the routing-backend seam: by default the
+enumeration runs on the CSR kernel (:mod:`repro.graph.csr`), with
+ALT-guided spur searches on large networks, and kernel results are
+converted back to :class:`Path` objects here at the boundary.  The
+dict-based implementation below is the reference; force it with
+``backend="dict"`` or ``REPRO_ROUTING_BACKEND=dict``.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import itertools
 from collections.abc import Iterator
 
 from repro.errors import NoPathError
+from repro.graph import csr
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.graph.shortest_path import CostFunction, length_cost, shortest_path
@@ -27,6 +35,7 @@ def yen_path_generator(
     target: int,
     cost: CostFunction = length_cost,
     max_paths: int | None = None,
+    backend: str | None = None,
 ) -> Iterator[Path]:
     """Yield loopless paths from ``source`` to ``target`` in
     non-decreasing cost order (Yen, 1971).
@@ -34,7 +43,14 @@ def yen_path_generator(
     Raises :class:`NoPathError` immediately when no path exists at all;
     otherwise yields until the path space or ``max_paths`` is exhausted.
     """
-    first = shortest_path(network, source, target, cost)
+    if csr.resolve_backend(backend) == "csr":
+        kernel = csr.csr_for(network)
+        for vertices, _ in kernel.yen_ids(source, target, cost,
+                                          max_paths=max_paths):
+            yield Path(network, vertices)
+        return
+
+    first = shortest_path(network, source, target, cost, backend="dict")
     yield first
 
     accepted: list[Path] = [first]
@@ -69,6 +85,7 @@ def yen_path_generator(
                     cost,
                     banned_vertices=banned_vertices,
                     banned_edges=banned_edges,
+                    backend="dict",
                 )
             except NoPathError:
                 continue
@@ -96,6 +113,7 @@ def yen_k_shortest_paths(
     target: int,
     k: int,
     cost: CostFunction = length_cost,
+    backend: str | None = None,
 ) -> list[Path]:
     """The ``k`` cheapest loopless paths, cheapest first.
 
@@ -103,5 +121,6 @@ def yen_k_shortest_paths(
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    generator = yen_path_generator(network, source, target, cost, max_paths=k)
+    generator = yen_path_generator(network, source, target, cost,
+                                   max_paths=k, backend=backend)
     return list(generator)

@@ -10,7 +10,9 @@ itself all consume this structure.
 from __future__ import annotations
 
 import enum
+import hashlib
 import math
+import struct
 from collections.abc import Iterator
 from dataclasses import dataclass
 
@@ -100,6 +102,11 @@ class RoadNetwork:
         self._edges: dict[tuple[int, int], Edge] = {}
         self._out: dict[int, list[Edge]] = {}
         self._in: dict[int, list[Edge]] = {}
+        #: Bumped on every mutation; lets derived structures (fingerprint,
+        #: CSR kernel, candidate caches) detect staleness in O(1).
+        self._version = 0
+        self._fingerprint: tuple[int, int, str] | None = None
+        self._fingerprint_version = -1
 
     # ------------------------------------------------------------------
     # Construction
@@ -111,6 +118,7 @@ class RoadNetwork:
         self._vertices[vertex.id] = vertex
         self._out[vertex.id] = []
         self._in[vertex.id] = []
+        self._version += 1
         return vertex
 
     def add_edge(
@@ -151,6 +159,7 @@ class RoadNetwork:
         self._edges[key] = edge
         self._out[source].append(edge)
         self._in[target].append(edge)
+        self._version += 1
         return edge
 
     def add_two_way(
@@ -174,6 +183,7 @@ class RoadNetwork:
             raise EdgeNotFoundError(source, target)
         self._out[source].remove(edge)
         self._in[target].remove(edge)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -240,6 +250,39 @@ class RoadNetwork:
         if vertex_id not in self._vertices:
             raise VertexNotFoundError(vertex_id)
         return len(self._out[vertex_id]) + len(self._in[vertex_id])
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (add/remove of vertices or edges)."""
+        return self._version
+
+    @property
+    def fingerprint(self) -> tuple[int, int, str]:
+        """Cheap content fingerprint: ``(num_vertices, num_edges, digest)``.
+
+        The digest covers every edge's endpoints, length, speed, and
+        category in canonical (sorted-key) order, so any mutation that
+        could change routing results or path features changes the
+        fingerprint.  Recomputed lazily only after a mutation — repeated
+        reads on a static network are O(1) — which makes it suitable as a
+        staleness key for candidate caches and the CSR routing kernel.
+        """
+        # Snapshot the version before hashing: a mutation racing with the
+        # digest must leave the stamp stale so the next read recomputes,
+        # never cache a half-mutated digest under the new version.
+        version = self._version
+        if self._fingerprint_version != version:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(struct.pack("<qq", len(self._vertices), len(self._edges)))
+            for key in sorted(self._edges):
+                edge = self._edges[key]
+                digest.update(struct.pack("<qqdd", edge.source, edge.target,
+                                          edge.length, edge.speed))
+                digest.update(edge.category.value.encode("ascii"))
+            self._fingerprint = (len(self._vertices), len(self._edges),
+                                 digest.hexdigest())
+            self._fingerprint_version = version
+        return self._fingerprint
 
     def euclidean(self, a: int, b: int) -> float:
         """Straight-line distance between two vertices, in metres."""

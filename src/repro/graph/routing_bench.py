@@ -1,0 +1,291 @@
+"""Routing-backend benchmark harness: dict reference vs CSR kernel.
+
+Times the two routing backends on generated grid networks of increasing
+size across the workloads that dominate PathRank's end-to-end cost:
+
+* **single-source Dijkstra** — the landmark/table builds and analysis
+  sweeps;
+* **point-to-point shortest path** — the serving fallback;
+* **Yen k-shortest-paths** — candidate generation, the p95 cold-query
+  cliff measured by ``benchmarks/bench_serving.py``.
+
+Every timed comparison is paired with a parity check (identical costs
+between backends), so a speedup can never come from a wrong answer.
+The report is a JSON document (``BENCH_routing.json``); its shape is
+pinned by :func:`validate_report`, which the smoke test in
+``benchmarks/bench_routing.py`` runs against every emitted report.
+
+Consumed by ``benchmarks/bench_routing.py`` (standalone + pytest smoke
+mode) and the ``bench-routing`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path as FilePath
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.graph.builders import grid_network
+from repro.graph.csr import csr_for
+from repro.graph.ksp import yen_k_shortest_paths
+from repro.graph.network import RoadNetwork
+from repro.graph.shortest_path import dijkstra, shortest_path
+from repro.rng import make_rng
+
+__all__ = [
+    "RoutingBenchConfig",
+    "smoke_config",
+    "full_config",
+    "apply_overrides",
+    "run_routing_benchmark",
+    "validate_report",
+    "write_report",
+]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RoutingBenchConfig:
+    """Knobs of one benchmark run."""
+
+    grid_sizes: tuple[int, ...] = (12, 24, 40)
+    sssp_queries: int = 12
+    p2p_queries: int = 12
+    ksp_queries: int = 6
+    k: int = 8
+    repeats: int = 2
+    seed: int = 7
+    preset: str = "full"
+
+    def __post_init__(self) -> None:
+        if not self.grid_sizes:
+            raise ValueError("grid_sizes must not be empty")
+        if min(self.grid_sizes) < 2:
+            raise ValueError(f"grid sizes must be >= 2, got {self.grid_sizes}")
+        if min(self.sssp_queries, self.p2p_queries, self.ksp_queries) < 1:
+            raise ValueError("query counts must be >= 1")
+        if self.k < 1 or self.repeats < 1:
+            raise ValueError("k and repeats must be >= 1")
+
+
+def smoke_config() -> RoutingBenchConfig:
+    """Tiny preset for the tier-1 pytest wrapper: one small grid,
+    best-of-3 timing so the not-slower assertion is stable under CI
+    jitter, finishes in well under a second."""
+    return RoutingBenchConfig(grid_sizes=(8,), sssp_queries=4, p2p_queries=4,
+                              ksp_queries=2, k=4, repeats=3, preset="smoke")
+
+
+def full_config() -> RoutingBenchConfig:
+    """The headline preset behind the committed ``BENCH_routing.json``."""
+    return RoutingBenchConfig()
+
+
+def apply_overrides(
+    config: RoutingBenchConfig,
+    sizes: str | None = None,
+    k: int | None = None,
+    seed: int | None = None,
+) -> RoutingBenchConfig:
+    """Apply the command-line overrides shared by the ``bench-routing``
+    CLI subcommand and the standalone benchmark entry point.
+
+    ``sizes`` is the raw comma-separated string (e.g. ``"12,24,40"``).
+    """
+    overrides = {}
+    if sizes:
+        overrides["grid_sizes"] = tuple(
+            int(value) for value in sizes.split(",") if value.strip())
+    if k is not None:
+        overrides["k"] = k
+    if seed is not None:
+        overrides["seed"] = seed
+    return replace(config, **overrides) if overrides else config
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best wall-clock seconds over ``repeats`` runs of ``fn``."""
+    best = math.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _sample_pairs(network: RoadNetwork, count: int,
+                  rng: np.random.Generator) -> list[tuple[int, int]]:
+    ids = network.vertex_ids()
+    pairs = []
+    while len(pairs) < count:
+        s, t = (int(v) for v in rng.choice(ids, 2, replace=False))
+        pairs.append((s, t))
+    return pairs
+
+
+def _bench_network(network: RoadNetwork, name: str,
+                   config: RoutingBenchConfig,
+                   rng: np.random.Generator) -> dict:
+    """Benchmark one network; every block asserts backend parity."""
+    ids = network.vertex_ids()
+    sources = [int(s) for s in
+               rng.choice(ids, min(config.sssp_queries, len(ids)),
+                          replace=False)]
+    p2p_pairs = _sample_pairs(network, config.p2p_queries, rng)
+    ksp_pairs = _sample_pairs(network, config.ksp_queries, rng)
+
+    # csr_for is cold for a freshly generated network, so this times the
+    # actual flatten; later backend="csr" calls reuse the same kernel.
+    build_started = time.perf_counter()
+    kernel = csr_for(network)
+    csr_build_ms = (time.perf_counter() - build_started) * 1000.0
+    alt_started = time.perf_counter()
+    kernel.ensure_alt()
+    alt_build_ms = (time.perf_counter() - alt_started) * 1000.0
+
+    # -- single-source ------------------------------------------------
+    dict_s = _best_of(config.repeats,
+                      lambda: [dijkstra(network, s) for s in sources])
+    csr_s = _best_of(config.repeats,
+                     lambda: [kernel.single_source(s) for s in sources])
+    reference, _ = dijkstra(network, sources[0])
+    distances = kernel.single_source(sources[0])
+    sssp_diff = max(
+        abs(distances[kernel.index_of(vid)] - d)
+        for vid, d in reference.items()
+    )
+
+    # -- point-to-point (serving fallback path) -----------------------
+    def _p2p(backend: str) -> list:
+        return [shortest_path(network, s, t, backend=backend)
+                for s, t in p2p_pairs]
+
+    dict_p = _best_of(config.repeats, lambda: _p2p("dict"))
+    csr_p = _best_of(config.repeats, lambda: _p2p("csr"))
+    p2p_diff = max(abs(a.length - b.length)
+                   for a, b in zip(_p2p("dict"), _p2p("csr")))
+
+    # -- Yen k shortest paths (candidate generation) ------------------
+    def _ksp(backend: str) -> list[list]:
+        return [yen_k_shortest_paths(network, s, t, config.k, backend=backend)
+                for s, t in ksp_pairs]
+
+    dict_k = _best_of(config.repeats, lambda: _ksp("dict"))
+    csr_k = _best_of(config.repeats, lambda: _ksp("csr"))
+    ksp_diff = 0.0
+    for dict_paths, csr_paths in zip(_ksp("dict"), _ksp("csr")):
+        if len(dict_paths) != len(csr_paths):
+            raise DataError(
+                f"backend disagreement on {name}: dict produced "
+                f"{len(dict_paths)} paths, csr {len(csr_paths)}"
+            )
+        for a, b in zip(dict_paths, csr_paths):
+            ksp_diff = max(ksp_diff, abs(a.length - b.length))
+
+    def _block(queries: int, dict_s_total: float, csr_s_total: float,
+               **extra) -> dict:
+        dict_ms = dict_s_total * 1000.0 / queries
+        csr_ms = csr_s_total * 1000.0 / queries
+        return {
+            "queries": queries,
+            "dict_ms_per_query": dict_ms,
+            "csr_ms_per_query": csr_ms,
+            "speedup": dict_ms / csr_ms if csr_ms > 0 else math.inf,
+            **extra,
+        }
+
+    return {
+        "name": name,
+        "vertices": network.num_vertices,
+        "edges": network.num_edges,
+        "csr_build_ms": csr_build_ms,
+        "alt_build_ms": alt_build_ms,
+        "single_source": _block(len(sources), dict_s, csr_s),
+        "point_to_point": _block(len(p2p_pairs), dict_p, csr_p),
+        "ksp": _block(len(ksp_pairs), dict_k, csr_k, k=config.k),
+        "parity": {
+            "sssp_max_abs_diff": float(sssp_diff),
+            "p2p_max_abs_diff": float(p2p_diff),
+            "ksp_max_abs_diff": float(ksp_diff),
+        },
+    }
+
+
+def run_routing_benchmark(config: RoutingBenchConfig | None = None) -> dict:
+    """Benchmark dict vs CSR across the configured grid sizes."""
+    config = config or full_config()
+    rng = make_rng(config.seed)
+    networks = []
+    for size in config.grid_sizes:
+        network = grid_network(size, size, seed=config.seed)
+        networks.append(
+            _bench_network(network, f"grid-{size}x{size}", config, rng))
+    largest = max(networks, key=lambda entry: entry["vertices"])
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "preset": config.preset,
+        "config": asdict(config),
+        "networks": networks,
+        "largest": {
+            "name": largest["name"],
+            "vertices": largest["vertices"],
+            "single_source_speedup": largest["single_source"]["speedup"],
+            "point_to_point_speedup": largest["point_to_point"]["speedup"],
+            "ksp_speedup": largest["ksp"]["speedup"],
+        },
+    }
+    validate_report(report)
+    return report
+
+
+_NETWORK_KEYS = ("name", "vertices", "edges", "csr_build_ms", "alt_build_ms",
+                 "single_source", "point_to_point", "ksp", "parity")
+_BLOCK_KEYS = ("queries", "dict_ms_per_query", "csr_ms_per_query", "speedup")
+
+
+def validate_report(report: dict) -> None:
+    """Check a benchmark report parses as valid ``BENCH_routing.json``.
+
+    Raises :class:`DataError` on a malformed document; used both when a
+    report is produced and by the smoke test against re-parsed JSON.
+    """
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise DataError(
+            f"unexpected schema_version {report.get('schema_version')!r}")
+    networks = report.get("networks")
+    if not isinstance(networks, list) or not networks:
+        raise DataError("report must hold a non-empty 'networks' list")
+    for entry in networks:
+        missing = [key for key in _NETWORK_KEYS if key not in entry]
+        if missing:
+            raise DataError(f"network entry missing keys: {missing}")
+        for block in ("single_source", "point_to_point", "ksp"):
+            for key in _BLOCK_KEYS:
+                value = entry[block].get(key)
+                if not isinstance(value, (int, float)) or not math.isfinite(value):
+                    raise DataError(
+                        f"{entry['name']}.{block}.{key} must be a finite "
+                        f"number, got {value!r}"
+                    )
+        for key, diff in entry["parity"].items():
+            if not isinstance(diff, float) or not diff <= 1e-6:
+                raise DataError(
+                    f"{entry['name']} parity violation: {key}={diff!r}")
+    largest = report.get("largest")
+    if not isinstance(largest, dict) or "ksp_speedup" not in largest \
+            or "single_source_speedup" not in largest:
+        raise DataError("report must summarise the largest network's speedups")
+
+
+def write_report(report: dict, path: str | FilePath) -> FilePath:
+    """Validate and write the report; returns the output path."""
+    validate_report(report)
+    out = FilePath(path)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return out

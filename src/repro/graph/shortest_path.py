@@ -116,13 +116,24 @@ def shortest_path(
     cost: CostFunction = length_cost,
     banned_vertices: Iterable[int] = (),
     banned_edges: Iterable[tuple[int, int]] = (),
+    backend: str | None = None,
 ) -> Path:
     """Least-cost path from ``source`` to ``target``.
 
-    Raises :class:`NoPathError` when ``target`` is unreachable.
+    Raises :class:`NoPathError` when ``target`` is unreachable.  Plain
+    queries (no bans) run on the CSR kernel unless the reference backend
+    is forced via ``backend="dict"`` or ``REPRO_ROUTING_BACKEND=dict``;
+    banned-vertex/edge queries always use the reference implementation.
     """
     if source == target:
         raise NoPathError(source, target)
+    if not banned_vertices and not banned_edges:
+        from repro.graph import csr  # deferred: csr imports this module
+
+        if csr.resolve_backend(backend) == "csr":
+            vertices, _ = csr.csr_for(network).shortest_path_ids(
+                source, target, cost)
+            return Path(network, vertices)
     dist, prev = dijkstra(network, source, cost, target=target,
                           banned_vertices=banned_vertices, banned_edges=banned_edges)
     if target not in dist:
@@ -131,11 +142,16 @@ def shortest_path(
 
 
 def shortest_path_cost(
-    network: RoadNetwork, source: int, target: int, cost: CostFunction = length_cost
+    network: RoadNetwork, source: int, target: int,
+    cost: CostFunction = length_cost, backend: str | None = None,
 ) -> float:
     """The cost of the least-cost path (without materialising it)."""
     if source == target:
         return 0.0
+    from repro.graph import csr  # deferred: csr imports this module
+
+    if csr.resolve_backend(backend) == "csr":
+        return csr.csr_for(network).shortest_path_cost(source, target, cost)
     dist, _ = dijkstra(network, source, cost, target=target)
     if target not in dist:
         raise NoPathError(source, target)

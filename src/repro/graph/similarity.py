@@ -37,11 +37,18 @@ def _edge_weight_jaccard(a: Path, b: Path, weight: Callable[[Edge], float]) -> f
     edges_a = a.edge_set
     edges_b = b.edge_set
     shared = edges_a & edges_b
-    union = edges_a | edges_b
-    union_weight = sum(weight(a.network.edge(u, v)) for u, v in union)
+    # Shared edges are a subset of the union, so each edge's weight is
+    # looked up exactly once and added to both accumulators as needed.
+    network = a.network
+    union_weight = 0.0
+    shared_weight = 0.0
+    for u, v in edges_a | edges_b:
+        w = weight(network.edge(u, v))
+        union_weight += w
+        if (u, v) in shared:
+            shared_weight += w
     if union_weight == 0.0:
         return 0.0
-    shared_weight = sum(weight(a.network.edge(u, v)) for u, v in shared)
     return shared_weight / union_weight
 
 

@@ -21,6 +21,7 @@ from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.ranking.training_data import TrainingDataConfig
 
@@ -119,19 +120,30 @@ class CandidateCache:
 
     Candidate sets depend only on the graph and the generation
     configuration, never on the model, so entries stay valid across
-    model hot-swaps.  (A graph update would require :meth:`clear`; the
-    registry does not manage network versions yet.)
+    model hot-swaps.  When constructed with the ``network``, every key
+    also embeds :attr:`RoadNetwork.fingerprint`, so a mutated graph
+    (edge added/removed, weight changed via remove + re-add) can never
+    serve stale candidates: old entries simply stop matching and age out
+    via LRU.  Without a network the caller owns invalidation via
+    :meth:`clear`.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024,
+                 network: RoadNetwork | None = None) -> None:
         self._cache = LRUCache(capacity)
+        self._network = network
 
     @staticmethod
-    def key_for(source: int, target: int, config: TrainingDataConfig) -> tuple:
+    def key_for(source: int, target: int, config: TrainingDataConfig,
+                network: RoadNetwork | None = None) -> tuple:
         # Every field that changes the generated candidate set must be in
-        # the key; threshold and examine_limit both alter D-TkDI output.
-        return (source, target, config.strategy.value, config.k,
-                config.diversity_threshold, config.examine_limit)
+        # the key; threshold and examine_limit both alter D-TkDI output,
+        # and the network fingerprint pins the graph content itself.
+        key = (source, target, config.strategy.value, config.k,
+               config.diversity_threshold, config.examine_limit)
+        if network is not None:
+            key += (network.fingerprint,)
+        return key
 
     @property
     def stats(self) -> CacheStats:
@@ -142,12 +154,14 @@ class CandidateCache:
 
     def lookup(self, source: int, target: int,
                config: TrainingDataConfig) -> list[Path] | None:
-        cached = self._cache.get(self.key_for(source, target, config))
+        cached = self._cache.get(
+            self.key_for(source, target, config, self._network))
         return None if cached is None else list(cached)
 
     def store(self, source: int, target: int, config: TrainingDataConfig,
               paths: Sequence[Path]) -> None:
-        self._cache.put(self.key_for(source, target, config), tuple(paths))
+        self._cache.put(self.key_for(source, target, config, self._network),
+                        tuple(paths))
 
     def clear(self) -> None:
         self._cache.clear()

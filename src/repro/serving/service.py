@@ -100,7 +100,10 @@ class RankingService:
         self.network = network
         self.registry = registry
         self.config = config or ServingConfig()
-        self.candidate_cache = CandidateCache(self.config.candidate_cache_size)
+        # Keyed by the network fingerprint too, so a graph mutation (e.g.
+        # a live incident closing a road) invalidates entries implicitly.
+        self.candidate_cache = CandidateCache(self.config.candidate_cache_size,
+                                              network=network)
         self.score_cache = ScoreCache(self.config.score_cache_size)
         self.scorer = BatchingScorer(self.config.max_batch_size,
                                      score_cache=self.score_cache)

