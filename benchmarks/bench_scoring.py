@@ -1,0 +1,103 @@
+"""Benchmark E13 — scoring backends: module reference vs fused kernel.
+
+Compares PathRank inference through the autograd module forward and the
+fused numpy kernel (``repro.nn.fused``) on serving-shaped workloads —
+per-query candidate lists and coalesced mixed-length batches, plus
+bucketed vs global padding and cold vs warm kernel compiles — and
+writes the result as ``BENCH_scoring.json``.  Every timed block is
+parity-checked: a backend that returns different scores fails the run
+instead of reporting a bogus speedup.
+
+Target (asserted standalone at full scale): the fused kernel is at
+least **5x** faster on coalesced batch scoring at the paper's model
+width with k=10 candidates of 20-120 vertices.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_scoring.py``,
+add ``--smoke`` for the tiny preset) or under pytest, where the smoke
+preset keeps the tier-1 suite fast while still asserting that the fused
+backend is not slower than the reference and that the report parses as
+valid ``BENCH_scoring.json``.
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro.core.scoring_bench import (
+    apply_overrides,
+    full_config,
+    run_scoring_benchmark,
+    smoke_config,
+    validate_report,
+    write_report,
+)
+
+#: Full-scale acceptance floor for coalesced batch scoring.
+BATCH_TARGET = 5.0
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke scale — see conftest.scoring_smoke_report)
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="scoring")
+def test_smoke_fused_backend_not_slower(scoring_smoke_report):
+    """Even on a tiny model the fused kernel must not lose to the module
+    forward on either benchmarked workload."""
+    assert scoring_smoke_report["per_query"]["speedup"] >= 1.0, (
+        f"fused per-query scoring slower than the module reference "
+        f"({scoring_smoke_report['per_query']['speedup']:.2f}x)"
+    )
+    assert scoring_smoke_report["coalesced"]["fused_vs_module_speedup"] >= 1.0, (
+        f"fused coalesced scoring slower than the module reference "
+        f"({scoring_smoke_report['coalesced']['fused_vs_module_speedup']:.2f}x)"
+    )
+
+
+@pytest.mark.benchmark(group="scoring")
+def test_smoke_report_is_valid_bench_scoring_json(scoring_smoke_report):
+    """The emitted document must round-trip as valid BENCH_scoring.json."""
+    validate_report(scoring_smoke_report)  # raises DataError on violation
+    assert scoring_smoke_report["preset"] == "smoke"
+
+
+@pytest.mark.benchmark(group="scoring")
+def test_smoke_backends_agree_on_scores(scoring_smoke_report):
+    parity = scoring_smoke_report["parity"]
+    assert parity["per_query_max_abs_diff"] <= 1e-6
+    assert parity["coalesced_max_abs_diff"] <= 1e-6
+    assert parity["float64_max_abs_diff"] <= 1e-9
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the module vs fused scoring backends")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny preset (small model, sub-second)")
+    parser.add_argument("--out", default="BENCH_scoring.json",
+                        help="report path (default: BENCH_scoring.json)")
+    parser.add_argument("--k", type=int, default=None,
+                        help="candidate paths per query")
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    config = apply_overrides(smoke_config() if args.smoke else full_config(),
+                             k=args.k, queries=args.queries, seed=args.seed)
+    report = run_scoring_benchmark(config)
+    write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+
+    if not args.smoke:
+        batch = report["headline"]["batch_speedup"]
+        assert batch >= BATCH_TARGET, (
+            f"batch scoring speedup {batch:.1f}x below the "
+            f"{BATCH_TARGET}x target")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

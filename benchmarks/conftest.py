@@ -15,6 +15,7 @@ import os
 
 import pytest
 
+from repro.core import scoring_bench
 from repro.experiments import ExperimentConfig, ExperimentPipeline
 from repro.graph.routing_bench import (
     run_routing_benchmark,
@@ -43,15 +44,16 @@ def pipeline(bench_config) -> ExperimentPipeline:
 
 
 def pytest_collect_file(file_path, parent):
-    """Wire the routing benchmark's smoke assertions into tier-1 runs.
+    """Wire the routing/scoring benchmarks' smoke assertions into tier-1.
 
     Benchmark modules are named ``bench_*.py`` and therefore invisible
     to the default ``test_*.py`` collection — the heavyweight table /
-    figure benches must stay opt-in.  The routing bench's smoke mode is
-    sub-second and guards the CSR backend (not-slower + valid
-    ``BENCH_routing.json``), so it alone is collected explicitly.
+    figure benches must stay opt-in.  The routing and scoring benches'
+    smoke modes are sub-second and guard the CSR and fused-scoring
+    backends (not-slower + valid ``BENCH_*.json``), so they alone are
+    collected explicitly.
     """
-    if file_path.name == "bench_routing.py":
+    if file_path.name in ("bench_routing.py", "bench_scoring.py"):
         return pytest.Module.from_parent(parent, path=file_path)
 
 
@@ -64,6 +66,18 @@ def routing_smoke_report(tmp_path_factory):
     report = run_routing_benchmark(smoke_config())
     out = tmp_path_factory.mktemp("routing") / "BENCH_routing.json"
     write_report(report, out)
+    return json.loads(out.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="session")
+def scoring_smoke_report(tmp_path_factory):
+    """The scoring benchmark at smoke scale, round-tripped through its
+    JSON report so the schema tests exercise what ``bench-scoring``
+    actually writes.  This wrapper is what wires ``bench_scoring.py``
+    into the tier-1 test run at a tiny, stable-cost preset."""
+    report = scoring_bench.run_scoring_benchmark(scoring_bench.smoke_config())
+    out = tmp_path_factory.mktemp("scoring") / "BENCH_scoring.json"
+    scoring_bench.write_report(report, out)
     return json.loads(out.read_text(encoding="utf-8"))
 
 

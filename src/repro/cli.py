@@ -17,6 +17,7 @@ without writing Python::
     python -m repro.cli bench-serve --network /tmp/net.json \
         --model /tmp/model.npz --requests 200 --hotspots 20
     python -m repro.cli bench-routing --out BENCH_routing.json
+    python -m repro.cli bench-scoring --out BENCH_scoring.json
 """
 
 from __future__ import annotations
@@ -34,6 +35,7 @@ from repro.errors import DataError, ReproError, ServingError
 from repro.graph.builders import grid_network, north_jutland_like, ring_radial_network
 from repro.graph.io import load_network_json, save_network_json
 from repro.graph.osm import save_osm_xml
+from repro.core import scoring_bench
 from repro.graph.routing_bench import (
     apply_overrides,
     full_config,
@@ -162,6 +164,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="paths per Yen query")
     routing.add_argument("--seed", type=int, default=None)
     routing.add_argument("--out", default=None,
+                         help="also write the report to this path")
+
+    scoring = commands.add_parser(
+        "bench-scoring",
+        help="compare the module and fused scoring backends, report JSON")
+    scoring.add_argument("--smoke", action="store_true",
+                         help="tiny sub-second preset")
+    scoring.add_argument("--k", type=int, default=None,
+                         help="candidate paths per query")
+    scoring.add_argument("--queries", type=int, default=None,
+                         help="number of candidate-set queries")
+    scoring.add_argument("--seed", type=int, default=None)
+    scoring.add_argument("--out", default=None,
                          help="also write the report to this path")
 
     return parser
@@ -371,6 +386,18 @@ def _cmd_bench_routing(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_scoring(args: argparse.Namespace) -> int:
+    config = scoring_bench.apply_overrides(
+        scoring_bench.smoke_config() if args.smoke
+        else scoring_bench.full_config(),
+        k=args.k, queries=args.queries, seed=args.seed)
+    report = scoring_bench.run_scoring_benchmark(config)
+    if args.out:
+        scoring_bench.write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 _COMMANDS = {
     "build-network": _cmd_build_network,
     "simulate-fleet": _cmd_simulate_fleet,
@@ -380,6 +407,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
     "bench-routing": _cmd_bench_routing,
+    "bench-scoring": _cmd_bench_scoring,
 }
 
 

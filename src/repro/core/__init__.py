@@ -1,6 +1,11 @@
 """PathRank core: the paper's model, trainer, and ranking API."""
 
-from repro.core.batching import encode_paths, minibatches
+from repro.core.batching import (
+    encode_path_buckets,
+    encode_paths,
+    length_buckets,
+    minibatches,
+)
 from repro.core.model import PathRank
 from repro.core.ranker import PathRankRanker, RankerConfig, generate_candidates
 from repro.core.trainer import Trainer, TrainerConfig, TrainingHistory, flatten_queries
@@ -13,6 +18,8 @@ from repro.core.variants import (
 
 __all__ = [
     "encode_paths",
+    "encode_path_buckets",
+    "length_buckets",
     "minibatches",
     "PathRank",
     "PathRankMultiTask",

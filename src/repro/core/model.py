@@ -18,8 +18,9 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.graph.path import Path
-from repro.core.batching import encode_paths
+from repro.core.batching import encode_path_buckets, encode_paths
 from repro.nn import BiGRU, Dropout, Embedding, GRU, Linear, Module, Tensor, no_grad
+from repro.nn.fused import compiled_for, resolve_scoring_backend
 from repro.ranking.training_data import RankingQuery
 from repro.rng import RngLike, make_rng, spawn
 
@@ -159,10 +160,24 @@ class PathRank(Module):
     # ------------------------------------------------------------------
     # Inference conveniences
     # ------------------------------------------------------------------
-    def score_paths(self, paths: Sequence[Path]) -> np.ndarray:
-        """Scores for arbitrary paths (inference mode, no graph)."""
+    def score_paths(self, paths: Sequence[Path],
+                    backend: str | None = None) -> np.ndarray:
+        """Scores for arbitrary paths (inference mode, no graph).
+
+        Dispatches through the scoring-backend seam: by default the
+        fused numpy kernel (:mod:`repro.nn.fused`) scores each
+        length-bucketed sub-batch graph-free; ``backend="module"`` (or
+        ``REPRO_SCORING_BACKEND=module``) forces the reference autograd
+        forward.  Both return identical scores up to float32 roundoff.
+        """
         if not paths:
             return np.zeros(0)
+        if resolve_scoring_backend(backend) == "fused":
+            kernel = compiled_for(self)
+            scores = np.empty(len(paths), dtype=np.float64)
+            for index, vertex_ids, mask in encode_path_buckets(paths):
+                scores[index] = kernel.forward(vertex_ids, mask)
+            return scores
         was_training = self.training
         self.eval()
         try:
@@ -176,4 +191,4 @@ class PathRank(Module):
 
     def score_query(self, query: RankingQuery) -> list[float]:
         """Scorer-protocol adapter used by the evaluation harness."""
-        return [float(s) for s in self.score_paths(query.paths())]
+        return self.score_paths(query.paths()).tolist()

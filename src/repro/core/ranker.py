@@ -188,16 +188,20 @@ class PathRankRanker:
     def candidates(self, source: int, target: int) -> list[Path]:
         return self.generate_candidates(source, target)
 
-    def score_candidates(self, paths: Sequence[Path]) -> np.ndarray:
+    def score_candidates(self, paths: Sequence[Path],
+                         backend: str | None = None) -> np.ndarray:
         """Estimated preference scores for candidate paths (unsorted).
 
         The second ranking step; batched callers can concatenate the
         candidates of many queries and score them in one forward pass.
+        ``backend`` optionally overrides the scoring backend
+        (``"fused"`` kernel by default — see :mod:`repro.nn.fused`).
         """
-        return self._require_model().score_paths(paths)
+        return self._require_model().score_paths(paths, backend=backend)
 
-    def score_paths(self, paths: Sequence[Path]) -> np.ndarray:
-        return self.score_candidates(paths)
+    def score_paths(self, paths: Sequence[Path],
+                    backend: str | None = None) -> np.ndarray:
+        return self.score_candidates(paths, backend=backend)
 
     def score_query(self, query: RankingQuery) -> list[float]:
         return self._require_model().score_query(query)
@@ -209,8 +213,7 @@ class PathRankRanker:
         if not paths:
             return []
         scores = self.score_candidates(paths)
-        ranked = sorted(zip(paths, scores), key=lambda item: -item[1])
-        return [(path, float(score)) for path, score in ranked]
+        return sorted(zip(paths, scores.tolist()), key=lambda item: -item[1])
 
     # ------------------------------------------------------------------
     # Persistence

@@ -1,0 +1,326 @@
+"""Scoring-backend benchmark harness: module reference vs fused kernel.
+
+Times PathRank inference through its two scoring backends on the shapes
+the serving layer actually sees — ``k`` candidate paths per query with
+mixed lengths — and writes the result as ``BENCH_scoring.json``:
+
+* **per-query scoring** — one ``score_paths`` call per candidate list,
+  the latency-bound interactive path;
+* **coalesced scoring** — every query's candidates in one flush, the
+  throughput path of :class:`~repro.serving.batching.BatchingScorer`;
+  measured three ways: module forward (global padding), fused kernel
+  with global padding, and fused kernel with length-bucketed padding;
+* **compile costs** — cold :class:`~repro.nn.fused.CompiledPathRank`
+  snapshot, warm cache lookup, and recompile after a weight-version
+  bump (the hot-swap case).
+
+Every timed block is paired with a fused-vs-module parity check, so a
+speedup can never come from a wrong answer.  Consumed by
+``benchmarks/bench_scoring.py`` (standalone + pytest smoke mode) and the
+``bench-scoring`` CLI subcommand, mirroring ``graph.routing_bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path as FilePath
+
+import numpy as np
+
+from repro.core.batching import encode_paths
+from repro.core.model import PathRank
+from repro.errors import DataError
+from repro.graph.builders import grid_network
+from repro.graph.network import RoadNetwork
+from repro.graph.path import Path
+from repro.nn.fused import CompiledPathRank, compiled_for
+from repro.rng import make_rng
+
+__all__ = [
+    "ScoringBenchConfig",
+    "smoke_config",
+    "full_config",
+    "apply_overrides",
+    "random_walk_paths",
+    "run_scoring_benchmark",
+    "validate_report",
+    "write_report",
+]
+
+SCHEMA_VERSION = 1
+
+#: Parity ceilings enforced on every report: the float32 kernel lands
+#: within ~1e-7 of the float64 module forward in practice; the float64
+#: kernel reproduces it to roundoff.
+FLOAT32_PARITY_LIMIT = 1e-5
+FLOAT64_PARITY_LIMIT = 1e-9
+
+
+@dataclass(frozen=True)
+class ScoringBenchConfig:
+    """Knobs of one benchmark run."""
+
+    grid_size: int = 24
+    queries: int = 12
+    k: int = 10
+    min_length: int = 20
+    max_length: int = 120
+    embedding_dim: int = 64
+    hidden_size: int = 64
+    fc_hidden: int = 32
+    pooling: str = "mean"
+    repeats: int = 3
+    seed: int = 7
+    preset: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.grid_size < 2:
+            raise ValueError(f"grid_size must be >= 2, got {self.grid_size}")
+        if self.queries < 1 or self.k < 1 or self.repeats < 1:
+            raise ValueError("queries, k and repeats must be >= 1")
+        if not 2 <= self.min_length <= self.max_length:
+            raise ValueError(
+                f"need 2 <= min_length <= max_length, got "
+                f"[{self.min_length}, {self.max_length}]"
+            )
+
+
+def smoke_config() -> ScoringBenchConfig:
+    """Tiny preset for the tier-1 pytest wrapper: one small model,
+    best-of-3 timing so the not-slower assertion is stable under CI
+    jitter, finishes in well under a second."""
+    return ScoringBenchConfig(grid_size=8, queries=3, k=4, min_length=6,
+                              max_length=24, embedding_dim=16, hidden_size=16,
+                              fc_hidden=8, repeats=3, preset="smoke")
+
+
+def full_config() -> ScoringBenchConfig:
+    """The headline preset behind the committed ``BENCH_scoring.json``:
+    the paper's model width on k=10 candidate sets, lengths 20-120."""
+    return ScoringBenchConfig()
+
+
+def apply_overrides(
+    config: ScoringBenchConfig,
+    k: int | None = None,
+    queries: int | None = None,
+    seed: int | None = None,
+) -> ScoringBenchConfig:
+    """Apply the command-line overrides shared by the ``bench-scoring``
+    CLI subcommand and the standalone benchmark entry point."""
+    overrides = {}
+    if k is not None:
+        overrides["k"] = k
+    if queries is not None:
+        overrides["queries"] = queries
+    if seed is not None:
+        overrides["seed"] = seed
+    return replace(config, **overrides) if overrides else config
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best wall-clock seconds over ``repeats`` runs of ``fn``."""
+    best = math.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def random_walk_paths(network: RoadNetwork, lengths: list[int],
+                      rng: np.random.Generator) -> list[Path]:
+    """Valid paths of the requested vertex counts (random walks that
+    avoid immediate backtracking where the degree allows)."""
+    ids = network.vertex_ids()
+    paths = []
+    for length in lengths:
+        vertices = [int(rng.choice(ids))]
+        previous = None
+        while len(vertices) < length:
+            neighbours = [edge.target
+                          for edge in network.out_edges(vertices[-1])]
+            if not neighbours:
+                raise DataError(
+                    f"random walk stuck at sink vertex {vertices[-1]}; "
+                    f"benchmark networks must have no dead ends"
+                )
+            forward = [v for v in neighbours if v != previous] or neighbours
+            previous = vertices[-1]
+            vertices.append(int(rng.choice(forward)))
+        paths.append(Path(network, vertices))
+    return paths
+
+
+def _max_abs_diff(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.max(np.abs(np.asarray(a) - np.asarray(b))))
+
+
+def run_scoring_benchmark(config: ScoringBenchConfig | None = None) -> dict:
+    """Benchmark module vs fused scoring at the configured scale."""
+    config = config or full_config()
+    rng = make_rng(config.seed)
+    network = grid_network(config.grid_size, config.grid_size,
+                           seed=config.seed)
+    model = PathRank(
+        num_vertices=network.num_vertices,
+        embedding_dim=config.embedding_dim,
+        hidden_size=config.hidden_size,
+        fc_hidden=config.fc_hidden,
+        pooling=config.pooling,
+        rng=config.seed,
+    ).eval()
+
+    queries = [
+        random_walk_paths(
+            network,
+            [int(n) for n in rng.integers(config.min_length,
+                                          config.max_length + 1,
+                                          size=config.k)],
+            rng,
+        )
+        for _ in range(config.queries)
+    ]
+    coalesced = [path for query in queries for path in query]
+
+    # -- compile costs -------------------------------------------------
+    cold_started = time.perf_counter()
+    kernel = CompiledPathRank(model)
+    cold_ms = (time.perf_counter() - cold_started) * 1000.0
+    compiled_for(model)  # prime the version-keyed cache
+    lookups = 1000
+    warm_seconds = _best_of(
+        config.repeats,
+        lambda: [compiled_for(model) for _ in range(lookups)])
+    model.bump_weight_version()
+    recompile_started = time.perf_counter()
+    kernel = compiled_for(model)
+    recompile_ms = (time.perf_counter() - recompile_started) * 1000.0
+
+    # -- per-query scoring (latency path) -----------------------------
+    def _score_all(backend: str) -> list[np.ndarray]:
+        return [model.score_paths(query, backend=backend)
+                for query in queries]
+
+    module_q = _best_of(config.repeats, lambda: _score_all("module"))
+    fused_q = _best_of(config.repeats, lambda: _score_all("fused"))
+    per_query_diff = max(
+        _max_abs_diff(a, b)
+        for a, b in zip(_score_all("module"), _score_all("fused"))
+    )
+
+    # -- coalesced scoring (throughput path) --------------------------
+    vertex_ids, mask = encode_paths(coalesced, reuse=False)
+    module_c = _best_of(
+        config.repeats,
+        lambda: model.score_paths(coalesced, backend="module"))
+    bucketed_c = _best_of(
+        config.repeats,
+        lambda: model.score_paths(coalesced, backend="fused"))
+    global_c = _best_of(
+        config.repeats, lambda: kernel.forward(vertex_ids, mask))
+    module_scores = model.score_paths(coalesced, backend="module")
+    coalesced_diff = _max_abs_diff(
+        module_scores, model.score_paths(coalesced, backend="fused"))
+    float64_diff = _max_abs_diff(
+        module_scores,
+        CompiledPathRank(model, dtype=np.float64).forward(vertex_ids, mask))
+
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "preset": config.preset,
+        "config": asdict(config),
+        "model": {
+            "vertices": network.num_vertices,
+            "parameters": model.num_parameters(),
+            "pooling": config.pooling,
+        },
+        "compile": {
+            "cold_ms": cold_ms,
+            "warm_lookup_us": warm_seconds / lookups * 1e6,
+            "recompile_ms": recompile_ms,
+        },
+        "per_query": {
+            "queries": len(queries),
+            "k": config.k,
+            "module_ms_per_query": module_q * 1000.0 / len(queries),
+            "fused_ms_per_query": fused_q * 1000.0 / len(queries),
+            "speedup": module_q / fused_q if fused_q > 0 else math.inf,
+        },
+        "coalesced": {
+            "paths": len(coalesced),
+            "module_ms": module_c * 1000.0,
+            "fused_bucketed_ms": bucketed_c * 1000.0,
+            "fused_global_ms": global_c * 1000.0,
+            "fused_vs_module_speedup":
+                module_c / bucketed_c if bucketed_c > 0 else math.inf,
+            "bucketed_vs_global_speedup":
+                global_c / bucketed_c if bucketed_c > 0 else math.inf,
+        },
+        "parity": {
+            "per_query_max_abs_diff": per_query_diff,
+            "coalesced_max_abs_diff": coalesced_diff,
+            "float64_max_abs_diff": float64_diff,
+        },
+    }
+    report["headline"] = {
+        "batch_speedup": report["coalesced"]["fused_vs_module_speedup"],
+        "per_query_speedup": report["per_query"]["speedup"],
+    }
+    validate_report(report)
+    return report
+
+
+_TOP_KEYS = ("schema_version", "preset", "config", "model", "compile",
+             "per_query", "coalesced", "parity", "headline")
+_NUMERIC_BLOCKS = {
+    "compile": ("cold_ms", "warm_lookup_us", "recompile_ms"),
+    "per_query": ("queries", "k", "module_ms_per_query",
+                  "fused_ms_per_query", "speedup"),
+    "coalesced": ("paths", "module_ms", "fused_bucketed_ms",
+                  "fused_global_ms", "fused_vs_module_speedup",
+                  "bucketed_vs_global_speedup"),
+    "headline": ("batch_speedup", "per_query_speedup"),
+}
+
+
+def validate_report(report: dict) -> None:
+    """Check a benchmark report parses as valid ``BENCH_scoring.json``.
+
+    Raises :class:`DataError` on a malformed document or a parity
+    violation; used both when a report is produced and by the smoke test
+    against re-parsed JSON.
+    """
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise DataError(
+            f"unexpected schema_version {report.get('schema_version')!r}")
+    missing = [key for key in _TOP_KEYS if key not in report]
+    if missing:
+        raise DataError(f"report missing keys: {missing}")
+    for block, keys in _NUMERIC_BLOCKS.items():
+        for key in keys:
+            value = report[block].get(key)
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                raise DataError(
+                    f"{block}.{key} must be a finite number, got {value!r}")
+    parity = report["parity"]
+    for key in ("per_query_max_abs_diff", "coalesced_max_abs_diff"):
+        diff = parity.get(key)
+        if not isinstance(diff, float) or not diff <= FLOAT32_PARITY_LIMIT:
+            raise DataError(f"parity violation: {key}={diff!r}")
+    float64_diff = parity.get("float64_max_abs_diff")
+    if not isinstance(float64_diff, float) \
+            or not float64_diff <= FLOAT64_PARITY_LIMIT:
+        raise DataError(
+            f"parity violation: float64_max_abs_diff={float64_diff!r}")
+
+
+def write_report(report: dict, path: str | FilePath) -> FilePath:
+    """Validate and write the report; returns the output path."""
+    validate_report(report)
+    out = FilePath(path)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return out

@@ -271,6 +271,26 @@ class CSRGraph:
         adj = self._reverse(cost) if reverse else self._forward(cost)
         return self._sssp_array(source, adj)
 
+    def _multi_source_idx(self, sources: list[int], cost: CostFunction | None,
+                          reverse: bool = False) -> np.ndarray:
+        """Distance rows for many CSR-index sources in one sweep.
+
+        Returns a ``(len(sources), n)`` matrix.  With scipy, all sources
+        go through a single ``dijkstra`` call, amortising the per-call
+        validation/dispatch overhead that dominates batch table builds
+        (ALT landmarks, analysis sweeps); without it, the pure-Python
+        kernel runs once per source.
+        """
+        n = self.num_vertices
+        if not sources:
+            return np.zeros((0, n), dtype=np.float64)
+        if _HAVE_SCIPY:
+            distances = _sp_dijkstra(self._matrix(cost, reverse),
+                                     directed=True, indices=sources)
+            return np.atleast_2d(distances)
+        adj = self._reverse(cost) if reverse else self._forward(cost)
+        return np.vstack([self._sssp_array(source, adj) for source in sources])
+
     # ------------------------------------------------------------------
     # Core searches (CSR indices)
     # ------------------------------------------------------------------
@@ -471,9 +491,13 @@ class CSRGraph:
         n = self.num_vertices
         num_landmarks = min(num_landmarks, n)
 
+        # Farthest-point selection is inherently sequential in the
+        # *forward* distances (each pick depends on the previous rows),
+        # but the reverse half of the tables is not: it runs as one
+        # batched multi-source sweep once the landmark set is fixed,
+        # halving the number of Dijkstra calls per build.
         landmarks = [int(generator.integers(n))]
         from_rows = [self._single_source_idx(landmarks[0], cost)]
-        to_rows = [self._single_source_idx(landmarks[0], cost, reverse=True)]
         while len(landmarks) < num_landmarks:
             nearest = np.min(np.vstack(from_rows), axis=0)
             nearest[~np.isfinite(nearest)] = -1.0
@@ -483,12 +507,11 @@ class CSRGraph:
                 break
             landmarks.append(candidate)
             from_rows.append(self._single_source_idx(candidate, cost))
-            to_rows.append(self._single_source_idx(candidate, cost,
-                                                   reverse=True))
+        to_rows = self._multi_source_idx(landmarks, cost, reverse=True)
 
         #: to_l[v, j] = d(v -> L_j); from_l[v, j] = d(L_j -> v).  The
         #: trailing OrderedDict memoises per-target heuristic arrays.
-        to_l = np.stack(to_rows, axis=1)
+        to_l = np.ascontiguousarray(to_rows.T)
         from_l = np.stack(from_rows, axis=1)
         self._alt_tables[key] = (to_l, from_l, landmarks, OrderedDict())
         return [self.ids[i] for i in landmarks]
@@ -574,6 +597,20 @@ class CSRGraph:
         """Distances from ``source_id`` to every vertex, by CSR index
         (``numpy.inf`` where unreachable)."""
         return self._single_source_idx(self.index_of(source_id), cost)
+
+    def multi_source(self, source_ids: Iterable[int],
+                     cost: CostFunction | None = None,
+                     reverse: bool = False) -> np.ndarray:
+        """Distance rows for many sources in one batched sweep.
+
+        Returns a ``(num_sources, num_vertices)`` matrix indexed by CSR
+        index (``numpy.inf`` where unreachable); row ``i`` holds the
+        distances *from* ``source_ids[i]`` (or *to* it when
+        ``reverse``).  One scipy call covers all sources, so table
+        builds and analysis sweeps amortise the per-call overhead.
+        """
+        sources = [self.index_of(vid) for vid in source_ids]
+        return self._multi_source_idx(sources, cost, reverse=reverse)
 
     def single_source_dict(self, source_id: int,
                            cost: CostFunction | None = None) -> dict[int, float]:

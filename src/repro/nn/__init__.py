@@ -7,6 +7,14 @@ with the conventional framework API surface.
 """
 
 from repro.nn import functional  # noqa: F401  (re-export the namespace)
+from repro.nn.fused import (
+    CompiledPathRank,
+    compiled_for,
+    get_scoring_backend,
+    resolve_scoring_backend,
+    set_scoring_backend,
+    use_scoring_backend,
+)
 from repro.nn.grad_check import check_gradients, numerical_gradient
 from repro.nn.layers import Dropout, Embedding, Linear, ReLU, Sequential, Sigmoid, Tanh
 from repro.nn.loss import BCELoss, HuberLoss, MAELoss, MSELoss
@@ -65,4 +73,10 @@ __all__ = [
     "load_state",
     "check_gradients",
     "numerical_gradient",
+    "CompiledPathRank",
+    "compiled_for",
+    "get_scoring_backend",
+    "set_scoring_backend",
+    "use_scoring_backend",
+    "resolve_scoring_backend",
 ]

@@ -45,6 +45,7 @@ class Module:
         object.__setattr__(self, "_parameters", {})
         object.__setattr__(self, "_modules", {})
         object.__setattr__(self, "training", True)
+        object.__setattr__(self, "_weight_version", 0)
 
     def __setattr__(self, name: str, value: object) -> None:
         if isinstance(value, Parameter):
@@ -98,6 +99,26 @@ class Module:
             parameter.zero_grad()
 
     # ------------------------------------------------------------------
+    # Weight versioning
+    # ------------------------------------------------------------------
+    @property
+    def weight_version(self) -> int:
+        """Monotonic counter identifying this module's current weights.
+
+        Compiled inference kernels (:mod:`repro.nn.fused`) snapshot the
+        parameters and key the snapshot on this counter, recompiling
+        only when it moves.  :meth:`load_state_dict` bumps it
+        automatically; code that mutates parameter ``.data`` in place
+        through any other route must call :meth:`bump_weight_version`.
+        """
+        return self._weight_version
+
+    def bump_weight_version(self) -> int:
+        """Mark the weights as changed; returns the new version."""
+        object.__setattr__(self, "_weight_version", self._weight_version + 1)
+        return self._weight_version
+
+    # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
@@ -127,6 +148,7 @@ class Module:
                     f"expected {parameter.shape}, got {value.shape}"
                 )
             parameter.data = value.astype(parameter.data.dtype, copy=True)
+        self.bump_weight_version()
 
     # ------------------------------------------------------------------
     # Call protocol

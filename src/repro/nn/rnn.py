@@ -67,7 +67,17 @@ class GRUCell(Module):
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         _check_step_inputs(x, h, self.input_size, self.hidden_size)
-        gates_input = x @ self.weight_ih + self.bias_ih
+        return self.step(x @ self.weight_ih + self.bias_ih, h)
+
+    def step(self, gates_input: Tensor, h: Tensor) -> Tensor:
+        """Advance one step from *precomputed* input-side gates.
+
+        ``gates_input`` is ``x @ W_ih + b_ih`` of shape
+        ``(batch, 3 * hidden)``.  :class:`GRU` hoists that projection out
+        of the time loop (one matmul for the whole sequence) and calls
+        this directly; :meth:`forward` keeps the classic per-step
+        contract.
+        """
         gates_hidden = h @ self.weight_hh + self.bias_hh
         i_r, i_z, i_n = F.chunk(gates_input, 3, axis=-1)
         h_r, h_z, h_n = F.chunk(gates_hidden, 3, axis=-1)
@@ -109,10 +119,21 @@ class GRU(Module):
             raise ShapeError("GRU requires at least one time step")
         if mask is not None:
             mask = _as_mask(mask, steps, batch)
+        if h0 is not None and h0.shape != (batch, self.hidden_size):
+            raise ShapeError(
+                f"GRU expected h0 ({batch}, {self.hidden_size}), got {h0.shape}"
+            )
         hidden = h0 if h0 is not None else self.cell.initial_state(batch)
+        # Hoist the input projection out of the recurrence: one
+        # (steps * batch, input) matmul for the whole sequence instead of
+        # ``steps`` small ones; only h @ W_hh stays inside the loop.
+        cell = self.cell
+        flat = inputs.reshape(steps * batch, self.input_size)
+        gates_input = (flat @ cell.weight_ih + cell.bias_ih).reshape(
+            steps, batch, 3 * self.hidden_size)
         outputs: list[Tensor] = []
         for t in range(steps):
-            updated = self.cell(inputs[t], hidden)
+            updated = cell.step(gates_input[t], hidden)
             if mask is None:
                 hidden = updated
             else:

@@ -4,6 +4,11 @@ A *scorer* is anything with ``score_query(query) -> list[float]``; this
 module runs a scorer over a query set and reduces the results to the
 :class:`~repro.ranking.metrics.RankingMetrics` the paper's tables
 report.
+
+PathRank scorers dispatch through the scoring-backend seam
+(:mod:`repro.nn.fused`), so evaluation sweeps run on the fused numpy
+kernel by default; set ``REPRO_SCORING_BACKEND=module`` to pin the
+reference forward when auditing metric-level parity.
 """
 
 from __future__ import annotations

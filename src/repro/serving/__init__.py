@@ -44,6 +44,34 @@ Usage::
 The load-testing helpers in :mod:`repro.serving.loadgen` (Zipf-skewed
 OD-hotspot mixes) back both ``python -m repro.cli bench-serve`` and
 ``benchmarks/bench_serving.py``.
+
+Scoring backends
+----------------
+
+Model scoring dispatches through a backend seam, mirroring the routing
+seam of :mod:`repro.graph.csr`.  ``PathRank.score_paths`` — and with it
+the :class:`BatchingScorer`, the :class:`RankingService`, and the
+evaluation harness — resolves one of two implementations per call:
+
+* ``fused`` (and ``auto``, the default) — the graph-free numpy kernel of
+  :mod:`repro.nn.fused`: weights snapshotted into a
+  :class:`~repro.nn.fused.CompiledPathRank` (flat float32 arrays, input
+  projections hoisted out of the GRU recurrence, preallocated per-thread
+  buffers), with batches padded per length bucket instead of to the
+  global maximum.  ``ModelRegistry.activate`` pre-compiles the kernel so
+  a hot-swap never pays compile latency on the first request, and the
+  snapshot is keyed by the model's ``weight_version`` counter, so stale
+  weights can never serve.
+* ``module`` — the reference autograd forward, kept as the
+  always-correct fallback and parity oracle.
+
+Select globally with the environment variable
+``REPRO_SCORING_BACKEND=fused|module`` (read at import), at runtime with
+:func:`repro.nn.fused.set_scoring_backend` /
+:func:`~repro.nn.fused.use_scoring_backend`, or per call via
+``score_paths(..., backend=...)``.  Scores agree across backends to
+float32 roundoff (``benchmarks/bench_scoring.py`` pins parity and the
+speedup; ``BENCH_scoring.json`` holds the committed numbers).
 """
 
 from repro.serving.batching import BatchingScorer, ScoreTicket

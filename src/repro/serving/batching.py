@@ -13,6 +13,12 @@ sequential per-query scoring would produce.
 Duplicate paths inside one flush are scored once, and a
 :class:`~repro.serving.cache.ScoreCache` (keyed by model version) lets
 repeat paths skip the forward pass across flushes.
+
+Two batch-shape optimisations keep padded work proportional to real
+work: flushed paths are *length-sorted* before chunking (each chunk pads
+to its own maximum), and ``score_paths`` itself dispatches through the
+fused scoring backend with per-bucket padding (see
+:mod:`repro.nn.fused` and ``repro.core.batching.encode_path_buckets``).
 """
 
 from __future__ import annotations
@@ -87,9 +93,12 @@ class BatchingScorer:
     def flush(self, model: PathRank, model_version: str | None = None) -> int:
         """Score every queued ticket; returns the number of forward batches.
 
-        Scores are bit-identical to per-query sequential scoring: the
-        masked recurrence makes each path's result independent of its
-        batch neighbours and of padding length.
+        Scores are identical to per-query sequential scoring: the masked
+        recurrence makes each path's result independent of its batch
+        neighbours and of padding length.  Batches are drawn from a
+        length-sorted order (plus per-bucket padding inside
+        ``score_paths``), so mixed-length flushes pad to local maxima
+        rather than the longest queued path.
 
         Concurrent callers should prefer :meth:`score_many`: a bare
         ``submit`` + ``flush`` pair lets another thread's flush claim the
@@ -122,16 +131,20 @@ class BatchingScorer:
                 unique[key] = path
 
         batches_before = self.batches_run
-        to_score = list(unique.values())
+        # Length-sort before chunking so each fixed-size batch pads to
+        # its *local* maximum instead of the flush-wide one: one
+        # 120-vertex outlier then costs only its own batch.  Scores are
+        # scattered back through `resolved`, so ordering is free.
+        to_score = sorted(unique.values(), key=lambda path: path.num_vertices)
         for start in range(0, len(to_score), self.max_batch_size):
             chunk = to_score[start:start + self.max_batch_size]
             scores = model.score_paths(chunk)
             self.batches_run += 1
             self.paths_scored += len(chunk)
-            for path, score in zip(chunk, scores):
-                resolved[path.vertices] = float(score)
+            for path, score in zip(chunk, scores.tolist()):
+                resolved[path.vertices] = score
                 if use_cache:
-                    self.score_cache.store(model_version, path, float(score))
+                    self.score_cache.store(model_version, path, score)
 
         for ticket in tickets:
             ticket._scores = np.array(

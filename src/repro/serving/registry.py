@@ -24,6 +24,7 @@ from repro.core.model import PathRank
 from repro.core.ranker import PathRankRanker
 from repro.errors import ServingError
 from repro.graph.network import RoadNetwork
+from repro.nn.fused import compiled_for, resolve_scoring_backend
 from repro.nn.serialization import load_state
 
 __all__ = ["ActiveModel", "ModelRegistry"]
@@ -133,6 +134,10 @@ class ModelRegistry:
         unaffected.
         """
         model = self.load(version)
+        if resolve_scoring_backend() == "fused":
+            # Warm the fused inference kernel before the swap so the
+            # first request after activation pays no compile latency.
+            compiled_for(model)
         _, metadata = load_state(self._path_for(version))
         with self._lock:
             self._generation += 1

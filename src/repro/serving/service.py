@@ -20,6 +20,7 @@ from repro.errors import ReproError
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.graph.shortest_path import shortest_path
+from repro.nn.fused import resolve_scoring_backend
 from repro.ranking.training_data import TrainingDataConfig
 from repro.serving.batching import BatchingScorer
 from repro.serving.cache import CandidateCache, ScoreCache
@@ -200,9 +201,10 @@ class RankingService:
     def _model_response(self, request: RankRequest, paths: list[Path],
                         scores, active: ActiveModel, hit: bool,
                         elapsed_ms: float) -> RankResponse:
-        order = sorted(range(len(paths)), key=lambda i: -scores[i])
+        values = scores.tolist() if hasattr(scores, "tolist") else list(scores)
+        order = sorted(range(len(paths)), key=lambda i: -values[i])
         results = tuple(
-            RankedPath(path=paths[i], score=float(scores[i]), position=pos)
+            RankedPath(path=paths[i], score=values[i], position=pos)
             for pos, i in enumerate(order, start=1)
         )
         self.counters.bump("model_served")
@@ -257,5 +259,6 @@ class RankingService:
                 "batches_run": self.scorer.batches_run,
                 "paths_scored": self.scorer.paths_scored,
                 "max_batch_size": self.scorer.max_batch_size,
+                "backend": resolve_scoring_backend(),
             },
         }

@@ -4,7 +4,16 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError, DataError
-from repro.core import PathRank, PathRankMultiTask, Variant, build_pathrank, encode_paths, minibatches
+from repro.core import (
+    PathRank,
+    PathRankMultiTask,
+    Variant,
+    build_pathrank,
+    encode_path_buckets,
+    encode_paths,
+    length_buckets,
+    minibatches,
+)
 from repro.graph import Path
 from repro.nn import Tensor, check_gradients
 
@@ -58,6 +67,145 @@ class TestEncodePaths:
             list(minibatches(paths, np.zeros(2), 2))
         with pytest.raises(ValueError):
             list(minibatches(paths, np.zeros(3), 0))
+
+    def test_compact_dtypes(self, paths):
+        vertex_ids, mask = encode_paths(paths)
+        assert vertex_ids.dtype == np.int32
+        assert mask.dtype == np.float32
+
+    def test_scratch_reused_for_repeat_shapes(self, paths):
+        first_ids, first_mask = encode_paths(paths)
+        again_ids, again_mask = encode_paths(paths)
+        assert np.shares_memory(first_ids, again_ids)
+        assert np.shares_memory(first_mask, again_mask)
+        # Contents are re-written correctly on every call.
+        assert again_ids[:5, 1].tolist() == [0, 3, 4, 5, 2]
+        np.testing.assert_allclose(again_mask[:, 2], [1, 1, 0, 0, 0])
+
+    def test_reuse_false_returns_fresh_arrays(self, paths):
+        first_ids, first_mask = encode_paths(paths, reuse=False)
+        again_ids, again_mask = encode_paths(paths, reuse=False)
+        assert not np.shares_memory(first_ids, again_ids)
+        assert not np.shares_memory(first_mask, again_mask)
+
+    def test_scratch_zeroes_padding_after_larger_batch(self, paths,
+                                                       tiny_network):
+        encode_paths(paths)  # leaves non-zero ids in the scratch buffer
+        vertex_ids, mask = encode_paths(
+            [Path(tiny_network, [0, 2]), Path(tiny_network, [0, 1, 2])])
+        assert vertex_ids[:, 0].tolist() == [0, 2, 0]
+        np.testing.assert_allclose(mask[:, 0], [1, 1, 0])
+
+
+class TestLengthBuckets:
+    def test_partition_covers_every_index(self):
+        lengths = [30, 2, 17, 5, 5, 90, 8, 3, 44, 12, 2, 61, 7, 9, 20, 28,
+                   33, 70, 4, 11]
+        buckets = length_buckets(lengths, min_bucket=4)
+        flat = sorted(int(i) for bucket in buckets for i in bucket)
+        assert flat == list(range(len(lengths)))
+
+    def test_buckets_are_length_sorted(self):
+        lengths = [12, 3, 40, 7, 25, 5, 90, 18, 2, 33, 6, 11, 80, 4, 55, 9]
+        buckets = length_buckets(lengths, min_bucket=2)
+        ordered = [lengths[int(i)] for bucket in buckets for i in bucket]
+        assert ordered == sorted(lengths)
+
+    def test_growth_bounds_full_buckets(self):
+        rng = np.random.default_rng(4)
+        lengths = rng.integers(2, 200, size=100)
+        for bucket in length_buckets(lengths, growth=1.5, min_bucket=8):
+            values = lengths[bucket]
+            if len(values) > 8:
+                # Elements beyond the size floor only join while within
+                # the growth bound of the bucket's shortest member.
+                assert values[-1] <= values[0] * 1.5
+
+    def test_small_batches_stay_whole(self):
+        buckets = length_buckets([2, 50, 9, 120], min_bucket=8)
+        assert len(buckets) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            length_buckets([2, 3], growth=0.5)
+        with pytest.raises(ValueError):
+            length_buckets([2, 3], min_bucket=0)
+        assert length_buckets([]) == []
+
+    def test_encode_path_buckets_round_trip(self, tiny_network):
+        paths = [
+            Path(tiny_network, [0, 1, 2]),
+            Path(tiny_network, [0, 3, 4, 5, 2]),
+            Path(tiny_network, [0, 2]),
+            Path(tiny_network, [1, 4, 5]),
+        ]
+        seen = []
+        for index, vertex_ids, mask in encode_path_buckets(paths,
+                                                           min_bucket=1):
+            assert vertex_ids.shape == mask.shape
+            for column, i in enumerate(index):
+                path = paths[int(i)]
+                assert vertex_ids[:path.num_vertices,
+                                  column].tolist() == list(path.vertices)
+                assert mask[:, column].sum() == path.num_vertices
+                seen.append(int(i))
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_encode_path_buckets_rejects_empty(self):
+        with pytest.raises(DataError):
+            list(encode_path_buckets([]))
+
+
+class TestBucketedMinibatches:
+    def make_paths(self, tiny_network):
+        pool = [
+            Path(tiny_network, [0, 1, 2]),
+            Path(tiny_network, [0, 3, 4, 5, 2]),
+            Path(tiny_network, [0, 2]),
+            Path(tiny_network, [1, 4, 5]),
+            Path(tiny_network, [3, 4, 1, 0]),
+            Path(tiny_network, [2, 1, 4, 3]),
+            Path(tiny_network, [5, 4, 1, 2, 5]),
+        ]
+        return pool, np.arange(len(pool), dtype=float) / 10.0
+
+    def test_bucketed_is_permutation_of_unbucketed(self, tiny_network):
+        """Bucketing only regroups batches; the multiset of
+        (path-column, target) pairs must be exactly the dataset."""
+        paths, targets = self.make_paths(tiny_network)
+        for seed in range(5):
+            yielded = []
+            for vertex_ids, mask, batch_targets in minibatches(
+                    paths, targets, batch_size=3, rng=seed,
+                    bucket_by_length=True):
+                assert vertex_ids.shape == mask.shape
+                assert vertex_ids.shape[1] == batch_targets.shape[0]
+                for column, target in enumerate(batch_targets):
+                    real = int(mask[:, column].sum())
+                    yielded.append(
+                        (tuple(vertex_ids[:real, column].tolist()),
+                         float(target)))
+            expected = sorted((tuple(p.vertices), float(t))
+                              for p, t in zip(paths, targets))
+            assert sorted(yielded) == expected
+
+    def test_bucketed_batches_pad_locally(self, tiny_network):
+        paths, targets = self.make_paths(tiny_network)
+        steps = sorted(ids.shape[0] for ids, _, _ in minibatches(
+            paths, targets, batch_size=3, shuffle=False,
+            bucket_by_length=True))
+        # Without bucketing every batch containing a 5-vertex path pads
+        # to 5; the length-sorted order must produce a shorter batch.
+        assert steps[0] < 5
+
+    def test_bucketed_shuffle_deterministic(self, tiny_network):
+        paths, targets = self.make_paths(tiny_network)
+
+        def run(seed):
+            return [t.tolist() for _, _, t in minibatches(
+                paths, targets, 2, rng=seed, bucket_by_length=True)]
+
+        assert run(9) == run(9)
 
 
 class TestPathRankModel:

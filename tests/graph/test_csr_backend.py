@@ -53,6 +53,30 @@ class TestSingleSourceParity:
             for vertex, distance in expected.items():
                 assert got[vertex] == pytest.approx(distance, rel=1e-12)
 
+    def test_multi_source_matches_single_source(self, random_grid):
+        kernel = csr_for(random_grid)
+        sources = random_grid.vertex_ids()[:4]
+        stacked = kernel.multi_source(sources)
+        assert stacked.shape == (4, random_grid.num_vertices)
+        for row, source in zip(stacked, sources):
+            np.testing.assert_allclose(row, kernel.single_source(source),
+                                       atol=0, rtol=0)
+
+    def test_multi_source_reverse_matches_transposed_graph(self, random_grid):
+        kernel = csr_for(random_grid)
+        sources = random_grid.vertex_ids()[:3]
+        reverse_rows = kernel.multi_source(sources, reverse=True)
+        # d_rev(s -> v) on the transposed graph equals d(v -> s).
+        for row, source in zip(reverse_rows, sources):
+            for target in random_grid.vertex_ids()[::7]:
+                direct = kernel.shortest_path_cost(target, source)
+                assert row[kernel.index_of(target)] == pytest.approx(
+                    direct, rel=1e-9)
+
+    def test_multi_source_empty(self, random_grid):
+        kernel = csr_for(random_grid)
+        assert kernel.multi_source([]).shape == (0, random_grid.num_vertices)
+
     def test_travel_time_distances_match(self, random_grid):
         kernel = csr_for(random_grid)
         source = random_grid.vertex_ids()[1]

@@ -86,6 +86,30 @@ class TestChunkingAndDedup:
         np.testing.assert_array_equal(scores[0], scores[1])
 
 
+class TestBucketedFlush:
+    def test_mixed_length_flush_matches_sequential(self, model, small_grid):
+        """Length-sorted chunking + per-bucket padding must not change a
+        single score relative to one-query-at-a-time scoring."""
+        from repro.core.scoring_bench import random_walk_paths
+
+        rng = np.random.default_rng(7)
+        lists = [random_walk_paths(small_grid,
+                                   [int(n) for n in rng.integers(2, 30, 5)],
+                                   rng)
+                 for _ in range(4)]
+        sequential = [model.score_paths(paths) for paths in lists]
+        scorer = BatchingScorer(max_batch_size=6)
+        batched = scorer.score_many(model, lists)
+        for got, want in zip(batched, sequential):
+            np.testing.assert_allclose(got, want, atol=1e-7, rtol=0.0)
+
+    def test_flush_returns_python_floats(self, model, candidate_lists):
+        scorer = BatchingScorer()
+        ticket = scorer.submit(candidate_lists[0])
+        scorer.flush(model)
+        assert ticket.scores.dtype == np.float64
+
+
 class TestScoreCacheIntegration:
     def test_repeat_flush_skips_forward_pass(self, model, candidate_lists):
         scorer = BatchingScorer(score_cache=ScoreCache(capacity=64))

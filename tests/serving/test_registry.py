@@ -135,3 +135,43 @@ class TestHotSwapAtomicity:
         assert not failures, failures[0]
         assert service.counters.failed == 0
         assert registry.snapshot().generation == 41  # fixture activation + 40
+
+
+class TestFusedKernelAcrossSwaps:
+    def test_hot_swap_never_serves_stale_compiled_scores(
+            self, tiny_network, registry, make_ranker):
+        """After each activation the fused backend must score with the
+        *new* weights — a stale ``CompiledPathRank`` snapshot would
+        reproduce the previous version's scores exactly."""
+        from repro.graph.ksp import yen_k_shortest_paths
+
+        registry.publish(make_ranker(tiny_network, seed=1), version="v1")
+        registry.publish(make_ranker(tiny_network, seed=2), version="v2")
+        paths = yen_k_shortest_paths(tiny_network, 0, 5, 3)
+
+        scores = {}
+        for version in ("v1", "v2"):
+            active = registry.activate(version)
+            fused = active.model.score_paths(paths, backend="fused")
+            module = active.model.score_paths(paths, backend="module")
+            np.testing.assert_allclose(fused, module, atol=1e-6, rtol=0)
+            scores[version] = fused
+        assert not np.allclose(scores["v1"], scores["v2"])
+
+    def test_in_place_reload_rebuilds_kernel(self, tiny_network, registry,
+                                             make_ranker):
+        """Loading new weights into an existing model object (the
+        in-place variant of a swap) must invalidate its kernel."""
+        from repro.graph.ksp import yen_k_shortest_paths
+        from repro.nn.fused import compiled_for
+
+        model = make_ranker(tiny_network, seed=1).model
+        paths = yen_k_shortest_paths(tiny_network, 0, 5, 3)
+        model.score_paths(paths)  # populate the compiled cache
+        stale = compiled_for(model)
+        model.load_state_dict(make_ranker(tiny_network, seed=2)
+                              .model.state_dict())
+        fused = model.score_paths(paths, backend="fused")
+        module = model.score_paths(paths, backend="module")
+        assert compiled_for(model) is not stale
+        np.testing.assert_allclose(fused, module, atol=1e-6, rtol=0)

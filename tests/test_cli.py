@@ -224,3 +224,16 @@ class TestBenchServe:
         assert set(payload["latency_ms"]) == {"mean", "p50", "p95"}
         # A Zipf mix over 5 hotspots repeats constantly: the cache must show it.
         assert payload["candidate_cache_hit_rate"] > 0.5
+
+
+class TestBenchScoring:
+    def test_bench_scoring_smoke_reports_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_scoring.json"
+        code = main(["bench-scoring", "--smoke", "--out", str(out)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["preset"] == "smoke"
+        assert payload["headline"]["batch_speedup"] > 0
+        assert payload["parity"]["coalesced_max_abs_diff"] <= 1e-5
+        written = json.loads(out.read_text(encoding="utf-8"))
+        assert written["schema_version"] == payload["schema_version"]
