@@ -30,13 +30,14 @@ def test_candidate_set_quality(benchmark, pipeline):
 
     stats = benchmark.pedantic(build, rounds=1, iterations=1)
     rows = [[name, s.mean_candidates, s.mean_pairwise_similarity,
-             s.mean_score_spread, s.mean_best_score, s.coverage_at_80]
+             s.mean_score_spread, s.mean_best_score, s.coverage_at_80,
+             s.mean_candidate_stretch, s.mean_best_stretch]
             for name, s in stats.items()]
     print()
     print(render_table(
         "E12: candidate-set quality by strategy",
         ["strategy", "cands/query", "pairwise WJ", "score spread",
-         "best score", "coverage@0.8"],
+         "best score", "coverage@0.8", "stretch", "best stretch"],
         rows,
     ))
 

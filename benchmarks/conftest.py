@@ -44,16 +44,19 @@ def pipeline(bench_config) -> ExperimentPipeline:
 
 
 def pytest_collect_file(file_path, parent):
-    """Wire the routing/scoring benchmarks' smoke assertions into tier-1.
+    """Wire the routing/scoring/serving benchmarks' smoke assertions
+    into tier-1.
 
     Benchmark modules are named ``bench_*.py`` and therefore invisible
     to the default ``test_*.py`` collection — the heavyweight table /
-    figure benches must stay opt-in.  The routing and scoring benches'
-    smoke modes are sub-second and guard the CSR and fused-scoring
-    backends (not-slower + valid ``BENCH_*.json``), so they alone are
-    collected explicitly.
+    figure benches must stay opt-in.  The routing, scoring, and serving
+    benches' smoke modes run in a few seconds combined and guard the
+    CSR kernel, the fused-scoring backend, and the concurrent serving
+    engine (not-slower + parity + valid ``BENCH_*.json``), so they
+    alone are collected explicitly.
     """
-    if file_path.name in ("bench_routing.py", "bench_scoring.py"):
+    if file_path.name in ("bench_routing.py", "bench_scoring.py",
+                          "bench_serving.py"):
         return pytest.Module.from_parent(parent, path=file_path)
 
 
@@ -78,6 +81,21 @@ def scoring_smoke_report(tmp_path_factory):
     report = scoring_bench.run_scoring_benchmark(scoring_bench.smoke_config())
     out = tmp_path_factory.mktemp("scoring") / "BENCH_scoring.json"
     scoring_bench.write_report(report, out)
+    return json.loads(out.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="session")
+def serving_smoke_report(tmp_path_factory):
+    """The serving benchmark at smoke scale, round-tripped through its
+    JSON report so the schema tests exercise what ``bench-serve
+    --report`` actually writes.  This wrapper is what wires
+    ``bench_serving.py`` into the tier-1 test run at a tiny,
+    stable-cost preset."""
+    from repro.serving import serving_bench
+
+    report = serving_bench.run_serving_benchmark(serving_bench.smoke_config())
+    out = tmp_path_factory.mktemp("serving") / "BENCH_serving.json"
+    serving_bench.write_report(report, out)
     return json.loads(out.read_text(encoding="utf-8"))
 
 

@@ -13,9 +13,11 @@ without writing Python::
     python -m repro.cli rank --dataset /tmp/trips.json --model /tmp/model.npz \
         --source 3 --target 47
     python -m repro.cli serve --network /tmp/net.json --model /tmp/model.npz \
-        --queries-file /tmp/queries.json --json
+        --queries-file /tmp/queries.json --json \
+        --concurrency 8 --flush-deadline-ms 2 --split v0001=3,v0002=1
     python -m repro.cli bench-serve --network /tmp/net.json \
-        --model /tmp/model.npz --requests 200 --hotspots 20
+        --model /tmp/model.npz --requests 200 --hotspots 20 \
+        --concurrency 32 --qps 500
     python -m repro.cli bench-routing --out BENCH_routing.json
     python -m repro.cli bench-scoring --out BENCH_scoring.json
 """
@@ -50,8 +52,12 @@ from repro.serving import (
     RankingService,
     RankRequest,
     ServingConfig,
+    ServingEngine,
     WorkloadConfig,
+    generate_timed_workload,
     generate_workload,
+    replay_open_loop,
+    run_engine_workload,
     run_workload,
 )
 from repro.trajectories.dataset import TrajectoryDataset
@@ -136,6 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-fallback", action="store_true",
                        help="fail requests instead of degrading to the "
                             "shortest path")
+    serve.add_argument("--concurrency", type=int, default=0,
+                       help="serve through the concurrent engine with this "
+                            "many workers (0 = synchronous facade)")
+    serve.add_argument("--flush-deadline-ms", type=float, default=2.0,
+                       help="engine scoring-batch flush deadline")
+    serve.add_argument("--split", default=None,
+                       help="A/B traffic split, e.g. 'v0001=3,v0002=1' "
+                            "(weights are normalised)")
     serve.add_argument("--json", action="store_true",
                        help="print responses and stats as JSON")
 
@@ -152,6 +166,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--k", type=int, default=5)
     bench.add_argument("--batch-size", type=int, default=8)
     bench.add_argument("--cache-size", type=int, default=1024)
+    bench.add_argument("--concurrency", type=int, default=0,
+                       help="drive the concurrent engine closed-loop with "
+                            "this many clients (0 = batched synchronous "
+                            "replay)")
+    bench.add_argument("--flush-deadline-ms", type=float, default=2.0,
+                       help="engine scoring-batch flush deadline")
+    bench.add_argument("--split", default=None,
+                       help="A/B traffic split, e.g. 'v0001=3,v0002=1'")
+    bench.add_argument("--qps", type=float, default=None,
+                       help="open-loop mode: drive the engine with Poisson "
+                            "arrivals at this rate (requires --concurrency)")
 
     routing = commands.add_parser(
         "bench-routing",
@@ -277,6 +302,30 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_split(text: str | None) -> dict[str, float] | None:
+    """Parse an A/B split flag: ``'v0001=3,v0002=1'`` -> weight map."""
+    if text is None:
+        return None
+    split: dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        version, _, weight = part.partition("=")
+        if not version or not weight:
+            raise ServingError(
+                f"malformed --split entry {part!r}; expected version=weight")
+        try:
+            split[version] = float(weight)
+        except ValueError:
+            raise ServingError(
+                f"--split weight for {version!r} must be a number, "
+                f"got {weight!r}") from None
+    if not split:
+        raise ServingError("--split named no versions")
+    return split
+
+
 def _build_service(args: argparse.Namespace):
     """Shared serve / bench-serve bootstrap: network + registry + service."""
     network = load_network_json(args.network)
@@ -285,12 +334,23 @@ def _build_service(args: argparse.Namespace):
         # Check before ModelRegistry mkdirs a typo'd parent directory.
         raise ServingError(f"no such model checkpoint: {model_path}")
     registry = ModelRegistry(model_path.parent, network)
+    split = _parse_split(getattr(args, "split", None))
+    if split is not None:
+        for version in split:
+            if not registry.has_version(version):
+                known = ", ".join(registry.versions()) or "none"
+                raise ServingError(
+                    f"--split names unpublished version {version!r} "
+                    f"(published: {known})")
     config = ServingConfig(
         candidates=TrainingDataConfig(
             strategy=Strategy.from_name(args.strategy), k=args.k),
         candidate_cache_size=args.cache_size,
         max_batch_size=max(args.batch_size * args.k, 1),
         fallback_to_shortest=not getattr(args, "no_fallback", False),
+        traffic_split=split,
+        concurrency=max(getattr(args, "concurrency", 0), 1),
+        flush_deadline_ms=getattr(args, "flush_deadline_ms", 2.0),
     )
     service = RankingService(network, registry, config)
     service.activate(model_path.stem)
@@ -322,9 +382,19 @@ def _load_queries(path: str) -> list[RankRequest]:
 def _cmd_serve(args: argparse.Namespace) -> int:
     service = _build_service(args)
     requests = _load_queries(args.queries_file)
-    responses = []
-    for start in range(0, len(requests), args.batch_size):
-        responses.extend(service.rank_batch(requests[start:start + args.batch_size]))
+    if args.concurrency > 0:
+        # Concurrent front door: the engine re-batches by its own
+        # deadline/size policy; responses stay in request order.
+        with ServingEngine(service, concurrency=args.concurrency,
+                           flush_deadline_ms=args.flush_deadline_ms) as engine:
+            responses = engine.rank_batch(requests)
+            stats = engine.stats()
+    else:
+        responses = []
+        for start in range(0, len(requests), args.batch_size):
+            responses.extend(
+                service.rank_batch(requests[start:start + args.batch_size]))
+        stats = service.stats()
     if args.json:
         print(json.dumps({
             "responses": [
@@ -341,7 +411,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 }
                 for r in responses
             ],
-            "stats": service.stats(),
+            "stats": stats,
         }))
         return 0 if all(r.ok for r in responses) else 1
     for r in responses:
@@ -354,7 +424,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"top score={top.score:.4f} length={top.path.length:.0f}m "
               f"({'cache hit' if r.candidate_cache_hit else 'cold'}, "
               f"{r.latency_ms:.2f} ms)")
-    stats = service.stats()
     print(f"served {stats['counters']['requests']} requests | "
           f"candidate-cache hit rate "
           f"{stats['candidate_cache']['hit_rate']:.2f} | "
@@ -364,14 +433,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    if args.qps is not None and args.concurrency <= 0:
+        raise ServingError("--qps (open-loop mode) requires --concurrency")
     service = _build_service(args)
-    workload = generate_workload(
-        service.network,
-        WorkloadConfig(num_requests=args.requests, num_hotspots=args.hotspots,
-                       zipf_exponent=args.zipf),
-        rng=args.seed,
-    )
-    summary = run_workload(service, workload, batch_size=args.batch_size)
+    workload_config = WorkloadConfig(
+        num_requests=args.requests, num_hotspots=args.hotspots,
+        zipf_exponent=args.zipf, arrival_rate_qps=args.qps)
+    if args.concurrency > 0:
+        with ServingEngine(service, concurrency=args.concurrency,
+                           flush_deadline_ms=args.flush_deadline_ms) as engine:
+            if args.qps is not None:
+                timed = generate_timed_workload(service.network,
+                                                workload_config, rng=args.seed)
+                summary = replay_open_loop(engine, timed)
+            else:
+                workload = generate_workload(service.network, workload_config,
+                                             rng=args.seed)
+                summary = run_engine_workload(engine, workload,
+                                              concurrency=args.concurrency)
+            summary["stats"] = engine.stats()
+    else:
+        workload = generate_workload(service.network, workload_config,
+                                     rng=args.seed)
+        summary = run_workload(service, workload, batch_size=args.batch_size)
     print(json.dumps(summary, indent=2))
     return 0
 

@@ -1,13 +1,19 @@
 """PathRank core: the paper's model, trainer, and ranking API."""
 
 from repro.core.batching import (
+    bucketed_batch_indices,
     encode_path_buckets,
     encode_paths,
     length_buckets,
     minibatches,
 )
 from repro.core.model import PathRank
-from repro.core.ranker import PathRankRanker, RankerConfig, generate_candidates
+from repro.core.ranker import (
+    PathRankRanker,
+    RankerConfig,
+    generate_candidates,
+    rank_paths,
+)
 from repro.core.trainer import Trainer, TrainerConfig, TrainingHistory, flatten_queries
 from repro.core.variants import (
     NUM_AUX_TARGETS,
@@ -17,10 +23,12 @@ from repro.core.variants import (
 )
 
 __all__ = [
+    "bucketed_batch_indices",
     "encode_paths",
     "encode_path_buckets",
     "length_buckets",
     "minibatches",
+    "rank_paths",
     "PathRank",
     "PathRankMultiTask",
     "Variant",

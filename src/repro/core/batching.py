@@ -27,6 +27,7 @@ from repro.graph.path import Path
 from repro.rng import RngLike, make_rng
 
 __all__ = [
+    "bucketed_batch_indices",
     "encode_paths",
     "encode_path_buckets",
     "length_buckets",
@@ -159,6 +160,38 @@ def encode_path_buckets(
         yield index, vertex_ids, mask
 
 
+def bucketed_batch_indices(
+    lengths: Sequence[int],
+    batch_size: int,
+    rng: RngLike = None,
+    shuffle: bool = True,
+) -> list[np.ndarray]:
+    """Batch index groups drawn from a length-sorted order.
+
+    The bucketed-padding idiom shared by inference
+    (:func:`minibatches` with ``bucket_by_length``) and the
+    :class:`~repro.core.trainer.Trainer`'s query batching: items are
+    (stably) sorted by length so each contiguous batch pads to roughly
+    its own maximum, while the shuffle randomises equal-length order and
+    the sequence batches are visited in.  Every index appears in exactly
+    one batch.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    generator = make_rng(rng)
+    order = np.arange(len(lengths))
+    if len(order) == 0:
+        return []
+    if shuffle:
+        generator.shuffle(order)
+    values = np.asarray(lengths)[order]
+    order = order[np.argsort(values, kind="stable")]
+    starts = np.arange(0, len(order), batch_size)
+    if shuffle:
+        generator.shuffle(starts)
+    return [order[start:start + batch_size] for start in starts]
+
+
 def minibatches(
     paths: Sequence[Path],
     targets: np.ndarray,
@@ -186,17 +219,17 @@ def minibatches(
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     generator = make_rng(rng)
-    order = np.arange(len(paths))
-    if shuffle:
-        generator.shuffle(order)
-    starts = np.arange(0, len(paths), batch_size)
     if bucket_by_length:
-        lengths = np.array([paths[int(i)].num_vertices for i in order])
-        order = order[np.argsort(lengths, kind="stable")]
+        batches = bucketed_batch_indices(
+            [path.num_vertices for path in paths], batch_size,
+            rng=generator, shuffle=shuffle)
+    else:
+        order = np.arange(len(paths))
         if shuffle:
-            generator.shuffle(starts)
-    for start in starts:
-        index = order[start:start + batch_size]
+            generator.shuffle(order)
+        batches = [order[start:start + batch_size]
+                   for start in range(0, len(paths), batch_size)]
+    for index in batches:
         chunk = [paths[int(i)] for i in index]
         # Fresh arrays: consumers may legitimately hold several batches.
         vertex_ids, mask = encode_paths(chunk, reuse=False)

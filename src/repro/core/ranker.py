@@ -41,7 +41,8 @@ from repro.ranking.training_data import (
 from repro.rng import RngLike, make_rng, spawn
 from repro.trajectories.generator import Trip
 
-__all__ = ["RankerConfig", "PathRankRanker", "generate_candidates"]
+__all__ = ["RankerConfig", "PathRankRanker", "generate_candidates",
+           "rank_paths"]
 
 
 def generate_candidates(
@@ -71,6 +72,25 @@ def generate_candidates(
         examine_limit=config.examine_limit,
     )
     return list(result.paths)
+
+
+def rank_paths(paths: Sequence[Path],
+               scores) -> list[tuple[Path, float]]:
+    """Order candidates by score, best first (stable on ties).
+
+    The assembly half of ranking, shared by :meth:`PathRankRanker.rank`
+    and the serving pipeline's response stage: given candidates and
+    their scores (any sequence or array), returns ``(path, score)``
+    pairs sorted best-first, breaking ties by generation order so every
+    front door ranks identically.
+    """
+    values = scores.tolist() if hasattr(scores, "tolist") else list(scores)
+    if len(paths) != len(values):
+        raise ValueError(
+            f"paths ({len(paths)}) and scores ({len(values)}) disagree"
+        )
+    order = sorted(range(len(values)), key=lambda i: -values[i])
+    return [(paths[i], values[i]) for i in order]
 
 
 @dataclass(frozen=True)
@@ -212,8 +232,7 @@ class PathRankRanker:
         paths = self.generate_candidates(source, target)
         if not paths:
             return []
-        scores = self.score_candidates(paths)
-        return sorted(zip(paths, scores.tolist()), key=lambda item: -item[1])
+        return rank_paths(paths, self.score_candidates(paths))
 
     # ------------------------------------------------------------------
     # Persistence

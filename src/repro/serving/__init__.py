@@ -18,9 +18,24 @@ deployment needs around it:
   requests into padded batches and runs one forward pass per batch.
   The masked recurrence makes batched scores identical to sequential
   per-query scores.
-* :class:`RankingService` — the facade: request/response dataclasses,
-  per-request latency and cache instrumentation, and graceful
-  degradation to the shortest path when no model is available.
+* :class:`RankingService` — the synchronous facade: request/response
+  dataclasses, per-request latency and cache instrumentation, and
+  graceful degradation to the shortest path when no model is available.
+  Internally a **staged pipeline** (admission → candidate generation →
+  scoring → assembly) over :class:`~repro.serving.pipeline.QueryState`
+  records.
+* :class:`ServingEngine` — the concurrent front door over the same
+  pipeline: worker threads prepare requests, a deadline flusher
+  coalesces *concurrent* queries into fused scoring batches (flush on
+  ``max_batch_size`` paths or ``flush_deadline_ms``, whichever first),
+  and an optional warm-up replays a recorded hotspot mix through the
+  caches before the engine reports ready.  Responses are element-wise
+  identical to the synchronous path.
+* **A/B serving** — ``ServingConfig.traffic_split`` routes each request
+  deterministically to one of several published model versions (and
+  ``RankRequest.model_version`` pins one explicitly); the registry
+  keeps every split target resident, and :class:`SplitMetrics` keeps
+  the variants' latency/outcome accounting separated.
 
 Usage::
 
@@ -41,8 +56,14 @@ Usage::
         print(suggestion.position, suggestion.score, suggestion.path)
     print(service.stats())
 
+    # Concurrent traffic: the engine coalesces independent requests.
+    with ServingEngine(service, concurrency=8,
+                       warmup=recorded_hotspot_mix) as engine:
+        responses = engine.rank_batch(live_requests)
+
 The load-testing helpers in :mod:`repro.serving.loadgen` (Zipf-skewed
-OD-hotspot mixes) back both ``python -m repro.cli bench-serve`` and
+OD-hotspot mixes, closed-loop engine clients, Poisson open-loop
+arrival schedules) back both ``python -m repro.cli bench-serve`` and
 ``benchmarks/bench_serving.py``.
 
 Scoring backends
@@ -76,17 +97,26 @@ speedup; ``BENCH_scoring.json`` holds the committed numbers).
 
 from repro.serving.batching import BatchingScorer, ScoreTicket
 from repro.serving.cache import CacheStats, CandidateCache, LRUCache, ScoreCache
+from repro.serving.engine import EngineTicket, ServingEngine
 from repro.serving.instrumentation import (
     LatencyTracker,
+    OccupancyTracker,
     ServiceCounters,
+    SplitMetrics,
     percentile,
 )
 from repro.serving.loadgen import (
+    TimedRequest,
     WorkloadConfig,
+    generate_timed_workload,
     generate_workload,
+    poisson_arrivals,
+    replay_open_loop,
+    run_engine_workload,
     run_workload,
     zipf_weights,
 )
+from repro.serving.pipeline import QueryState, assign_split, normalise_split
 from repro.serving.registry import ActiveModel, ModelRegistry
 from repro.serving.service import (
     RankedPath,
@@ -101,9 +131,12 @@ __all__ = [
     "BatchingScorer",
     "CacheStats",
     "CandidateCache",
+    "EngineTicket",
     "LatencyTracker",
     "LRUCache",
     "ModelRegistry",
+    "OccupancyTracker",
+    "QueryState",
     "percentile",
     "RankedPath",
     "RankingService",
@@ -113,8 +146,17 @@ __all__ = [
     "ScoreTicket",
     "ServiceCounters",
     "ServingConfig",
+    "ServingEngine",
+    "SplitMetrics",
+    "TimedRequest",
     "WorkloadConfig",
+    "assign_split",
+    "generate_timed_workload",
     "generate_workload",
+    "normalise_split",
+    "poisson_arrivals",
+    "replay_open_loop",
+    "run_engine_workload",
     "run_workload",
     "zipf_weights",
 ]

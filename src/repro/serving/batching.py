@@ -114,21 +114,19 @@ class BatchingScorer:
         # the cache only participates when a version is supplied.
         use_cache = self.score_cache is not None and model_version is not None
 
-        # Deduplicate by vertex sequence and consult the score cache.
+        # Deduplicate by vertex sequence, then consult the score cache
+        # for the whole flush at once (one lock round-trip).
         unique: dict[tuple[int, ...], Path] = {}
-        resolved: dict[tuple[int, ...], float] = {}
         for ticket in tickets:
             for path in ticket.paths:
-                key = path.vertices
-                if key in unique or key in resolved:
-                    continue
-                if use_cache:
-                    cached = self.score_cache.lookup(model_version, path)
-                    if cached is not None:
-                        resolved[key] = cached
-                        self.cache_hits += 1
-                        continue
-                unique[key] = path
+                unique.setdefault(path.vertices, path)
+        resolved: dict[tuple[int, ...], float] = {}
+        if use_cache:
+            resolved = self.score_cache.lookup_many(model_version,
+                                                    list(unique.values()))
+            self.cache_hits += len(resolved)
+            for key in resolved:
+                del unique[key]
 
         batches_before = self.batches_run
         # Length-sort before chunking so each fixed-size batch pads to
@@ -141,10 +139,11 @@ class BatchingScorer:
             scores = model.score_paths(chunk)
             self.batches_run += 1
             self.paths_scored += len(chunk)
-            for path, score in zip(chunk, scores.tolist()):
+            scored = list(zip(chunk, scores.tolist()))
+            for path, score in scored:
                 resolved[path.vertices] = score
-                if use_cache:
-                    self.score_cache.store(model_version, path, score)
+            if use_cache:
+                self.score_cache.store_many(model_version, scored)
 
         for ticket in tickets:
             ticket._scores = np.array(

@@ -90,6 +90,37 @@ class LRUCache:
             self.stats.hits += 1
             return value
 
+    def get_many(self, keys: Sequence[Hashable]) -> dict[Hashable, object]:
+        """Present entries for ``keys`` under one lock acquisition.
+
+        Returns only the keys that were found (recency refreshed, stats
+        counted per key).  The batched scorer uses this so a flush of
+        hundreds of paths costs one lock round-trip, not one per path —
+        which matters once concurrent workers share the cache.
+        """
+        found: dict[Hashable, object] = {}
+        with self._lock:
+            for key in keys:
+                value = self._entries.get(key, _MISSING)
+                if value is _MISSING:
+                    self.stats.misses += 1
+                    continue
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                found[key] = value
+        return found
+
+    def put_many(self, items: Sequence[tuple[Hashable, object]]) -> None:
+        """Store many entries under one lock acquisition (LRU-evicting)."""
+        with self._lock:
+            for key, value in items:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
     def peek(self, key: Hashable, default: object = None) -> object:
         """Read without touching recency or statistics (for tests/metrics)."""
         with self._lock:
@@ -193,8 +224,24 @@ class ScoreCache:
     def lookup(self, version: str | None, path: Path) -> float | None:
         return self._cache.get(self.key_for(version, path))
 
+    def lookup_many(self, version: str | None,
+                    paths: Sequence[Path]) -> dict[tuple[int, ...], float]:
+        """Cached scores for ``paths``, keyed by vertex sequence.
+
+        One lock acquisition for the whole group; absent paths are
+        simply missing from the result.
+        """
+        keys = [self.key_for(version, path) for path in paths]
+        found = self._cache.get_many(keys)
+        return {key[1]: value for key, value in found.items()}
+
     def store(self, version: str | None, path: Path, score: float) -> None:
         self._cache.put(self.key_for(version, path), float(score))
+
+    def store_many(self, version: str | None,
+                   scored: Sequence[tuple[Path, float]]) -> None:
+        self._cache.put_many([(self.key_for(version, path), float(score))
+                              for path, score in scored])
 
     def clear(self) -> None:
         self._cache.clear()

@@ -1,8 +1,11 @@
 """Latency and throughput accounting for the serving layer.
 
 Kept deliberately tiny: a bounded reservoir of per-request latencies
-with nearest-rank percentiles, and the service-level counters the
-``serve`` / ``bench-serve`` CLI commands report as JSON.
+with nearest-rank percentiles, the service-level counters the ``serve``
+/ ``bench-serve`` CLI commands report as JSON, per-split copies of both
+for A/B serving (:class:`SplitMetrics`), and the scoring-batch occupancy
+gauge (:class:`OccupancyTracker`) that shows whether the concurrent
+engine's cross-request coalescing is actually engaging.
 """
 
 from __future__ import annotations
@@ -11,7 +14,8 @@ import threading
 from collections import deque
 from dataclasses import dataclass, field
 
-__all__ = ["percentile", "LatencyTracker", "ServiceCounters"]
+__all__ = ["percentile", "LatencyTracker", "ServiceCounters",
+           "SplitMetrics", "OccupancyTracker"]
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -90,4 +94,109 @@ class ServiceCounters:
             "fallback_served": self.fallback_served,
             "failed": self.failed,
             "hot_swaps": self.hot_swaps,
+        }
+
+
+#: How a response's ``served_by`` maps onto a counter field.
+_OUTCOME_FIELDS = {"model": "model_served", "fallback": "fallback_served",
+                   "error": "failed"}
+
+
+class SplitMetrics:
+    """Per-split latency and outcome accounting for A/B serving.
+
+    A *split* is the model version a request was routed to — by the
+    weighted traffic split or an explicit per-request pin.  Trackers are
+    created lazily on first sight of a label, so an idle variant costs
+    nothing; requests served by the plain active model (no split in
+    play) are not recorded here, keeping the section a pure view of the
+    experiment traffic.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        self._window = window
+        self._splits: dict[str, tuple[LatencyTracker, ServiceCounters]] = {}
+        self._lock = threading.Lock()
+
+    def _for(self, split: str) -> tuple[LatencyTracker, ServiceCounters]:
+        with self._lock:
+            entry = self._splits.get(split)
+            if entry is None:
+                entry = (LatencyTracker(self._window), ServiceCounters())
+                self._splits[split] = entry
+            return entry
+
+    def record(self, split: str | None, served_by: str,
+               latency_ms: float) -> None:
+        if split is None:
+            return
+        latency, counters = self._for(split)
+        latency.record(latency_ms)
+        counters.bump("requests")
+        outcome = _OUTCOME_FIELDS.get(served_by)
+        if outcome is not None:
+            counters.bump(outcome)
+
+    def labels(self) -> list[str]:
+        with self._lock:
+            return sorted(self._splits)
+
+    def requests_for(self, split: str) -> int:
+        with self._lock:
+            entry = self._splits.get(split)
+        return entry[1].requests if entry else 0
+
+    def as_dict(self) -> dict[str, dict[str, object]]:
+        with self._lock:
+            entries = dict(self._splits)
+        return {
+            split: {"latency": latency.as_dict(),
+                    "counters": counters.as_dict()}
+            for split, (latency, counters) in sorted(entries.items())
+        }
+
+
+class OccupancyTracker:
+    """Mean requests / paths per scoring flush of the concurrent engine.
+
+    Occupancy above 1 request per flush is the direct evidence that
+    cross-request coalescing engaged — independent queries shared a
+    fused forward pass instead of each paying the small-batch path.
+    """
+
+    def __init__(self) -> None:
+        self._flushes = 0
+        self._requests = 0
+        self._paths = 0
+        self._lock = threading.Lock()
+
+    def record(self, requests: int, paths: int) -> None:
+        with self._lock:
+            self._flushes += 1
+            self._requests += requests
+            self._paths += paths
+
+    @property
+    def flushes(self) -> int:
+        return self._flushes
+
+    @property
+    def mean_requests(self) -> float:
+        with self._lock:
+            return self._requests / self._flushes if self._flushes else 0.0
+
+    @property
+    def mean_paths(self) -> float:
+        with self._lock:
+            return self._paths / self._flushes if self._flushes else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        with self._lock:
+            flushes, requests, paths = (self._flushes, self._requests,
+                                        self._paths)
+        return {
+            "flushes": flushes,
+            "requests_coalesced": requests,
+            "mean_requests_per_flush": requests / flushes if flushes else 0.0,
+            "mean_paths_per_flush": paths / flushes if flushes else 0.0,
         }

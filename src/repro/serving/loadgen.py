@@ -7,10 +7,23 @@ from that pool with Zipf-distributed popularity, which is exactly the
 regime caches are built for.  ``run_workload`` replays a request list
 against a :class:`RankingService` and summarises latency, throughput,
 and cache behaviour as a plain JSON-able dict.
+
+Two drive modes exist for the concurrent engine:
+
+* **closed loop** (:func:`run_engine_workload`) — ``concurrency``
+  client threads each submit their next request the moment the previous
+  response arrives, the classic saturation benchmark;
+* **open loop** (:func:`generate_timed_workload` +
+  :func:`replay_open_loop`) — requests carry Poisson inter-arrival
+  timestamps targeting ``arrival_rate_qps``, and the replayer submits
+  each one at its scheduled instant regardless of completions, which is
+  how production traffic actually behaves (queueing delay shows up in
+  the latency numbers instead of silently throttling the offered load).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -24,18 +37,25 @@ from repro.rng import RngLike, make_rng
 from repro.serving.instrumentation import percentile
 from repro.serving.service import RankingService, RankRequest
 
-__all__ = ["WorkloadConfig", "zipf_weights", "generate_workload",
-           "run_workload"]
+__all__ = ["WorkloadConfig", "TimedRequest", "zipf_weights",
+           "poisson_arrivals", "generate_workload", "generate_timed_workload",
+           "run_workload", "run_engine_workload", "replay_open_loop"]
 
 
 @dataclass(frozen=True)
 class WorkloadConfig:
-    """Shape of a synthetic query stream."""
+    """Shape of a synthetic query stream.
+
+    ``arrival_rate_qps`` is only consulted by the open-loop generator:
+    it sets the mean of the Poisson arrival process attached to each
+    request (``None`` means back-to-back, all arrivals at t=0).
+    """
 
     num_requests: int = 200
     num_hotspots: int = 20
     zipf_exponent: float = 1.1
     min_hop_distance: float = 1.0  # metres; rejects degenerate OD pairs
+    arrival_rate_qps: float | None = None
 
     def __post_init__(self) -> None:
         if self.num_requests < 1:
@@ -46,6 +66,22 @@ class WorkloadConfig:
             raise ValueError(
                 f"zipf_exponent must be > 0, got {self.zipf_exponent}"
             )
+        if self.arrival_rate_qps is not None and self.arrival_rate_qps <= 0.0:
+            raise ValueError(
+                f"arrival_rate_qps must be > 0, got {self.arrival_rate_qps}"
+            )
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """One open-loop request: what to ask and when to ask it.
+
+    ``arrival_s`` is the offset from the start of the replay at which
+    the request enters the system.
+    """
+
+    request: RankRequest
+    arrival_s: float
 
 
 def zipf_weights(n: int, exponent: float) -> np.ndarray:
@@ -54,6 +90,23 @@ def zipf_weights(n: int, exponent: float) -> np.ndarray:
         raise ValueError(f"n must be >= 1, got {n}")
     weights = 1.0 / np.arange(1, n + 1, dtype=float) ** exponent
     return weights / weights.sum()
+
+
+def poisson_arrivals(num: int, qps: float, rng: RngLike = None) -> np.ndarray:
+    """Cumulative arrival offsets (seconds) of a Poisson process.
+
+    Inter-arrival gaps are exponential with mean ``1/qps``, so a long
+    stream's offered load converges on ``qps`` queries per second —
+    with the bursts and lulls real traffic has, which closed-loop
+    replays structurally cannot produce.
+    """
+    if num < 1:
+        raise ValueError(f"num must be >= 1, got {num}")
+    if qps <= 0.0:
+        raise ValueError(f"qps must be > 0, got {qps}")
+    generator = make_rng(rng)
+    gaps = generator.exponential(scale=1.0 / qps, size=num)
+    return np.cumsum(gaps)
 
 
 def _hotspot_pool(network: RoadNetwork, config: WorkloadConfig,
@@ -100,6 +153,46 @@ def generate_workload(network: RoadNetwork,
     ]
 
 
+def generate_timed_workload(network: RoadNetwork,
+                            config: WorkloadConfig | None = None,
+                            rng: RngLike = None) -> list[TimedRequest]:
+    """The Zipf OD mix plus open-loop arrival timestamps.
+
+    The OD draw is identical to :func:`generate_workload` under the
+    same rng seed; arrivals are Poisson at ``config.arrival_rate_qps``
+    (all zero when unset, i.e. "as fast as possible").
+    """
+    config = config or WorkloadConfig()
+    generator = make_rng(rng)
+    requests = generate_workload(network, config, generator)
+    if config.arrival_rate_qps is None:
+        arrivals = np.zeros(len(requests))
+    else:
+        arrivals = poisson_arrivals(len(requests), config.arrival_rate_qps,
+                                    generator)
+    return [TimedRequest(request=request, arrival_s=float(at))
+            for request, at in zip(requests, arrivals)]
+
+
+def _summarise(latencies: list[float], outcomes: dict[str, int],
+               candidate_hits: int, requests: int,
+               elapsed: float) -> dict[str, object]:
+    return {
+        "requests": requests,
+        "elapsed_s": elapsed,
+        "throughput_qps": requests / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": {
+            "mean": float(np.mean(latencies)) if latencies else 0.0,
+            "p50": percentile(latencies, 50.0),
+            "p95": percentile(latencies, 95.0),
+        },
+        "served_by": outcomes,
+        "candidate_cache_hit_rate": (
+            candidate_hits / requests if requests else 0.0
+        ),
+    }
+
+
 def run_workload(service: RankingService, requests: Sequence[RankRequest],
                  batch_size: int = 1) -> dict[str, object]:
     """Replay ``requests`` and summarise what the service did.
@@ -120,19 +213,96 @@ def run_workload(service: RankingService, requests: Sequence[RankRequest],
             outcomes[response.served_by] += 1
             candidate_hits += int(response.candidate_cache_hit)
     elapsed = time.perf_counter() - started
-    return {
-        "requests": len(requests),
-        "batch_size": batch_size,
-        "elapsed_s": elapsed,
-        "throughput_qps": len(requests) / elapsed if elapsed > 0 else 0.0,
-        "latency_ms": {
-            "mean": float(np.mean(latencies)) if latencies else 0.0,
-            "p50": percentile(latencies, 50.0),
-            "p95": percentile(latencies, 95.0),
-        },
-        "served_by": outcomes,
-        "candidate_cache_hit_rate": (
-            candidate_hits / len(requests) if requests else 0.0
-        ),
-        "stats": service.stats(),
-    }
+    summary = _summarise(latencies, outcomes, candidate_hits, len(requests),
+                         elapsed)
+    summary["batch_size"] = batch_size
+    summary["stats"] = service.stats()
+    return summary
+
+
+def run_engine_workload(engine, requests: Sequence[RankRequest],
+                        concurrency: int = 32) -> dict[str, object]:
+    """Closed-loop drive: ``concurrency`` clients hammer the engine.
+
+    Each client thread submits its next request as soon as its previous
+    one is answered, so the engine always sees about ``concurrency``
+    requests in flight — the regime deadline-batched coalescing is
+    built for.  Returns the same summary shape as :func:`run_workload`
+    plus the engine's batch-occupancy gauges.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    queue = list(requests)
+    cursor = threading.Lock()
+    position = [0]
+    latencies: list[float] = []
+    outcomes = {"model": 0, "fallback": 0, "error": 0}
+    candidate_hits = 0
+    results_lock = threading.Lock()
+
+    def client() -> None:
+        nonlocal candidate_hits
+        while True:
+            with cursor:
+                if position[0] >= len(queue):
+                    return
+                request = queue[position[0]]
+                position[0] += 1
+            response = engine.rank(request)
+            with results_lock:
+                latencies.append(response.latency_ms)
+                outcomes[response.served_by] += 1
+                candidate_hits += int(response.candidate_cache_hit)
+
+    threads = [threading.Thread(target=client, name=f"loadgen-client-{i}")
+               for i in range(min(concurrency, len(queue)))]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    summary = _summarise(latencies, outcomes, candidate_hits, len(queue),
+                         elapsed)
+    summary["concurrency"] = concurrency
+    summary["occupancy"] = engine.occupancy.as_dict()
+    return summary
+
+
+def replay_open_loop(engine, timed: Sequence[TimedRequest],
+                     time_scale: float = 1.0) -> dict[str, object]:
+    """Open-loop drive: submit each request at its arrival timestamp.
+
+    Submissions never wait for completions, so when the engine falls
+    behind the offered rate the backlog surfaces as latency rather than
+    as a silently reduced request rate.  ``time_scale`` > 1 compresses
+    the recorded timeline (e.g. 2.0 replays at twice the recorded QPS).
+    """
+    if time_scale <= 0.0:
+        raise ValueError(f"time_scale must be > 0, got {time_scale}")
+    ordered = sorted(timed, key=lambda item: item.arrival_s)
+    tickets = []
+    started = time.perf_counter()
+    for item in ordered:
+        due = started + item.arrival_s / time_scale
+        delay = due - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        tickets.append(engine.submit(item.request))
+    latencies: list[float] = []
+    outcomes = {"model": 0, "fallback": 0, "error": 0}
+    candidate_hits = 0
+    for ticket in tickets:
+        response = ticket.wait()
+        latencies.append(response.latency_ms)
+        outcomes[response.served_by] += 1
+        candidate_hits += int(response.candidate_cache_hit)
+    elapsed = time.perf_counter() - started
+    summary = _summarise(latencies, outcomes, candidate_hits, len(ordered),
+                         elapsed)
+    offered = (len(ordered) / (ordered[-1].arrival_s / time_scale)
+               if ordered and ordered[-1].arrival_s > 0 else 0.0)
+    summary["offered_qps"] = offered
+    summary["time_scale"] = time_scale
+    summary["occupancy"] = engine.occupancy.as_dict()
+    return summary

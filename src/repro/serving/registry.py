@@ -11,6 +11,12 @@ ever observes a half-swapped model.
 Publishing is also atomic on disk (write to a temp file, then
 ``os.replace``), so a crashed publish never leaves a truncated
 checkpoint that a later ``load`` would trip over.
+
+Beyond the single active slot, any number of versions can be *resident*
+at once via :meth:`pin` / :meth:`resolve`: weighted A/B traffic splits
+and per-request version pinning (``RankRequest.model_version``) score
+against resident snapshots side by side with the active model, each
+pre-compiled for the fused scoring backend exactly like an activation.
 """
 
 from __future__ import annotations
@@ -52,6 +58,9 @@ class ModelRegistry:
         self._root.mkdir(parents=True, exist_ok=True)
         self._network = network
         self._active: ActiveModel | None = None
+        #: Version -> resident snapshot for A/B traffic splits and
+        #: per-request pinning: loaded once, then served lock-free.
+        self._pinned: dict[str, ActiveModel] = {}
         self._generation = 0
         self._lock = threading.Lock()
 
@@ -133,19 +142,30 @@ class ModelRegistry:
         assignment below; readers holding an older snapshot are
         unaffected.
         """
+        active = self._load_snapshot(version)
+        with self._lock:
+            self._active = active
+            if version in self._pinned:
+                # Refresh an already-resident pin so split traffic sees
+                # the fresh snapshot — but never *grow* the pinned set
+                # here, or every hot-swap of a long-running service
+                # would leak its superseded model into memory.
+                self._pinned[version] = active
+        return active
+
+    def _load_snapshot(self, version: str) -> ActiveModel:
+        """Load ``version`` into a ready-to-serve immutable snapshot."""
         model = self.load(version)
         if resolve_scoring_backend() == "fused":
-            # Warm the fused inference kernel before the swap so the
-            # first request after activation pays no compile latency.
+            # Warm the fused inference kernel up front so the first
+            # request against this snapshot pays no compile latency.
             compiled_for(model)
         _, metadata = load_state(self._path_for(version))
         with self._lock:
             self._generation += 1
-            active = ActiveModel(version=version, model=model,
-                                 generation=self._generation,
-                                 metadata=dict(metadata))
-            self._active = active
-        return active
+            return ActiveModel(version=version, model=model,
+                               generation=self._generation,
+                               metadata=dict(metadata))
 
     def deactivate(self) -> None:
         with self._lock:
@@ -160,3 +180,46 @@ class ModelRegistry:
         if active is None:
             raise ServingError("no active model; publish and activate one first")
         return active
+
+    # ------------------------------------------------------------------
+    # Multi-model residency (A/B splits, per-request pinning)
+    # ------------------------------------------------------------------
+    def pin(self, version: str) -> ActiveModel:
+        """Make ``version`` resident without touching the active slot.
+
+        Pinned snapshots serve per-request version pinning and A/B
+        traffic splits side by side with the active model.  Idempotent;
+        at most one load happens per version even under concurrent
+        callers (a rare double load resolves to the first winner).
+        """
+        with self._lock:
+            cached = self._pinned.get(version)
+        if cached is not None:
+            return cached
+        loaded = self._load_snapshot(version)
+        with self._lock:
+            return self._pinned.setdefault(version, loaded)
+
+    def unpin(self, version: str | None = None) -> None:
+        """Release one resident version, or all of them with ``None``."""
+        with self._lock:
+            if version is None:
+                self._pinned.clear()
+            else:
+                self._pinned.pop(version, None)
+
+    def resolve(self, version: str | None = None) -> ActiveModel | None:
+        """The snapshot a request routed to ``version`` should score on.
+
+        ``None`` means "whatever is active" (may itself be ``None``);
+        a concrete version resolves to the active snapshot when it
+        matches, else to a resident pinned snapshot, loading and pinning
+        it on first use.  Raises :class:`ServingError` for versions that
+        were never published.
+        """
+        if version is None:
+            return self.snapshot()
+        active = self._active
+        if active is not None and active.version == version:
+            return active
+        return self.pin(version)

@@ -7,6 +7,22 @@ version-keyed :class:`ScoreCache`, the model itself behind a
 instrumentation.  When no model is active (or scoring fails with a
 library error) the service degrades gracefully to the shortest path
 instead of failing the request.
+
+Internally the service is a **staged pipeline** over
+:class:`~repro.serving.pipeline.QueryState` records:
+
+* :meth:`RankingService.admit` — resolve the candidate configuration
+  and the model snapshot (active, pinned, or A/B-split) for a request;
+* :meth:`RankingService.prepare` — cache-aware candidate generation;
+* :meth:`RankingService.score_states` — coalesced scoring of many
+  states, grouped by model snapshot, with per-request degradation when
+  a batch fails;
+* :meth:`RankingService.assemble` — ranking, fallback, and metrics.
+
+:meth:`rank_batch` simply runs the stages back to back; the concurrent
+:class:`~repro.serving.engine.ServingEngine` drives the *same* stage
+methods from worker threads with deadline-based flushing, which is what
+makes its responses element-wise identical to the synchronous path.
 """
 
 from __future__ import annotations
@@ -15,8 +31,8 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
-from repro.core.ranker import generate_candidates
-from repro.errors import ReproError
+from repro.core.ranker import generate_candidates, rank_paths
+from repro.errors import ReproError, ServingError
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.graph.shortest_path import shortest_path
@@ -24,16 +40,40 @@ from repro.nn.fused import resolve_scoring_backend
 from repro.ranking.training_data import TrainingDataConfig
 from repro.serving.batching import BatchingScorer
 from repro.serving.cache import CandidateCache, ScoreCache
-from repro.serving.instrumentation import LatencyTracker, ServiceCounters
+from repro.serving.instrumentation import (
+    LatencyTracker,
+    ServiceCounters,
+    SplitMetrics,
+)
+from repro.serving.pipeline import (
+    QueryState,
+    TrafficSplit,
+    assign_split,
+    normalise_split,
+)
 from repro.serving.registry import ActiveModel, ModelRegistry
 
 __all__ = ["ServingConfig", "RankRequest", "RankedPath", "RankResponse",
            "RankingService"]
 
+_UNRESOLVED = object()  # admit() sentinel: "look the snapshot up yourself"
+
 
 @dataclass(frozen=True)
 class ServingConfig:
-    """Knobs of one :class:`RankingService` instance."""
+    """Knobs of one :class:`RankingService` instance.
+
+    ``traffic_split`` (a ``{version: weight}`` mapping or ``(version,
+    weight)`` pairs) routes each request to one of several published
+    model versions with probability proportional to its weight —
+    deterministically per request identity, so replays and the
+    concurrent engine route identically.  ``score_cache_size=0``
+    disables score memoisation (every request pays the forward pass;
+    mainly for benchmarks isolating scoring work).  ``concurrency`` and
+    ``flush_deadline_ms`` are defaults for
+    :class:`~repro.serving.engine.ServingEngine` front doors built on
+    top of this service.
+    """
 
     candidates: TrainingDataConfig = field(default_factory=TrainingDataConfig)
     candidate_cache_size: int = 1024
@@ -41,12 +81,32 @@ class ServingConfig:
     max_batch_size: int = 64
     fallback_to_shortest: bool = True
     latency_window: int = 4096
+    traffic_split: TrafficSplit | None = None
+    concurrency: int = 4
+    flush_deadline_ms: float = 2.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError(
                 f"max_batch_size must be >= 1, got {self.max_batch_size}"
             )
+        if self.score_cache_size < 0:
+            raise ValueError(
+                f"score_cache_size must be >= 0, got {self.score_cache_size}"
+            )
+        if self.concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
+        if self.flush_deadline_ms < 0.0:
+            raise ValueError(
+                f"flush_deadline_ms must be >= 0, got {self.flush_deadline_ms}"
+            )
+        if self.traffic_split is not None:
+            # Normalised once here; dataclass frozen-ness is bypassed the
+            # sanctioned way since __post_init__ is part of construction.
+            object.__setattr__(self, "traffic_split",
+                               normalise_split(self.traffic_split))
 
 
 @dataclass(frozen=True)
@@ -55,12 +115,15 @@ class RankRequest:
 
     ``k`` overrides the service's configured candidate-set size for this
     request only (it participates in the candidate-cache key).
+    ``model_version`` pins the request to a specific published model
+    version, overriding both the active model and any traffic split.
     """
 
     source: int
     target: int
     k: int | None = None
     request_id: int | None = None
+    model_version: str | None = None
 
 
 @dataclass(frozen=True)
@@ -105,21 +168,70 @@ class RankingService:
         # a live incident closing a road) invalidates entries implicitly.
         self.candidate_cache = CandidateCache(self.config.candidate_cache_size,
                                               network=network)
-        self.score_cache = ScoreCache(self.config.score_cache_size)
+        self.score_cache = (ScoreCache(self.config.score_cache_size)
+                            if self.config.score_cache_size > 0 else None)
         self.scorer = BatchingScorer(self.config.max_batch_size,
                                      score_cache=self.score_cache)
         self.latency = LatencyTracker(self.config.latency_window)
         self.counters = ServiceCounters()
+        self.split_metrics = SplitMetrics(self.config.latency_window)
 
     # ------------------------------------------------------------------
-    # Candidate step
+    # Stage 1: admission
     # ------------------------------------------------------------------
+    def admit(self, request: RankRequest,
+              default: ActiveModel | None | object = _UNRESOLVED) -> QueryState:
+        """Open a :class:`QueryState` and route it to a model snapshot.
+
+        ``default`` lets a batch caller take one registry snapshot for
+        every unsplit request (so a concurrent hot-swap cannot divide a
+        batch across versions); pinned and split-routed requests resolve
+        their own snapshot regardless.
+        """
+        state = QueryState(request=request)
+        try:
+            state.config = self._candidate_config(request)
+        except ValueError as exc:  # hostile per-request k override
+            state.error = str(exc)
+            return state
+        version = request.model_version
+        if version is None and self.config.traffic_split is not None:
+            version = assign_split(request, self.config.traffic_split)
+        try:
+            if version is not None:
+                state.active, state.split = self.registry.resolve(version), version
+            elif default is _UNRESOLVED:
+                state.active = self.registry.snapshot()
+            else:
+                state.active = default
+        except ServingError as exc:  # unpublished pin / stale split target
+            state.error = str(exc)
+        return state
+
     def _candidate_config(self, request: RankRequest) -> TrainingDataConfig:
         base = self.config.candidates
         if request.k is None or request.k == base.k:
             return base
         return replace(base, k=request.k,
                        examine_limit=max(base.examine_limit, request.k))
+
+    # ------------------------------------------------------------------
+    # Stage 2: candidate generation (cache-aware)
+    # ------------------------------------------------------------------
+    def prepare(self, state: QueryState) -> QueryState:
+        """Fill in candidate paths; skipped for doomed/fallback states.
+
+        Candidate enumeration is wasted work when only the shortest-path
+        fallback can answer, so a state with no snapshot passes through.
+        """
+        if state.error is not None or state.active is None:
+            return state
+        try:
+            state.paths, state.cache_hit = self._candidates(state.request,
+                                                            state.config)
+        except ReproError as exc:
+            state.error = str(exc)
+        return state
 
     def _candidates(self, request: RankRequest,
                     config: TrainingDataConfig) -> tuple[list[Path], bool]:
@@ -134,96 +246,162 @@ class RankingService:
         return paths, False
 
     # ------------------------------------------------------------------
-    # Serving
+    # Stage 3: coalesced scoring
+    # ------------------------------------------------------------------
+    def score_states(self, states: Sequence[QueryState]) -> None:
+        """Score every scorable state, one coalesced pass per snapshot.
+
+        States are grouped by their model snapshot (A/B splits and
+        hot-swaps can mix snapshots within one batch) and each group is
+        scored atomically through the :class:`BatchingScorer`.  A batch
+        failure degrades *only* the affected requests: each member is
+        retried individually, and only the ones that still fail fall
+        back to the shortest path.
+        """
+        groups: dict[int, list[QueryState]] = {}
+        for state in states:
+            if state.scorable:
+                groups.setdefault(state.active.generation, []).append(state)
+        for members in groups.values():
+            active = members[0].active
+            try:
+                scored = self.scorer.score_many(
+                    active.model, [state.paths for state in members],
+                    active.version)
+            except ReproError:
+                self._score_individually(members)
+            else:
+                for state, scores in zip(members, scored):
+                    state.scores = scores.tolist()
+
+    def _score_individually(self, states: Sequence[QueryState]) -> None:
+        """Retry a failed batch one request at a time.
+
+        Isolates the poison request(s): a path that breaks the forward
+        pass takes down its own request only, and everything else in the
+        flush still gets model-served.
+        """
+        for state in states:
+            active = state.active
+            try:
+                scores = self.scorer.score_paths(active.model, state.paths,
+                                                 active.version)
+            except ReproError as exc:
+                state.active = None
+                state.degraded = str(exc)
+            else:
+                state.scores = scores.tolist()
+
+    # ------------------------------------------------------------------
+    # Stage 4: response assembly
+    # ------------------------------------------------------------------
+    def assemble(self, state: QueryState, record: bool = True,
+                 completed: float | None = None) -> RankResponse:
+        """Terminate a state into a :class:`RankResponse` (+ metrics).
+
+        ``completed`` (a ``perf_counter`` value) lets a deferred caller
+        pin the latency clock to when the pipeline actually finished the
+        request, rather than when the caller got around to collecting
+        the response.
+        """
+        end = completed if completed is not None else time.perf_counter()
+        elapsed_ms = (end - state.started) * 1000.0
+        if state.error is not None:
+            response = self._error_response(state.request, state.error,
+                                            state.cache_hit, elapsed_ms,
+                                            record)
+        elif state.active is None:
+            response = self._fallback_response(state.request, state.cache_hit,
+                                               elapsed_ms, state.degraded,
+                                               record)
+        else:
+            response = self._model_response(state, elapsed_ms, record)
+        if record:
+            self.latency.record(response.latency_ms)
+            self.counters.bump("requests")
+            self.split_metrics.record(state.split, response.served_by,
+                                      response.latency_ms)
+        state.response = response
+        return response
+
+    # ------------------------------------------------------------------
+    # Serving facade
     # ------------------------------------------------------------------
     def rank(self, request: RankRequest) -> RankResponse:
         """Answer one query; never raises for per-request failures."""
         return self.rank_batch([request])[0]
 
     def rank_batch(self, requests: Sequence[RankRequest]) -> list[RankResponse]:
-        """Answer many queries with one coalesced scoring pass.
+        """Answer many queries with one coalesced scoring pass per model.
 
-        The model snapshot is taken once for the whole batch, so a
-        concurrent hot-swap cannot split the batch across versions.
+        The default snapshot is taken once for the whole batch, so a
+        concurrent hot-swap cannot split the unsplit portion of a batch
+        across versions.
         """
         if not requests:
             return []
-        started = time.perf_counter()
-        active = self.registry.snapshot()
+        default = self.registry.snapshot()
+        states = [self.admit(request, default=default) for request in requests]
+        for state in states:
+            self.prepare(state)
+        self.score_states(states)
+        return [self.assemble(state) for state in states]
 
-        prepared: list[tuple[RankRequest, list[Path], bool, str | None]] = []
-        if active is None:
-            # Candidate enumeration is wasted work when only the
-            # shortest-path fallback can answer.
-            prepared = [(request, [], False, None) for request in requests]
-        else:
-            for request in requests:
-                config = self._candidate_config(request)
-                try:
-                    paths, hit = self._candidates(request, config)
-                    prepared.append((request, paths, hit, None))
-                except ReproError as exc:
-                    prepared.append((request, [], False, str(exc)))
+    def warm_up(self, requests: Sequence[RankRequest]) -> int:
+        """Replay a recorded query mix through the caches, off the books.
 
-        scores_by_row: dict[int, object] = {}
-        flush_error = None
-        if active is not None:
-            scorable = [(row, paths) for row, (_, paths, _, error)
-                        in enumerate(prepared) if error is None]
-            try:
-                scored = self.scorer.score_many(
-                    active.model, [paths for _, paths in scorable],
-                    active.version)
-            except ReproError as exc:
-                active, flush_error = None, str(exc)
-            else:
-                scores_by_row = {row: scores for (row, _), scores
-                                 in zip(scorable, scored)}
+        Runs the candidate and scoring stages for every distinct request
+        so the candidate cache (and score cache, when enabled) are hot
+        before live traffic arrives — the deploy-time cure for the cold
+        p95 cliff.  Nothing is recorded in the latency/counter metrics;
+        returns the number of requests replayed.
+        """
+        seen: set[tuple] = set()
+        states = []
+        for request in requests:
+            key = (request.source, request.target, request.k,
+                   request.model_version)
+            if key in seen:
+                continue
+            seen.add(key)
+            states.append(self.admit(request))
+        for state in states:
+            self.prepare(state)
+        self.score_states(states)
+        for state in states:
+            self.assemble(state, record=False)
+        return len(states)
 
-        responses = []
-        for row, (request, paths, hit, error) in enumerate(prepared):
-            elapsed_ms = (time.perf_counter() - started) * 1000.0
-            if error is not None:
-                responses.append(self._error_response(request, error,
-                                                      hit, elapsed_ms))
-            elif active is None:
-                responses.append(self._fallback_response(
-                    request, hit, elapsed_ms, flush_error))
-            else:
-                responses.append(self._model_response(
-                    request, paths, scores_by_row[row], active, hit,
-                    elapsed_ms))
-        for response in responses:
-            self.latency.record(response.latency_ms)
-            self.counters.bump("requests")
-        return responses
-
-    def _model_response(self, request: RankRequest, paths: list[Path],
-                        scores, active: ActiveModel, hit: bool,
-                        elapsed_ms: float) -> RankResponse:
-        values = scores.tolist() if hasattr(scores, "tolist") else list(scores)
-        order = sorted(range(len(paths)), key=lambda i: -values[i])
+    def _model_response(self, state: QueryState, elapsed_ms: float,
+                        record: bool) -> RankResponse:
+        ranked = rank_paths(state.paths, state.scores)
         results = tuple(
-            RankedPath(path=paths[i], score=values[i], position=pos)
-            for pos, i in enumerate(order, start=1)
+            RankedPath(path=path, score=score, position=position)
+            for position, (path, score) in enumerate(ranked, start=1)
         )
-        self.counters.bump("model_served")
-        return RankResponse(request=request, results=results,
-                            served_by="model", model_version=active.version,
-                            candidate_cache_hit=hit, latency_ms=elapsed_ms)
+        if record:
+            self.counters.bump("model_served")
+        return RankResponse(request=state.request, results=results,
+                            served_by="model",
+                            model_version=state.active.version,
+                            candidate_cache_hit=state.cache_hit,
+                            latency_ms=elapsed_ms)
 
     def _fallback_response(self, request: RankRequest, hit: bool,
-                           elapsed_ms: float,
-                           cause: str | None) -> RankResponse:
+                           elapsed_ms: float, cause: str | None,
+                           record: bool = True) -> RankResponse:
         if not self.config.fallback_to_shortest:
             reason = cause or "no active model"
             return self._error_response(
-                request, f"{reason} (fallback disabled)", hit, elapsed_ms)
+                request, f"{reason} (fallback disabled)", hit, elapsed_ms,
+                record)
         try:
             path = shortest_path(self.network, request.source, request.target)
         except ReproError as exc:
-            return self._error_response(request, str(exc), hit, elapsed_ms)
-        self.counters.bump("fallback_served")
+            return self._error_response(request, str(exc), hit, elapsed_ms,
+                                        record)
+        if record:
+            self.counters.bump("fallback_served")
         results = (RankedPath(path=path, score=0.0, position=1),)
         return RankResponse(request=request, results=results,
                             served_by="fallback", model_version=None,
@@ -231,8 +409,9 @@ class RankingService:
                             latency_ms=elapsed_ms, error=cause)
 
     def _error_response(self, request: RankRequest, error: str, hit: bool,
-                        elapsed_ms: float) -> RankResponse:
-        self.counters.bump("failed")
+                        elapsed_ms: float, record: bool = True) -> RankResponse:
+        if record:
+            self.counters.bump("failed")
         return RankResponse(request=request, results=(), served_by="error",
                             model_version=None, candidate_cache_hit=hit,
                             latency_ms=elapsed_ms, error=error)
@@ -249,12 +428,16 @@ class RankingService:
     def stats(self) -> dict[str, object]:
         """Everything ``serve --json`` and the load benchmark report."""
         active = self.registry.snapshot()
+        score_cache = (self.score_cache.stats.as_dict()
+                       if self.score_cache is not None
+                       else {"disabled": True})
         return {
             "active_version": active.version if active else None,
             "counters": self.counters.as_dict(),
             "latency": self.latency.as_dict(),
+            "splits": self.split_metrics.as_dict(),
             "candidate_cache": self.candidate_cache.stats.as_dict(),
-            "score_cache": self.score_cache.stats.as_dict(),
+            "score_cache": score_cache,
             "scoring": {
                 "batches_run": self.scorer.batches_run,
                 "paths_scored": self.scorer.paths_scored,

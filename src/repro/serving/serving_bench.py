@@ -1,0 +1,466 @@
+"""Serving-layer benchmark harness: concurrent engine vs sequential facade.
+
+Times the online serving stack on a Zipf-skewed OD-hotspot workload (the
+commuter regime the paper's introduction describes) and writes the
+result as ``BENCH_serving.json``:
+
+* **cold vs cached** — repeat queries against the candidate/score
+  caches, the classic hotspot win;
+* **concurrent vs sequential** — the headline: ``concurrency``
+  closed-loop clients against a :class:`ServingEngine` (deadline-batched
+  cross-request coalescing) versus the same stream through the
+  synchronous per-query path, with scoring-batch occupancy showing the
+  coalescing engage.  Score caches are disabled here so the comparison
+  measures scoring work, not memoisation;
+* **parity** — engine responses are checked element-wise against the
+  synchronous facade's on the same stream (same rankings, same scores);
+* **A/B split** — two published versions served side by side under a
+  weighted traffic split, with per-split request accounting;
+* **open loop** — the engine driven by Poisson arrivals at a multiple
+  of the sequential path's throughput.
+
+Consumed by ``benchmarks/bench_serving.py`` (standalone + pytest smoke
+mode) and the ``bench-serve`` CLI subcommand, mirroring
+``core.scoring_bench`` / ``graph.routing_bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import tempfile
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path as FilePath
+
+import numpy as np
+
+from repro.core.ranker import PathRankRanker, RankerConfig
+from repro.core.variants import build_pathrank
+from repro.errors import DataError
+from repro.graph.builders import north_jutland_like
+from repro.ranking.training_data import Strategy, TrainingDataConfig
+from repro.serving.engine import ServingEngine
+from repro.serving.instrumentation import percentile
+from repro.serving.loadgen import (
+    WorkloadConfig,
+    generate_timed_workload,
+    generate_workload,
+    replay_open_loop,
+    run_engine_workload,
+)
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import RankingService, RankRequest, ServingConfig
+
+__all__ = [
+    "ServingBenchConfig",
+    "smoke_config",
+    "full_config",
+    "apply_overrides",
+    "run_serving_benchmark",
+    "validate_report",
+    "write_report",
+]
+
+SCHEMA_VERSION = 2
+
+#: Responses must be element-wise identical across front doors: same
+#: outcome, same model version, same candidate ranking.  Raw scores may
+#: differ by float32 roundoff — BLAS picks different reduction orders
+#: for different matmul shapes, and the engine scores the same path in
+#: bigger batches than the per-query path does — so score parity is
+#: bounded at the float32 budget (matching the fused-kernel contract in
+#: ``core.scoring_bench``) while the ranking check stays exact.
+PARITY_LIMIT = 1e-6
+
+
+@dataclass(frozen=True)
+class ServingBenchConfig:
+    """Knobs of one serving benchmark run."""
+
+    num_towns: int = 6
+    seed: int = 11
+    embedding_dim: int = 64
+    hidden_size: int = 64
+    fc_hidden: int = 32
+    k: int = 8
+    diversity_threshold: float = 0.8
+    examine_limit: int = 100
+    num_requests: int = 400
+    num_hotspots: int = 40
+    zipf_exponent: float = 1.1
+    #: Minimum OD shortest-path distance (metres) for a hotspot pair:
+    #: commuter queries are trips, not street-corner hops, and longer
+    #: candidates put the serving cost where it belongs — in scoring.
+    min_hop_distance: float = 5000.0
+    concurrency: int = 32
+    flush_deadline_ms: float = 4.0
+    #: Flush threshold in *paths*.  Sized just under the natural
+    #: in-flight batch (32 concurrent requests at ~4 diversified
+    #: candidates each) so a full wave of clients flushes on the size
+    #: trigger and the deadline only catches stragglers.
+    max_batch_size: int = 128
+    split_weight_b: float = 0.25
+    open_loop_factor: float = 2.0
+    repeats: int = 3
+    preset: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.num_towns < 1:
+            raise ValueError(f"num_towns must be >= 1, got {self.num_towns}")
+        if self.num_requests < 1 or self.num_hotspots < 1:
+            raise ValueError("num_requests and num_hotspots must be >= 1")
+        if self.concurrency < 1 or self.repeats < 1:
+            raise ValueError("concurrency and repeats must be >= 1")
+        if not 0.0 < self.split_weight_b < 1.0:
+            raise ValueError(
+                f"split_weight_b must be in (0, 1), got {self.split_weight_b}"
+            )
+        if self.open_loop_factor <= 0.0:
+            raise ValueError(
+                f"open_loop_factor must be > 0, got {self.open_loop_factor}"
+            )
+
+
+def smoke_config() -> ServingBenchConfig:
+    """Tiny preset for the tier-1 pytest wrapper: a small region and
+    model, few requests, low concurrency — a couple of seconds, stable
+    under CI jitter via best-of-repeats timing."""
+    return ServingBenchConfig(num_towns=2, seed=7, embedding_dim=32,
+                              hidden_size=32, fc_hidden=16, k=3,
+                              examine_limit=30, num_requests=80,
+                              num_hotspots=12, min_hop_distance=2000.0,
+                              concurrency=8, flush_deadline_ms=1.0,
+                              max_batch_size=24, repeats=2, preset="smoke")
+
+
+def full_config() -> ServingBenchConfig:
+    """The headline preset behind the committed ``BENCH_serving.json``:
+    closed-loop concurrency 32 against the sequential per-query path."""
+    return ServingBenchConfig()
+
+
+def apply_overrides(
+    config: ServingBenchConfig,
+    requests: int | None = None,
+    hotspots: int | None = None,
+    concurrency: int | None = None,
+    flush_deadline_ms: float | None = None,
+    k: int | None = None,
+    seed: int | None = None,
+) -> ServingBenchConfig:
+    """Apply the command-line overrides shared by the ``bench-serve``
+    CLI subcommand and the standalone benchmark entry point."""
+    overrides: dict[str, object] = {}
+    if requests is not None:
+        overrides["num_requests"] = requests
+    if hotspots is not None:
+        overrides["num_hotspots"] = hotspots
+    if concurrency is not None:
+        overrides["concurrency"] = concurrency
+    if flush_deadline_ms is not None:
+        overrides["flush_deadline_ms"] = flush_deadline_ms
+    if k is not None:
+        overrides["k"] = k
+    if seed is not None:
+        overrides["seed"] = seed
+    return replace(config, **overrides) if overrides else config
+
+
+# ----------------------------------------------------------------------
+# Fixture assembly
+# ----------------------------------------------------------------------
+def _candidates(config: ServingBenchConfig) -> TrainingDataConfig:
+    return TrainingDataConfig(strategy=Strategy.D_TKDI, k=config.k,
+                              diversity_threshold=config.diversity_threshold,
+                              examine_limit=config.examine_limit)
+
+
+def _publish(config: ServingBenchConfig, network, registry: ModelRegistry,
+             version: str, seed: int) -> None:
+    """Publish a randomly initialised model (serving latency does not
+    depend on weight quality, so the benchmark skips training)."""
+    ranker = PathRankRanker(network, RankerConfig(
+        embedding_dim=config.embedding_dim, hidden_size=config.hidden_size,
+        fc_hidden=config.fc_hidden, training_data=_candidates(config)))
+    ranker.model = build_pathrank(
+        "PR-A2", num_vertices=network.num_vertices,
+        embedding_dim=config.embedding_dim, hidden_size=config.hidden_size,
+        fc_hidden=config.fc_hidden, rng=seed)
+    registry.publish(ranker, version=version)
+
+
+def _service(config: ServingBenchConfig, network, registry,
+             score_cache_size: int,
+             traffic_split=None) -> RankingService:
+    serving = ServingConfig(
+        candidates=_candidates(config),
+        score_cache_size=score_cache_size,
+        max_batch_size=config.max_batch_size,
+        concurrency=config.concurrency,
+        flush_deadline_ms=config.flush_deadline_ms,
+        traffic_split=traffic_split,
+    )
+    service = RankingService(network, registry, serving)
+    return service
+
+
+def _replay_sequential(service: RankingService,
+                       requests: list[RankRequest]) -> tuple[float, list]:
+    """Per-query replay (the sequential small-batch path); returns
+    elapsed seconds and the responses."""
+    responses = []
+    started = time.perf_counter()
+    for request in requests:
+        responses.append(service.rank(request))
+    return time.perf_counter() - started, responses
+
+
+def _latency_block(latencies: list[float]) -> dict[str, float]:
+    return {
+        "mean": float(np.mean(latencies)) if latencies else 0.0,
+        "p50": percentile(latencies, 50.0),
+        "p95": percentile(latencies, 95.0),
+    }
+
+
+# ----------------------------------------------------------------------
+# The benchmark
+# ----------------------------------------------------------------------
+def run_serving_benchmark(config: ServingBenchConfig | None = None) -> dict:
+    """Benchmark the serving stack at the configured scale."""
+    config = config or full_config()
+    network = north_jutland_like(num_towns=config.num_towns, seed=config.seed)
+    workload = generate_workload(
+        network,
+        WorkloadConfig(num_requests=config.num_requests,
+                       num_hotspots=config.num_hotspots,
+                       zipf_exponent=config.zipf_exponent,
+                       min_hop_distance=config.min_hop_distance),
+        rng=config.seed,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp_root:
+        registry_root = FilePath(tmp_root)
+
+        # -- cold vs cached (caches enabled) ---------------------------
+        registry = ModelRegistry(registry_root / "cached", network)
+        _publish(config, network, registry, "bench-a", seed=0)
+        _publish(config, network, registry, "bench-b", seed=1)
+        cached_service = _service(config, network, registry,
+                                  score_cache_size=8192)
+        cached_service.activate("bench-a")
+        unique = list({(r.source, r.target): r for r in workload}.values())
+        cold_started = time.perf_counter()
+        for request in unique:
+            cached_service.rank(request)
+        cold_ms = (time.perf_counter() - cold_started) * 1000.0 / len(unique)
+        warm_started = time.perf_counter()
+        for request in unique:
+            cached_service.rank(request)
+        cached_ms = (time.perf_counter() - warm_started) * 1000.0 / len(unique)
+
+        # -- concurrent vs sequential (score caches disabled) ----------
+        # Two independent services so cache state cannot leak between
+        # the arms; both candidate caches are warmed through the
+        # warm-up hook, so the comparison is scoring-bound — exactly
+        # the regime concurrent coalescing targets.
+        seq_registry = ModelRegistry(registry_root / "seq", network)
+        _publish(config, network, seq_registry, "bench-a", seed=0)
+        seq_service = _service(config, network, seq_registry,
+                               score_cache_size=0)
+        seq_service.activate("bench-a")
+        seq_service.warm_up(workload)
+
+        eng_registry = ModelRegistry(registry_root / "eng", network)
+        _publish(config, network, eng_registry, "bench-a", seed=0)
+        eng_service = _service(config, network, eng_registry,
+                               score_cache_size=0)
+        eng_service.activate("bench-a")
+        engine = ServingEngine(eng_service, concurrency=config.concurrency,
+                               flush_deadline_ms=config.flush_deadline_ms,
+                               max_batch_size=config.max_batch_size,
+                               warmup=workload)
+
+        seq_elapsed = math.inf
+        seq_responses: list = []
+        for _ in range(config.repeats):
+            elapsed, responses = _replay_sequential(seq_service, workload)
+            if elapsed < seq_elapsed:
+                seq_elapsed, seq_responses = elapsed, responses
+
+        conc_elapsed = math.inf
+        conc_summary: dict = {}
+        for _ in range(config.repeats):
+            summary = run_engine_workload(engine, workload,
+                                          concurrency=config.concurrency)
+            if summary["elapsed_s"] < conc_elapsed:
+                conc_elapsed = summary["elapsed_s"]
+                conc_summary = summary
+
+        # -- parity: element-wise identical responses ------------------
+        engine_responses = engine.rank_batch(workload)
+        mismatches = 0
+        max_diff = 0.0
+        for mine, theirs in zip(engine_responses, seq_responses):
+            same = (mine.served_by == theirs.served_by
+                    and mine.model_version == theirs.model_version
+                    and [r.path.vertices for r in mine.results]
+                    == [r.path.vertices for r in theirs.results])
+            if not same:
+                mismatches += 1
+                continue
+            for a, b in zip(mine.results, theirs.results):
+                max_diff = max(max_diff, abs(a.score - b.score))
+        engine.close()
+
+        # -- A/B traffic split -----------------------------------------
+        split = {"bench-a": 1.0 - config.split_weight_b,
+                 "bench-b": config.split_weight_b}
+        ab_service = _service(config, network, registry,
+                              score_cache_size=8192, traffic_split=split)
+        ab_service.activate("bench-a")
+        ab_engine = ServingEngine(ab_service, concurrency=config.concurrency,
+                                  flush_deadline_ms=config.flush_deadline_ms,
+                                  max_batch_size=config.max_batch_size)
+        run_engine_workload(ab_engine, workload,
+                            concurrency=config.concurrency)
+        ab_engine.close()
+        ab_counts = {label: ab_service.split_metrics.requests_for(label)
+                     for label in ab_service.split_metrics.labels()}
+        total_ab = sum(ab_counts.values())
+
+        # -- open loop: Poisson arrivals above sequential throughput ---
+        sequential_qps = len(workload) / seq_elapsed
+        target_qps = sequential_qps * config.open_loop_factor
+        timed = generate_timed_workload(
+            network,
+            WorkloadConfig(num_requests=config.num_requests,
+                           num_hotspots=config.num_hotspots,
+                           zipf_exponent=config.zipf_exponent,
+                           min_hop_distance=config.min_hop_distance,
+                           arrival_rate_qps=target_qps),
+            rng=config.seed,
+        )
+        ol_service = _service(config, network, eng_registry,
+                              score_cache_size=0)
+        ol_service.activate("bench-a")
+        ol_service.warm_up(workload)
+        ol_engine = ServingEngine(ol_service, concurrency=config.concurrency,
+                                  flush_deadline_ms=config.flush_deadline_ms,
+                                  max_batch_size=config.max_batch_size)
+        open_loop = replay_open_loop(ol_engine, timed)
+        ol_engine.close()
+
+    occupancy = conc_summary["occupancy"]
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "preset": config.preset,
+        "config": asdict(config),
+        "network": {"vertices": network.num_vertices,
+                    "edges": network.num_edges},
+        "cold_vs_cached": {
+            "unique_queries": len(unique),
+            "cold_mean_ms": cold_ms,
+            "cached_mean_ms": cached_ms,
+            "speedup": cold_ms / cached_ms if cached_ms > 0 else math.inf,
+        },
+        "sequential": {
+            "requests": len(workload),
+            "elapsed_s": seq_elapsed,
+            "throughput_qps": sequential_qps,
+            "latency_ms": _latency_block(
+                [r.latency_ms for r in seq_responses]),
+        },
+        "concurrent": {
+            "requests": len(workload),
+            "concurrency": config.concurrency,
+            "elapsed_s": conc_elapsed,
+            "throughput_qps": len(workload) / conc_elapsed,
+            "latency_ms": conc_summary["latency_ms"],
+            "occupancy": occupancy,
+        },
+        "parity": {
+            "requests": len(workload),
+            "mismatched_responses": mismatches,
+            "max_abs_score_diff": max_diff,
+        },
+        "ab_split": {
+            "weights": split,
+            "requests_by_split": ab_counts,
+            "observed_fraction_b": (
+                ab_counts.get("bench-b", 0) / total_ab if total_ab else 0.0
+            ),
+        },
+        "open_loop": {
+            "offered_qps": open_loop["offered_qps"],
+            "achieved_qps": open_loop["throughput_qps"],
+            "latency_ms": open_loop["latency_ms"],
+            "errors": open_loop["served_by"]["error"],
+        },
+    }
+    report["headline"] = {
+        "concurrent_speedup": (
+            seq_elapsed / conc_elapsed if conc_elapsed > 0 else math.inf
+        ),
+        "mean_batch_occupancy": occupancy["mean_requests_per_flush"],
+        "concurrent_p95_ms": report["concurrent"]["latency_ms"]["p95"],
+    }
+    validate_report(report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Report schema
+# ----------------------------------------------------------------------
+_TOP_KEYS = ("schema_version", "preset", "config", "network",
+             "cold_vs_cached", "sequential", "concurrent", "parity",
+             "ab_split", "open_loop", "headline")
+_NUMERIC_BLOCKS = {
+    "cold_vs_cached": ("unique_queries", "cold_mean_ms", "cached_mean_ms",
+                       "speedup"),
+    "sequential": ("requests", "elapsed_s", "throughput_qps"),
+    "concurrent": ("requests", "concurrency", "elapsed_s", "throughput_qps"),
+    "parity": ("requests", "mismatched_responses", "max_abs_score_diff"),
+    "open_loop": ("offered_qps", "achieved_qps", "errors"),
+    "headline": ("concurrent_speedup", "mean_batch_occupancy",
+                 "concurrent_p95_ms"),
+}
+
+
+def validate_report(report: dict) -> None:
+    """Check a benchmark report parses as valid ``BENCH_serving.json``.
+
+    Raises :class:`DataError` on a malformed document or a parity
+    violation; used both when a report is produced and by the smoke test
+    against re-parsed JSON.
+    """
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise DataError(
+            f"unexpected schema_version {report.get('schema_version')!r}")
+    missing = [key for key in _TOP_KEYS if key not in report]
+    if missing:
+        raise DataError(f"report missing keys: {missing}")
+    for block, keys in _NUMERIC_BLOCKS.items():
+        for key in keys:
+            value = report[block].get(key)
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                raise DataError(
+                    f"{block}.{key} must be a finite number, got {value!r}")
+    parity = report["parity"]
+    if parity["mismatched_responses"] != 0:
+        raise DataError(
+            f"parity violation: {parity['mismatched_responses']} engine "
+            f"responses differ from the synchronous facade's")
+    if not parity["max_abs_score_diff"] <= PARITY_LIMIT:
+        raise DataError(
+            f"parity violation: max_abs_score_diff="
+            f"{parity['max_abs_score_diff']!r}")
+
+
+def write_report(report: dict, path: str | FilePath) -> FilePath:
+    """Validate and write the report; returns the output path."""
+    validate_report(report)
+    out = FilePath(path)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return out

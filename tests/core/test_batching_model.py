@@ -208,6 +208,44 @@ class TestBucketedMinibatches:
         assert run(9) == run(9)
 
 
+class TestBucketedBatchIndices:
+    def test_exact_partition(self):
+        from repro.core.batching import bucketed_batch_indices
+
+        lengths = [9, 2, 7, 2, 11, 4, 4, 8, 3]
+        for seed in range(4):
+            batches = bucketed_batch_indices(lengths, 3, rng=seed)
+            flat = sorted(int(i) for batch in batches for i in batch)
+            assert flat == list(range(len(lengths)))
+
+    def test_batches_group_similar_lengths(self):
+        from repro.core.batching import bucketed_batch_indices
+
+        lengths = [2, 2, 2, 2, 30, 30, 30, 30]
+        batches = bucketed_batch_indices(lengths, 4, rng=0)
+        spans = sorted(
+            max(lengths[int(i)] for i in batch)
+            - min(lengths[int(i)] for i in batch)
+            for batch in batches)
+        # Length-sorted batching must separate the two length modes.
+        assert spans == [0, 0]
+
+    def test_unshuffled_is_plain_length_sort(self):
+        from repro.core.batching import bucketed_batch_indices
+
+        lengths = [5, 1, 3, 2, 4]
+        batches = bucketed_batch_indices(lengths, 2, shuffle=False)
+        ordered = [lengths[int(i)] for batch in batches for i in batch]
+        assert ordered == sorted(lengths)
+
+    def test_empty_and_validation(self):
+        from repro.core.batching import bucketed_batch_indices
+
+        assert bucketed_batch_indices([], 4) == []
+        with pytest.raises(ValueError):
+            bucketed_batch_indices([1, 2], 0)
+
+
 class TestPathRankModel:
     def make(self, **kwargs):
         defaults = dict(num_vertices=6, embedding_dim=8, hidden_size=8,

@@ -35,7 +35,29 @@ class TestAnalyseQueries:
 
     def test_as_row_length(self, query_sets):
         tkdi, _ = query_sets
-        assert len(analyse_queries(tkdi).as_row()) == 5
+        assert len(analyse_queries(tkdi).as_row()) == 7
+
+    def test_stretch_at_least_one(self, query_sets):
+        """No candidate can be shorter than the shortest path."""
+        tkdi, dtkdi = query_sets
+        for stats in (analyse_queries(tkdi), analyse_queries(dtkdi)):
+            assert stats.mean_candidate_stretch >= 1.0 - 1e-9
+            assert stats.mean_best_stretch >= 1.0 - 1e-9
+            # The best candidate cannot be longer on average than the
+            # whole set's mean only when sets are singletons; both stay
+            # within a sane detour factor on this corpus.
+            assert stats.mean_candidate_stretch < 3.0
+
+    def test_batched_sweep_matches_per_query_dijkstra(self, query_sets):
+        from repro.experiments.analysis import query_shortest_distances
+        from repro.graph import shortest_path_cost
+
+        tkdi, _ = query_sets
+        batched = query_shortest_distances(tkdi)
+        for query, distance in zip(tkdi, batched):
+            expected = shortest_path_cost(
+                query.trajectory_path.network, query.source, query.target)
+            assert distance == pytest.approx(expected)
 
 
 class TestStrategyComparison:

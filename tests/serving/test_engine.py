@@ -1,0 +1,281 @@
+"""ServingEngine: coalescing, parity, deadlines, warm-up, A/B routing."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.model import PathRank
+from repro.errors import ServingError
+from repro.serving import (
+    ModelRegistry,
+    RankingService,
+    RankRequest,
+    ServingConfig,
+    ServingEngine,
+)
+
+ALL_PAIRS = [(s, t) for s in range(6) for t in range(6) if s != t]
+
+
+@pytest.fixture
+def engine(service) -> ServingEngine:
+    with ServingEngine(service, concurrency=4, flush_deadline_ms=5.0) as eng:
+        yield eng
+
+
+class TestFrontDoor:
+    def test_rank_matches_sync_service(self, tiny_network, registry,
+                                       make_ranker, candidates_config,
+                                       engine, service):
+        # A second, independent service gives the synchronous reference.
+        sync = RankingService(service.network, service.registry,
+                              service.config)
+        request = RankRequest(source=0, target=5)
+        mine = engine.rank(request)
+        theirs = sync.rank(request)
+        assert mine.served_by == theirs.served_by == "model"
+        assert [r.path.vertices for r in mine.results] == \
+            [r.path.vertices for r in theirs.results]
+        assert [r.score for r in mine.results] == \
+            pytest.approx([r.score for r in theirs.results], abs=1e-6)
+
+    def test_rank_batch_is_element_wise_identical_to_sync(self, service,
+                                                          engine):
+        requests = [RankRequest(source=s, target=t, request_id=i)
+                    for i, (s, t) in enumerate(ALL_PAIRS)]
+        sync = RankingService(service.network, service.registry,
+                              service.config)
+        expected = [sync.rank(request) for request in requests]
+        actual = engine.rank_batch(requests)
+        assert len(actual) == len(expected)
+        for mine, theirs in zip(actual, expected):
+            assert mine.request == theirs.request
+            assert mine.served_by == theirs.served_by
+            assert mine.model_version == theirs.model_version
+            assert [r.path.vertices for r in mine.results] == \
+                [r.path.vertices for r in theirs.results]
+            assert [r.position for r in mine.results] == \
+                [r.position for r in theirs.results]
+            assert [r.score for r in mine.results] == \
+                pytest.approx([r.score for r in theirs.results], abs=1e-6)
+
+    def test_concurrent_submitters_coalesce(self, service):
+        """Requests submitted by many threads share scoring flushes."""
+        with ServingEngine(service, concurrency=4,
+                           flush_deadline_ms=20.0,
+                           max_batch_size=512) as engine:
+            barrier = threading.Barrier(8)
+            responses = {}
+
+            def client(index: int) -> None:
+                source, target = ALL_PAIRS[index % len(ALL_PAIRS)]
+                barrier.wait()
+                responses[index] = engine.rank(
+                    RankRequest(source=source, target=target,
+                                request_id=index))
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            occupancy = engine.occupancy.as_dict()
+        assert len(responses) == 8
+        assert all(r.served_by == "model" for r in responses.values())
+        # Eight concurrent requests must not have cost eight flushes.
+        assert occupancy["mean_requests_per_flush"] > 1.0
+
+    def test_responses_in_request_order(self, engine):
+        requests = [RankRequest(source=s, target=t, request_id=i)
+                    for i, (s, t) in enumerate(ALL_PAIRS[:10])]
+        responses = engine.rank_batch(requests)
+        assert [r.request.request_id for r in responses] == \
+            [r.request_id for r in requests]
+
+    def test_error_requests_degrade_individually(self, engine):
+        """An unreachable pair fails; its batch neighbours still serve."""
+        requests = [RankRequest(source=0, target=5),
+                    RankRequest(source=0, target=999),  # no such vertex
+                    RankRequest(source=3, target=2)]
+        responses = engine.rank_batch(requests)
+        assert responses[0].served_by == "model"
+        assert responses[1].served_by == "error"
+        assert responses[2].served_by == "model"
+
+
+class TestDeadlineFlush:
+    def test_deadline_flushes_partial_batch(self, service):
+        """A lone request must be answered within ~the flush deadline,
+        not wait for max_batch_size paths to accumulate."""
+        with ServingEngine(service, concurrency=2, flush_deadline_ms=10.0,
+                           max_batch_size=10_000) as engine:
+            started = time.perf_counter()
+            response = engine.rank(RankRequest(source=0, target=5))
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+        assert response.served_by == "model"
+        # Generous ceiling: deadline (10ms) + scheduling + scoring.
+        assert elapsed_ms < 2000.0
+        assert elapsed_ms >= 5.0, (
+            "a lone sub-threshold request should have waited for the "
+            f"flush deadline, answered in {elapsed_ms:.2f} ms"
+        )
+
+    def test_size_trigger_fires_before_deadline(self, service):
+        """Enough pending paths flush immediately, not at the deadline."""
+        with ServingEngine(service, concurrency=4,
+                           flush_deadline_ms=10_000.0,
+                           max_batch_size=2) as engine:
+            requests = [RankRequest(source=s, target=t)
+                        for s, t in ALL_PAIRS[:6]]
+            started = time.perf_counter()
+            responses = engine.rank_batch(requests)
+            elapsed = time.perf_counter() - started
+        assert all(r.served_by == "model" for r in responses)
+        assert elapsed < 5.0  # nowhere near the 10s deadline
+
+    def test_zero_deadline_serves_immediately(self, service):
+        with ServingEngine(service, concurrency=2,
+                           flush_deadline_ms=0.0) as engine:
+            response = engine.rank(RankRequest(source=0, target=5))
+        assert response.served_by == "model"
+
+
+class TestLifecycle:
+    def test_close_refuses_new_requests(self, service):
+        engine = ServingEngine(service, concurrency=2)
+        engine.close()
+        with pytest.raises(ServingError, match="closed"):
+            engine.submit(RankRequest(source=0, target=5))
+
+    def test_close_answers_in_flight_requests(self, service):
+        engine = ServingEngine(service, concurrency=2,
+                               flush_deadline_ms=50.0,
+                               max_batch_size=10_000)
+        tickets = [engine.submit(RankRequest(source=s, target=t))
+                   for s, t in ALL_PAIRS[:5]]
+        engine.close()
+        for ticket in tickets:
+            assert ticket.wait(timeout=1.0).served_by == "model"
+
+    def test_unstarted_engine_rejects_submit(self, service):
+        engine = ServingEngine(service, concurrency=2, start=False)
+        with pytest.raises(ServingError, match="not started"):
+            engine.submit(RankRequest(source=0, target=5))
+        engine.start()
+        assert engine.rank(RankRequest(source=0, target=5)).ok
+        engine.close()
+
+    def test_context_manager_and_ready(self, service):
+        engine = ServingEngine(service, concurrency=2, start=False)
+        assert not engine.ready
+        with engine:
+            assert engine.ready
+            assert engine.rank(RankRequest(source=0, target=5)).ok
+        assert not engine.ready
+
+    def test_invalid_knobs_rejected(self, service):
+        with pytest.raises(ServingError):
+            ServingEngine(service, concurrency=0, start=False)
+        with pytest.raises(ServingError):
+            ServingEngine(service, flush_deadline_ms=-1.0, start=False)
+        with pytest.raises(ServingError):
+            ServingEngine(service, max_batch_size=0, start=False)
+
+
+class TestRobustness:
+    def test_hostile_request_gets_error_response_not_deadlock(self, service):
+        """A request whose parameters blow up admission (k=0 fails config
+        validation) must come back as an error response — and must not
+        kill the worker that claimed it."""
+        with ServingEngine(service, concurrency=2,
+                           flush_deadline_ms=2.0) as engine:
+            bad = engine.rank(RankRequest(source=0, target=5, k=0),
+                              timeout=5.0)
+            good = engine.rank(RankRequest(source=0, target=5), timeout=5.0)
+        assert bad.served_by == "error"
+        assert "k must be" in bad.error
+        assert good.served_by == "model"
+
+    def test_non_repro_scoring_error_degrades_not_hangs(self, service,
+                                                        monkeypatch):
+        """An unexpected exception type from the forward pass must not
+        kill the scoring thread; requests degrade to the fallback."""
+        def explode(self, paths, **kwargs):
+            raise RuntimeError("BLAS exploded")
+
+        monkeypatch.setattr(PathRank, "score_paths", explode)
+        with ServingEngine(service, concurrency=2,
+                           flush_deadline_ms=2.0) as engine:
+            response = engine.rank(RankRequest(source=0, target=5),
+                                   timeout=5.0)
+        assert response.served_by == "fallback"
+        assert "BLAS exploded" in response.error
+
+    def test_latency_excludes_waiter_drain_delay(self, service):
+        """A ticket collected long after scoring finished must report
+        the pipeline's latency, not the collection delay."""
+        with ServingEngine(service, concurrency=2,
+                           flush_deadline_ms=0.0) as engine:
+            ticket = engine.submit(RankRequest(source=0, target=5))
+            deadline = time.perf_counter() + 5.0
+            while not ticket.done and time.perf_counter() < deadline:
+                time.sleep(0.001)
+            assert ticket.done
+            time.sleep(0.3)  # the waiter dawdles
+            response = ticket.wait(timeout=1.0)
+        assert response.served_by == "model"
+        assert response.latency_ms < 250.0
+
+
+class TestWarmup:
+    def test_warmup_fills_caches_before_ready(self, service):
+        mix = [RankRequest(source=0, target=5), RankRequest(source=3, target=2),
+               RankRequest(source=0, target=5)]  # duplicate: warmed once
+        with ServingEngine(service, concurrency=2, warmup=mix) as engine:
+            assert engine.warmed_up == 2
+            # Warm-up must not count as served traffic...
+            assert service.counters.requests == 0
+            # ...but the replayed queries now hit the candidate cache.
+            response = engine.rank(RankRequest(source=0, target=5))
+        assert response.candidate_cache_hit
+
+    def test_warmup_stats_reported(self, service):
+        with ServingEngine(service, concurrency=2,
+                           warmup=[RankRequest(source=0, target=5)]) as engine:
+            assert engine.stats()["engine"]["warmed_up"] == 1
+
+
+class TestFailureIsolation:
+    def test_scoring_error_mid_batch_degrades_only_poisoned_request(
+            self, service, monkeypatch):
+        """A path that breaks the forward pass must not take down the
+        other requests coalesced into the same flush."""
+        real_score_paths = PathRank.score_paths
+        poison = RankRequest(source=0, target=5)
+        poison_key = None
+
+        # Identify the poison request's candidate paths up front.
+        sync = RankingService(service.network, service.registry,
+                              service.config)
+        poison_state = sync.admit(poison)
+        sync.prepare(poison_state)
+        poison_key = {p.vertices for p in poison_state.paths}
+
+        def explode_on_poison(self, paths, **kwargs):
+            if any(p.vertices in poison_key for p in paths):
+                raise ServingError("poisoned batch")
+            return real_score_paths(self, paths, **kwargs)
+
+        monkeypatch.setattr(PathRank, "score_paths", explode_on_poison)
+        with ServingEngine(service, concurrency=4, flush_deadline_ms=50.0,
+                           max_batch_size=10_000) as engine:
+            requests = [poison,
+                        RankRequest(source=3, target=2),
+                        RankRequest(source=1, target=5)]
+            responses = engine.rank_batch(requests)
+        assert responses[0].served_by == "fallback"
+        assert "poisoned batch" in responses[0].error
+        assert responses[1].served_by == "model"
+        assert responses[2].served_by == "model"

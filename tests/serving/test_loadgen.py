@@ -1,0 +1,98 @@
+"""Workload generation: Zipf OD mixes and open-loop Poisson arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ServingEngine,
+    WorkloadConfig,
+    generate_timed_workload,
+    generate_workload,
+    poisson_arrivals,
+    replay_open_loop,
+    run_engine_workload,
+)
+
+
+class TestPoissonArrivals:
+    def test_monotone_and_positive(self):
+        arrivals = poisson_arrivals(200, qps=100.0, rng=0)
+        assert arrivals.shape == (200,)
+        assert np.all(np.diff(arrivals) >= 0.0)
+        assert arrivals[0] > 0.0
+
+    def test_rate_converges_to_target(self):
+        arrivals = poisson_arrivals(5000, qps=250.0, rng=1)
+        observed = len(arrivals) / arrivals[-1]
+        assert observed == pytest.approx(250.0, rel=0.1)
+
+    def test_deterministic_per_seed(self):
+        a = poisson_arrivals(50, qps=10.0, rng=3)
+        b = poisson_arrivals(50, qps=10.0, rng=3)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, qps=10.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, qps=0.0)
+
+
+class TestTimedWorkload:
+    def test_same_od_mix_as_untimed(self, tiny_network):
+        config = WorkloadConfig(num_requests=40, num_hotspots=5,
+                                arrival_rate_qps=100.0)
+        plain = generate_workload(tiny_network, config, rng=5)
+        timed = generate_timed_workload(tiny_network, config, rng=5)
+        assert [(t.request.source, t.request.target) for t in timed] == \
+            [(r.source, r.target) for r in plain]
+
+    def test_arrivals_attached_and_increasing(self, tiny_network):
+        config = WorkloadConfig(num_requests=30, num_hotspots=5,
+                                arrival_rate_qps=1000.0)
+        timed = generate_timed_workload(tiny_network, config, rng=2)
+        arrivals = [t.arrival_s for t in timed]
+        assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+        assert arrivals[-1] > 0.0
+
+    def test_no_rate_means_back_to_back(self, tiny_network):
+        config = WorkloadConfig(num_requests=10, num_hotspots=5)
+        timed = generate_timed_workload(tiny_network, config, rng=2)
+        assert all(t.arrival_s == 0.0 for t in timed)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(arrival_rate_qps=0.0)
+
+
+class TestEngineDrivers:
+    def test_closed_loop_summary(self, service, tiny_network):
+        workload = generate_workload(
+            tiny_network, WorkloadConfig(num_requests=30, num_hotspots=5),
+            rng=1)
+        with ServingEngine(service, concurrency=4,
+                           flush_deadline_ms=2.0) as engine:
+            summary = run_engine_workload(engine, workload, concurrency=6)
+        assert summary["requests"] == 30
+        assert summary["served_by"]["error"] == 0
+        assert summary["throughput_qps"] > 0.0
+        assert summary["occupancy"]["requests_coalesced"] == 30
+        assert set(summary["latency_ms"]) == {"mean", "p50", "p95"}
+
+    def test_open_loop_replay(self, service, tiny_network):
+        timed = generate_timed_workload(
+            tiny_network,
+            WorkloadConfig(num_requests=25, num_hotspots=5,
+                           arrival_rate_qps=2000.0),
+            rng=1)
+        with ServingEngine(service, concurrency=4,
+                           flush_deadline_ms=2.0) as engine:
+            summary = replay_open_loop(engine, timed)
+        assert summary["requests"] == 25
+        assert summary["served_by"]["error"] == 0
+        assert summary["offered_qps"] > 0.0
+        assert summary["occupancy"]["flushes"] > 0
+
+    def test_open_loop_time_scale_validation(self, service, tiny_network):
+        with pytest.raises(ValueError):
+            replay_open_loop(None, [], time_scale=0.0)

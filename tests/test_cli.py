@@ -210,6 +210,54 @@ class TestServe:
         assert "Traceback" not in captured.err
 
 
+class TestServeConcurrent:
+    def test_serve_through_engine(self, artifacts, queries_file, capsys):
+        network, _, model = artifacts
+        code = main(["serve", "--network", str(network), "--model", str(model),
+                     "--queries-file", str(queries_file), "--k", "3",
+                     "--concurrency", "4", "--flush-deadline-ms", "1",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["responses"]) == 3
+        assert all(r["served_by"] == "model" for r in payload["responses"])
+        # Identical queries must rank identically through the engine too.
+        assert payload["responses"][2]["top_vertices"] == \
+            payload["responses"][0]["top_vertices"]
+        assert payload["stats"]["engine"]["concurrency"] == 4
+        assert payload["stats"]["engine"]["occupancy"]["flushes"] >= 1
+
+    def test_serve_split_single_version(self, artifacts, queries_file,
+                                        capsys):
+        network, _, model = artifacts
+        code = main(["serve", "--network", str(network), "--model", str(model),
+                     "--queries-file", str(queries_file), "--k", "3",
+                     "--split", f"{model.stem}=1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(r["model_version"] == model.stem
+                   for r in payload["responses"])
+        assert model.stem in payload["stats"]["splits"]
+
+    def test_serve_split_unknown_version_exits_cleanly(self, artifacts,
+                                                       queries_file, capsys):
+        network, _, model = artifacts
+        code = main(["serve", "--network", str(network), "--model", str(model),
+                     "--queries-file", str(queries_file),
+                     "--split", "v9999=1"])
+        assert code == 2
+        assert "v9999" in capsys.readouterr().err
+
+    def test_serve_malformed_split_exits_cleanly(self, artifacts,
+                                                 queries_file, capsys):
+        network, _, model = artifacts
+        code = main(["serve", "--network", str(network), "--model", str(model),
+                     "--queries-file", str(queries_file),
+                     "--split", "justaname"])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
 class TestBenchServe:
     def test_bench_serve_reports_json(self, artifacts, capsys):
         network, _, model = artifacts
@@ -224,6 +272,38 @@ class TestBenchServe:
         assert set(payload["latency_ms"]) == {"mean", "p50", "p95"}
         # A Zipf mix over 5 hotspots repeats constantly: the cache must show it.
         assert payload["candidate_cache_hit_rate"] > 0.5
+
+    def test_bench_serve_concurrent_closed_loop(self, artifacts, capsys):
+        network, _, model = artifacts
+        code = main(["bench-serve", "--network", str(network),
+                     "--model", str(model), "--requests", "30",
+                     "--hotspots", "5", "--k", "3", "--seed", "1",
+                     "--concurrency", "8"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["requests"] == 30
+        assert payload["served_by"]["error"] == 0
+        assert payload["concurrency"] == 8
+        assert payload["occupancy"]["requests_coalesced"] == 30
+
+    def test_bench_serve_open_loop(self, artifacts, capsys):
+        network, _, model = artifacts
+        code = main(["bench-serve", "--network", str(network),
+                     "--model", str(model), "--requests", "20",
+                     "--hotspots", "5", "--k", "3", "--seed", "1",
+                     "--concurrency", "4", "--qps", "2000"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["requests"] == 20
+        assert payload["offered_qps"] > 0
+        assert payload["served_by"]["error"] == 0
+
+    def test_bench_serve_qps_requires_concurrency(self, artifacts, capsys):
+        network, _, model = artifacts
+        code = main(["bench-serve", "--network", str(network),
+                     "--model", str(model), "--qps", "100"])
+        assert code == 2
+        assert "concurrency" in capsys.readouterr().err
 
 
 class TestBenchScoring:
