@@ -1,0 +1,139 @@
+"""Benchmark E12 — the sharded serving plane on multi-region workloads.
+
+Drives the PR-5 shard plane through ``repro.serving.sharding_bench``: a
+multi-region Zipf workload (per-shard hotspot pools, tunable cross-shard
+fraction) replayed closed-loop through the unsharded
+:class:`ServingEngine` and through a sharded service (per-region
+registries, caches carved from a global budget, scoring flushes
+coalesced per *(shard, snapshot)* group), plus the opt-in shard-local
+routing mode and a single-region floor check.  The result is written as
+``BENCH_sharding.json``.
+
+Target (asserted standalone at full scale): same-shard responses
+element-wise identical to the unsharded service's, per-shard cache
+hit-rates reported for every shard, and no throughput regression on
+either the multi-region or the single-region workload (ratio >= 0.9,
+best-of-repeats).
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_sharding.py``,
+add ``--smoke`` for the tiny preset) or under pytest, where the smoke
+preset keeps the tier-1 suite fast while still asserting parity, shard
+isolation, and a valid report.
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro.serving.sharding_bench import (
+    apply_overrides,
+    full_config,
+    run_sharding_benchmark,
+    smoke_config,
+    validate_report,
+    write_report,
+)
+
+#: Full-scale acceptance floors for the shard plane.
+THROUGHPUT_RATIO_TARGET = 0.9
+#: Smoke-scale floor: generous, because CI timing jitter on a
+#: sub-second run is real — the full-scale standalone run enforces the
+#: honest 0.9.
+SMOKE_RATIO_FLOOR = 0.5
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke scale — see conftest.sharding_smoke_report)
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="sharding")
+def test_smoke_same_shard_parity_is_exact(sharding_smoke_report):
+    """Same-shard rankings must be element-wise identical to the
+    unsharded engine's (the exact-mode shard-plane guarantee)."""
+    parity = sharding_smoke_report["parity"]
+    assert parity["same_shard_requests"] > 0
+    assert parity["mismatched_same_shard"] == 0
+    assert parity["max_abs_score_diff_same_shard"] <= 1e-6
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_smoke_every_shard_served_and_isolated(sharding_smoke_report):
+    """Every shard must own traffic and report its own cache hit-rates
+    (the per-shard isolation the global-budget split exists for)."""
+    per_shard = sharding_smoke_report["multi_region"]["per_shard"]
+    assert len(per_shard) >= 2
+    for label, entry in per_shard.items():
+        assert entry["requests"] > 0, f"{label} owned no requests"
+        assert 0.0 <= entry["candidate_cache_hit_rate"] <= 1.0
+    # The warmed closed-loop run must actually hit the per-shard caches.
+    assert any(entry["candidate_cache_hit_rate"] > 0.5
+               for entry in per_shard.values())
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_smoke_no_gross_throughput_regression(sharding_smoke_report):
+    headline = sharding_smoke_report["headline"]
+    assert headline["multi_region_throughput_ratio"] >= SMOKE_RATIO_FLOOR, (
+        f"sharded engine fell to "
+        f"{headline['multi_region_throughput_ratio']:.2f}x of the "
+        f"unsharded engine on the multi-region workload")
+    assert headline["single_region_throughput_ratio"] >= SMOKE_RATIO_FLOOR, (
+        f"sharding taxed the single-region workload down to "
+        f"{headline['single_region_throughput_ratio']:.2f}x")
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_smoke_cross_shard_traffic_exists(sharding_smoke_report):
+    """The workload generator must produce the configured region mix."""
+    multi = sharding_smoke_report["multi_region"]
+    assert 0 < multi["cross_shard_requests"] < multi["requests"]
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_smoke_report_is_valid_bench_sharding_json(sharding_smoke_report):
+    """The emitted document must round-trip as valid BENCH_sharding.json."""
+    validate_report(sharding_smoke_report)  # raises DataError on violation
+    assert sharding_smoke_report["preset"] == "smoke"
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the sharded serving plane vs the "
+                    "unsharded engine")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny preset (two regions, sub-second)")
+    parser.add_argument("--out", default="BENCH_sharding.json",
+                        help="report path (default: BENCH_sharding.json)")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--cross-fraction", type=float, default=None)
+    parser.add_argument("--concurrency", type=int, default=None)
+    parser.add_argument("--k", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    config = apply_overrides(
+        smoke_config() if args.smoke else full_config(),
+        requests=args.requests, shards=args.shards,
+        cross_fraction=args.cross_fraction, concurrency=args.concurrency,
+        k=args.k, seed=args.seed)
+    report = run_sharding_benchmark(config)
+    write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+
+    if not args.smoke:
+        headline = report["headline"]
+        assert headline["same_shard_mismatches"] == 0
+        for key in ("multi_region_throughput_ratio",
+                    "single_region_throughput_ratio"):
+            assert headline[key] >= THROUGHPUT_RATIO_TARGET, (
+                f"{key} {headline[key]:.2f} below the "
+                f"{THROUGHPUT_RATIO_TARGET} floor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,19 +44,19 @@ def pipeline(bench_config) -> ExperimentPipeline:
 
 
 def pytest_collect_file(file_path, parent):
-    """Wire the routing/scoring/serving benchmarks' smoke assertions
-    into tier-1.
+    """Wire the routing/scoring/serving/sharding benchmarks' smoke
+    assertions into tier-1.
 
     Benchmark modules are named ``bench_*.py`` and therefore invisible
     to the default ``test_*.py`` collection — the heavyweight table /
-    figure benches must stay opt-in.  The routing, scoring, and serving
-    benches' smoke modes run in a few seconds combined and guard the
-    CSR kernel, the fused-scoring backend, and the concurrent serving
-    engine (not-slower + parity + valid ``BENCH_*.json``), so they
-    alone are collected explicitly.
+    figure benches must stay opt-in.  The routing, scoring, serving,
+    and sharding benches' smoke modes run in a few seconds combined and
+    guard the CSR kernel, the fused-scoring backend, the concurrent
+    serving engine, and the shard plane (not-slower + parity + valid
+    ``BENCH_*.json``), so they alone are collected explicitly.
     """
     if file_path.name in ("bench_routing.py", "bench_scoring.py",
-                          "bench_serving.py"):
+                          "bench_serving.py", "bench_sharding.py"):
         return pytest.Module.from_parent(parent, path=file_path)
 
 
@@ -96,6 +96,21 @@ def serving_smoke_report(tmp_path_factory):
     report = serving_bench.run_serving_benchmark(serving_bench.smoke_config())
     out = tmp_path_factory.mktemp("serving") / "BENCH_serving.json"
     serving_bench.write_report(report, out)
+    return json.loads(out.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="session")
+def sharding_smoke_report(tmp_path_factory):
+    """The sharding benchmark at smoke scale, round-tripped through its
+    JSON report so the schema tests exercise what ``bench-sharding``
+    actually writes.  This wrapper is what wires ``bench_sharding.py``
+    into the tier-1 test run at a tiny, stable-cost preset."""
+    from repro.serving import sharding_bench
+
+    report = sharding_bench.run_sharding_benchmark(
+        sharding_bench.smoke_config())
+    out = tmp_path_factory.mktemp("sharding") / "BENCH_sharding.json"
+    sharding_bench.write_report(report, out)
     return json.loads(out.read_text(encoding="utf-8"))
 
 

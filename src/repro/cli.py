@@ -14,12 +14,14 @@ without writing Python::
         --source 3 --target 47
     python -m repro.cli serve --network /tmp/net.json --model /tmp/model.npz \
         --queries-file /tmp/queries.json --json \
-        --concurrency 8 --flush-deadline-ms 2 --split v0001=3,v0002=1
+        --concurrency 8 --flush-deadline-ms 2 --split v0001=3,v0002=1 \
+        --shards 4 --partition-method voronoi
     python -m repro.cli bench-serve --network /tmp/net.json \
         --model /tmp/model.npz --requests 200 --hotspots 20 \
         --concurrency 32 --qps 500
     python -m repro.cli bench-routing --out BENCH_routing.json
     python -m repro.cli bench-scoring --out BENCH_scoring.json
+    python -m repro.cli bench-sharding --out BENCH_sharding.json
 """
 
 from __future__ import annotations
@@ -47,12 +49,14 @@ from repro.graph.routing_bench import (
 )
 from repro.ranking.evaluation import evaluate_scorer
 from repro.ranking.training_data import Strategy, TrainingDataConfig, generate_queries
+from repro.graph.partition import PARTITION_METHODS, partition_network
 from repro.serving import (
     ModelRegistry,
     RankingService,
     RankRequest,
     ServingConfig,
     ServingEngine,
+    ShardedRegistry,
     WorkloadConfig,
     generate_timed_workload,
     generate_workload,
@@ -60,6 +64,7 @@ from repro.serving import (
     run_engine_workload,
     run_workload,
 )
+from repro.serving import sharding_bench
 from repro.trajectories.dataset import TrajectoryDataset
 from repro.trajectories.drivers import sample_population
 from repro.trajectories.generator import FleetConfig, TrajectoryGenerator
@@ -150,6 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--split", default=None,
                        help="A/B traffic split, e.g. 'v0001=3,v0002=1' "
                             "(weights are normalised)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="partition the network into this many region "
+                            "shards and serve on the shard plane (0 = "
+                            "unsharded; the checkpoint serves all shards)")
+    serve.add_argument("--partition-method",
+                       choices=sorted(PARTITION_METHODS), default="voronoi",
+                       help="partitioner behind --shards")
     serve.add_argument("--json", action="store_true",
                        help="print responses and stats as JSON")
 
@@ -177,6 +189,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--qps", type=float, default=None,
                        help="open-loop mode: drive the engine with Poisson "
                             "arrivals at this rate (requires --concurrency)")
+    bench.add_argument("--shards", type=int, default=0,
+                       help="serve on the shard plane with this many region "
+                            "shards (0 = unsharded)")
+    bench.add_argument("--partition-method",
+                       choices=sorted(PARTITION_METHODS), default="voronoi",
+                       help="partitioner behind --shards")
+    bench.add_argument("--cross-fraction", type=float, default=0.25,
+                       help="with --shards: fraction of requests spanning "
+                            "two shards (multi-region workload)")
 
     routing = commands.add_parser(
         "bench-routing",
@@ -203,6 +224,22 @@ def build_parser() -> argparse.ArgumentParser:
     scoring.add_argument("--seed", type=int, default=None)
     scoring.add_argument("--out", default=None,
                          help="also write the report to this path")
+
+    sharding = commands.add_parser(
+        "bench-sharding",
+        help="compare the sharded and unsharded serving planes, report JSON")
+    sharding.add_argument("--smoke", action="store_true",
+                          help="tiny sub-second preset")
+    sharding.add_argument("--requests", type=int, default=None)
+    sharding.add_argument("--shards", type=int, default=None,
+                          help="number of region shards")
+    sharding.add_argument("--cross-fraction", type=float, default=None,
+                          help="fraction of requests spanning two shards")
+    sharding.add_argument("--concurrency", type=int, default=None)
+    sharding.add_argument("--k", type=int, default=None)
+    sharding.add_argument("--seed", type=int, default=None)
+    sharding.add_argument("--out", default=None,
+                          help="also write the report to this path")
 
     return parser
 
@@ -352,7 +389,32 @@ def _build_service(args: argparse.Namespace):
         concurrency=max(getattr(args, "concurrency", 0), 1),
         flush_deadline_ms=getattr(args, "flush_deadline_ms", 2.0),
     )
-    service = RankingService(network, registry, config)
+    shards = getattr(args, "shards", 0)
+    if shards and shards > 1:
+        # Shard plane behind one checkpoint: partition the network and
+        # back every shard with the shared registry, so the single
+        # published model serves all regions while caches and scoring
+        # batches stay shard-local.
+        partition = partition_network(
+            network, shards,
+            method=getattr(args, "partition_method", "voronoi"),
+            rng=getattr(args, "seed", 0) or 0)
+        if partition.num_shards != shards:
+            # The grid partitioner realises occupied cells, not the
+            # exact request; say so rather than silently serving a
+            # different shard count than the operator asked for.
+            print(f"note: --shards {shards} realised as "
+                  f"{partition.num_shards} region shards "
+                  f"(sizes {[s.size for s in partition.shards]})",
+                  file=sys.stderr)
+        sharded = ShardedRegistry.shared(
+            registry, partition,
+            candidate_cache_size=config.candidate_cache_size,
+            score_cache_size=config.score_cache_size,
+            score_cache_quotas=config.resolved_score_quotas())
+        service = RankingService(network, sharded, config)
+    else:
+        service = RankingService(network, registry, config)
     service.activate(model_path.stem)
     return service
 
@@ -438,23 +500,31 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     service = _build_service(args)
     workload_config = WorkloadConfig(
         num_requests=args.requests, num_hotspots=args.hotspots,
-        zipf_exponent=args.zipf, arrival_rate_qps=args.qps)
+        zipf_exponent=args.zipf, arrival_rate_qps=args.qps,
+        cross_shard_fraction=args.cross_fraction)
+    # A sharded service gets the multi-region mix (per-shard hotspot
+    # pools, cross-shard corridor traffic); unsharded keeps the classic
+    # single-pool stream.
+    partition = service.sharded.partition if service.sharded else None
     if args.concurrency > 0:
         with ServingEngine(service, concurrency=args.concurrency,
                            flush_deadline_ms=args.flush_deadline_ms) as engine:
             if args.qps is not None:
                 timed = generate_timed_workload(service.network,
-                                                workload_config, rng=args.seed)
+                                                workload_config,
+                                                rng=args.seed,
+                                                partition=partition)
                 summary = replay_open_loop(engine, timed)
             else:
                 workload = generate_workload(service.network, workload_config,
-                                             rng=args.seed)
+                                             rng=args.seed,
+                                             partition=partition)
                 summary = run_engine_workload(engine, workload,
                                               concurrency=args.concurrency)
             summary["stats"] = engine.stats()
     else:
         workload = generate_workload(service.network, workload_config,
-                                     rng=args.seed)
+                                     rng=args.seed, partition=partition)
         summary = run_workload(service, workload, batch_size=args.batch_size)
     print(json.dumps(summary, indent=2))
     return 0
@@ -482,6 +552,20 @@ def _cmd_bench_scoring(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_sharding(args: argparse.Namespace) -> int:
+    config = sharding_bench.apply_overrides(
+        sharding_bench.smoke_config() if args.smoke
+        else sharding_bench.full_config(),
+        requests=args.requests, shards=args.shards,
+        cross_fraction=args.cross_fraction, concurrency=args.concurrency,
+        k=args.k, seed=args.seed)
+    report = sharding_bench.run_sharding_benchmark(config)
+    if args.out:
+        sharding_bench.write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 _COMMANDS = {
     "build-network": _cmd_build_network,
     "simulate-fleet": _cmd_simulate_fleet,
@@ -492,6 +576,7 @@ _COMMANDS = {
     "bench-serve": _cmd_bench_serve,
     "bench-routing": _cmd_bench_routing,
     "bench-scoring": _cmd_bench_scoring,
+    "bench-sharding": _cmd_bench_sharding,
 }
 
 

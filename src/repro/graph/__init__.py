@@ -50,6 +50,14 @@ from repro.graph.io import (
 from repro.graph.ksp import yen_k_shortest_paths, yen_path_generator
 from repro.graph.network import Edge, RoadCategory, RoadNetwork, Vertex
 from repro.graph.osm import load_osm_xml, save_osm_xml
+from repro.graph.partition import (
+    GraphPartition,
+    RegionShard,
+    bfs_partition,
+    grid_partition,
+    partition_network,
+    voronoi_partition,
+)
 from repro.graph.path import Path
 from repro.graph.shortest_path import (
     astar,
@@ -77,6 +85,12 @@ __all__ = [
     "Vertex",
     "Edge",
     "Path",
+    "GraphPartition",
+    "RegionShard",
+    "bfs_partition",
+    "grid_partition",
+    "partition_network",
+    "voronoi_partition",
     "CSRGraph",
     "csr_for",
     "get_routing_backend",

@@ -34,8 +34,23 @@ deployment needs around it:
 * **A/B serving** — ``ServingConfig.traffic_split`` routes each request
   deterministically to one of several published model versions (and
   ``RankRequest.model_version`` pins one explicitly); the registry
-  keeps every split target resident, and :class:`SplitMetrics` keeps
-  the variants' latency/outcome accounting separated.
+  keeps every split target resident (balanced ``pin``/``release``
+  accounting frees a superseded version's model and compiled kernel at
+  the last release), :class:`SplitMetrics` keeps the variants'
+  latency/outcome accounting separated, and the score cache carves a
+  per-split quota for each variant so a low-traffic arm's entries are
+  never evicted by the majority split's churn.
+* **Shard plane** (:mod:`repro.serving.sharding`) — a
+  :class:`~repro.graph.partition.GraphPartition` splits the network
+  into region shards; :class:`ShardedRegistry` holds one registry +
+  candidate/score cache per shard under a global memory budget, and a
+  :class:`ShardRouter` tags every request with its owning shard at
+  admission.  Candidate generation can run shard-locally or through
+  boundary-stitched cross-shard corridors, scoring flushes coalesce
+  per *(shard, snapshot)* group, and with the default exact mode
+  same-shard rankings are element-wise identical to an unsharded
+  service's (``benchmarks/bench_sharding.py`` pins this;
+  ``BENCH_sharding.json`` holds the committed numbers).
 
 Usage::
 
@@ -102,6 +117,7 @@ from repro.serving.instrumentation import (
     LatencyTracker,
     OccupancyTracker,
     ServiceCounters,
+    ShardMetrics,
     SplitMetrics,
     percentile,
 )
@@ -118,6 +134,12 @@ from repro.serving.loadgen import (
 )
 from repro.serving.pipeline import QueryState, assign_split, normalise_split
 from repro.serving.registry import ActiveModel, ModelRegistry
+from repro.serving.sharding import (
+    ShardedRegistry,
+    ShardLane,
+    ShardRoute,
+    ShardRouter,
+)
 from repro.serving.service import (
     RankedPath,
     RankingService,
@@ -147,6 +169,11 @@ __all__ = [
     "ServiceCounters",
     "ServingConfig",
     "ServingEngine",
+    "ShardedRegistry",
+    "ShardLane",
+    "ShardMetrics",
+    "ShardRoute",
+    "ShardRouter",
     "SplitMetrics",
     "TimedRequest",
     "WorkloadConfig",

@@ -10,9 +10,12 @@ small-batch path.  :class:`ServingEngine` closes that gap: callers
 * **worker threads** run the admission and candidate-generation stages
   of the shared pipeline (cache-aware, so hotspot traffic is cheap), and
 * a **deadline flusher** coalesces prepared requests into one scoring
-  flush per model snapshot — triggered the moment ``max_batch_size``
-  paths accumulate, or ``flush_deadline_ms`` after the oldest pending
-  request arrived, whichever comes first.
+  flush per *(shard, model snapshot)* group — triggered the moment
+  ``max_batch_size`` paths accumulate, or ``flush_deadline_ms`` after
+  the oldest pending request arrived, whichever comes first.  On a
+  sharded service each flush scores every shard's group through that
+  shard's own scorer/caches, and the occupancy gauge keeps a per-shard
+  breakdown alongside the whole-flush numbers.
 
 Because both front doors drive the *same* stage methods and the masked
 recurrence makes batched scores identical to sequential ones, an
@@ -41,7 +44,7 @@ from collections import deque
 from collections.abc import Sequence
 
 from repro.errors import ServingError
-from repro.serving.instrumentation import OccupancyTracker
+from repro.serving.instrumentation import OccupancyTracker, shard_label
 from repro.serving.pipeline import QueryState
 from repro.serving.service import RankingService, RankRequest, RankResponse
 
@@ -342,17 +345,27 @@ class ServingEngine:
         try:
             self.service.score_states(states)
         except Exception as exc:  # noqa: BLE001 - deliberate backstop
-            # score_states degrades ReproError per request already; an
-            # unexpected exception degrades the whole batch to the
-            # fallback instead of killing the scoring thread (which
-            # would strand these tickets and stop deadline flushes).
+            # score_states degrades ReproError per request already (and
+            # per (shard, snapshot) group, so one shard's poison batch
+            # never touches another's); an unexpected exception degrades
+            # the whole batch to the fallback instead of killing the
+            # scoring thread (which would strand these tickets and stop
+            # deadline flushes).
             for state in states:
                 if state.scores is None and state.error is None:
                     state.active = None
                     state.degraded = str(exc)
+        groups: dict[str, tuple[int, int]] | None = None
+        if self.service.sharded is not None:
+            groups = {}
+            for state in states:
+                label = shard_label(state.shard)
+                requests, paths = groups.get(label, (0, 0))
+                groups[label] = (requests + 1, paths + len(state.paths))
         self.occupancy.record(
             requests=len(states),
             paths=sum(len(state.paths) for state in states),
+            groups=groups,
         )
         # Assembly is deferred to each ticket's waiter (see
         # EngineTicket.wait): releasing the batch here keeps the flush

@@ -3,9 +3,11 @@
 Kept deliberately tiny: a bounded reservoir of per-request latencies
 with nearest-rank percentiles, the service-level counters the ``serve``
 / ``bench-serve`` CLI commands report as JSON, per-split copies of both
-for A/B serving (:class:`SplitMetrics`), and the scoring-batch occupancy
-gauge (:class:`OccupancyTracker`) that shows whether the concurrent
-engine's cross-request coalescing is actually engaging.
+for A/B serving (:class:`SplitMetrics`), per-shard request accounting
+for the sharded serving plane (:class:`ShardMetrics`), and the
+scoring-batch occupancy gauge (:class:`OccupancyTracker`) — with an
+optional per-``(shard, snapshot)``-group breakdown — that shows whether
+the concurrent engine's cross-request coalescing is actually engaging.
 """
 
 from __future__ import annotations
@@ -14,8 +16,19 @@ import threading
 from collections import deque
 from dataclasses import dataclass, field
 
-__all__ = ["percentile", "LatencyTracker", "ServiceCounters",
-           "SplitMetrics", "OccupancyTracker"]
+__all__ = ["percentile", "shard_label", "LatencyTracker", "ServiceCounters",
+           "SplitMetrics", "ShardMetrics", "OccupancyTracker"]
+
+
+def shard_label(shard_id: int) -> str:
+    """Canonical stats label for one shard.
+
+    Every per-shard stats section (registry caches, request metrics,
+    lane scorers, engine occupancy groups) joins on this exact string,
+    so it lives here — in the dependency-free leaf module — and nowhere
+    else formats it by hand.
+    """
+    return f"shard-{shard_id:02d}"
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -156,25 +169,82 @@ class SplitMetrics:
         }
 
 
+class ShardMetrics:
+    """Per-shard request accounting for the sharded serving plane.
+
+    Tracks how much traffic each region shard owns and how much of it
+    crosses shard boundaries (the corridor-routed fraction) — the
+    numbers that tell an operator whether the partition matches the
+    workload.  Entries appear lazily on first sight of a shard, so an
+    unsharded service (which never records) costs nothing.
+    """
+
+    def __init__(self) -> None:
+        self._shards: dict[int, dict[str, int]] = {}
+        self._lock = threading.Lock()
+
+    def record(self, shard: int, cross_shard: bool, served_by: str) -> None:
+        with self._lock:
+            entry = self._shards.get(shard)
+            if entry is None:
+                entry = self._shards[shard] = {
+                    "requests": 0, "cross_shard": 0,
+                    "model": 0, "fallback": 0, "error": 0,
+                }
+            entry["requests"] += 1
+            if cross_shard:
+                entry["cross_shard"] += 1
+            if served_by in ("model", "fallback", "error"):
+                entry[served_by] += 1
+
+    def requests_for(self, shard: int) -> int:
+        with self._lock:
+            entry = self._shards.get(shard)
+            return entry["requests"] if entry else 0
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        with self._lock:
+            entries = {shard: dict(counts)
+                       for shard, counts in self._shards.items()}
+        result: dict[str, dict[str, float]] = {}
+        for shard, counts in sorted(entries.items()):
+            requests = counts["requests"]
+            counts["cross_shard_fraction"] = (
+                counts["cross_shard"] / requests if requests else 0.0)
+            result[shard_label(shard)] = counts
+        return result
+
+
 class OccupancyTracker:
     """Mean requests / paths per scoring flush of the concurrent engine.
 
     Occupancy above 1 request per flush is the direct evidence that
     cross-request coalescing engaged — independent queries shared a
     fused forward pass instead of each paying the small-batch path.
+    ``record`` optionally takes a per-group breakdown (the sharded
+    engine passes per-shard request/path counts), reported separately
+    so coalescing can be judged per ``(shard, snapshot)`` lane.
     """
 
     def __init__(self) -> None:
         self._flushes = 0
         self._requests = 0
         self._paths = 0
+        self._groups: dict[str, list[int]] = {}
         self._lock = threading.Lock()
 
-    def record(self, requests: int, paths: int) -> None:
+    def record(self, requests: int, paths: int,
+               groups: dict[str, tuple[int, int]] | None = None) -> None:
         with self._lock:
             self._flushes += 1
             self._requests += requests
             self._paths += paths
+            if groups:
+                for label, (group_requests, group_paths) in groups.items():
+                    entry = self._groups.setdefault(label, [0, 0, 0])
+                    entry[0] += 1
+                    entry[1] += group_requests
+                    entry[2] += group_paths
 
     @property
     def flushes(self) -> int:
@@ -190,13 +260,27 @@ class OccupancyTracker:
         with self._lock:
             return self._paths / self._flushes if self._flushes else 0.0
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self) -> dict[str, object]:
         with self._lock:
             flushes, requests, paths = (self._flushes, self._requests,
                                         self._paths)
-        return {
+            groups = {label: list(entry)
+                      for label, entry in self._groups.items()}
+        result: dict[str, object] = {
             "flushes": flushes,
             "requests_coalesced": requests,
             "mean_requests_per_flush": requests / flushes if flushes else 0.0,
             "mean_paths_per_flush": paths / flushes if flushes else 0.0,
         }
+        if groups:
+            result["groups"] = {
+                label: {
+                    "flushes": entry[0],
+                    "mean_requests_per_flush": (
+                        entry[1] / entry[0] if entry[0] else 0.0),
+                    "mean_paths_per_flush": (
+                        entry[2] / entry[0] if entry[0] else 0.0),
+                }
+                for label, entry in sorted(groups.items())
+            }
+        return result

@@ -8,6 +8,14 @@ regime caches are built for.  ``run_workload`` replays a request list
 against a :class:`RankingService` and summarises latency, throughput,
 and cache behaviour as a plain JSON-able dict.
 
+Passing a :class:`~repro.graph.partition.GraphPartition` turns the
+generators *multi-region*: hotspot pools are drawn per shard (pool sizes
+proportional to shard size), regions get Zipf-distributed popularity of
+their own (``region_zipf_exponent`` — region 0 hottest), and a tunable
+``cross_shard_fraction`` of requests spans two different shards.  The
+sharding benchmarks and tests share this one generator, so "the same
+multi-region workload" means the same request stream everywhere.
+
 Two drive modes exist for the concurrent engine:
 
 * **closed loop** (:func:`run_engine_workload`) — ``concurrency``
@@ -49,6 +57,11 @@ class WorkloadConfig:
     ``arrival_rate_qps`` is only consulted by the open-loop generator:
     it sets the mean of the Poisson arrival process attached to each
     request (``None`` means back-to-back, all arrivals at t=0).
+    ``region_zipf_exponent`` and ``cross_shard_fraction`` are only
+    consulted when a partition is passed to the generator: the former
+    skews request volume across regions (shard 0 hottest; 0 < exponent,
+    higher = more skew), the latter is the probability that a request's
+    endpoints lie in two different shards.
     """
 
     num_requests: int = 200
@@ -56,6 +69,8 @@ class WorkloadConfig:
     zipf_exponent: float = 1.1
     min_hop_distance: float = 1.0  # metres; rejects degenerate OD pairs
     arrival_rate_qps: float | None = None
+    region_zipf_exponent: float = 1.0
+    cross_shard_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         if self.num_requests < 1:
@@ -69,6 +84,16 @@ class WorkloadConfig:
         if self.arrival_rate_qps is not None and self.arrival_rate_qps <= 0.0:
             raise ValueError(
                 f"arrival_rate_qps must be > 0, got {self.arrival_rate_qps}"
+            )
+        if self.region_zipf_exponent <= 0.0:
+            raise ValueError(
+                f"region_zipf_exponent must be > 0, "
+                f"got {self.region_zipf_exponent}"
+            )
+        if not 0.0 <= self.cross_shard_fraction <= 1.0:
+            raise ValueError(
+                f"cross_shard_fraction must be in [0, 1], "
+                f"got {self.cross_shard_fraction}"
             )
 
 
@@ -112,14 +137,44 @@ def poisson_arrivals(num: int, qps: float, rng: RngLike = None) -> np.ndarray:
 def _hotspot_pool(network: RoadNetwork, config: WorkloadConfig,
                   rng: np.random.Generator) -> list[tuple[int, int]]:
     """Reachable OD pairs acting as the workload's commuter hotspots."""
-    ids = network.vertex_ids()
+    pool = _sample_pairs(network, config, rng, network.vertex_ids(),
+                         count=config.num_hotspots)
+    if not pool:
+        raise ValueError(
+            "could not find any reachable OD pair; is the network connected?"
+        )
+    return pool
+
+
+def _sample_pairs(network: RoadNetwork, config: WorkloadConfig,
+                  rng: np.random.Generator, source_ids: list[int],
+                  count: int,
+                  target_ids: list[int] | None = None) -> list[tuple[int, int]]:
+    """Up to ``count`` distinct reachable OD pairs, rejection-sampled.
+
+    ``target_ids`` (defaulting to ``source_ids``) lets the multi-region
+    generator draw cross-shard pairs: source from one shard's nodes,
+    target from another's.  Reachability is always judged on the full
+    network — the serving layer's full-network retry guarantees such
+    pairs are answerable even when a shard-restricted graph is not.
+    """
+    targets = source_ids if target_ids is None else target_ids
     pool: list[tuple[int, int]] = []
     seen: set[tuple[int, int]] = set()
     attempts = 0
-    max_attempts = max(200, 50 * config.num_hotspots)
-    while len(pool) < config.num_hotspots and attempts < max_attempts:
+    max_attempts = max(200, 50 * count)
+    while len(pool) < count and attempts < max_attempts:
         attempts += 1
-        source, target = (int(v) for v in rng.choice(ids, size=2, replace=False))
+        if target_ids is None:
+            if len(source_ids) < 2:
+                break
+            source, target = (int(v) for v in rng.choice(source_ids, size=2,
+                                                         replace=False))
+        else:
+            source = int(rng.choice(source_ids))
+            target = int(rng.choice(targets))
+            if source == target:
+                continue
         if (source, target) in seen:
             continue
         try:
@@ -130,41 +185,127 @@ def _hotspot_pool(network: RoadNetwork, config: WorkloadConfig,
             continue
         seen.add((source, target))
         pool.append((source, target))
-    if not pool:
-        raise ValueError(
-            "could not find any reachable OD pair; is the network connected?"
-        )
     return pool
+
+
+def _region_pools(network: RoadNetwork, partition, config: WorkloadConfig,
+                  rng: np.random.Generator):
+    """Per-shard hotspot pools plus one cross-shard pool.
+
+    Each shard's pool size is its proportional share of
+    ``num_hotspots`` (at least one); the cross pool holds
+    ``num_hotspots * cross_shard_fraction`` pairs whose source shard is
+    drawn with the region Zipf weights and whose target shard is drawn
+    uniformly among the rest.
+    """
+    shards = partition.shards
+    total = sum(shard.size for shard in shards)
+    shard_nodes = [sorted(shard.nodes) for shard in shards]
+    shard_pools: list[list[tuple[int, int]]] = []
+    for shard in shards:
+        share = max(1, round(config.num_hotspots * shard.size / total))
+        shard_pools.append(_sample_pairs(network, config, rng,
+                                         shard_nodes[shard.shard_id],
+                                         count=share))
+    cross_pool: list[tuple[int, int]] = []
+    if config.cross_shard_fraction > 0.0 and len(shards) > 1:
+        want = max(1, round(config.num_hotspots * config.cross_shard_fraction))
+        region_weights = zipf_weights(len(shards),
+                                      config.region_zipf_exponent)
+        attempts = 0
+        while len(cross_pool) < want and attempts < 50 * want:
+            attempts += 1
+            shard_a = int(rng.choice(len(shards), p=region_weights))
+            others = [s for s in range(len(shards)) if s != shard_a]
+            shard_b = int(rng.choice(others))
+            pair = _sample_pairs(network, config, rng, shard_nodes[shard_a],
+                                 count=1, target_ids=shard_nodes[shard_b])
+            if pair and pair[0] not in cross_pool:
+                cross_pool.extend(pair)
+    if all(not pool for pool in shard_pools) and not cross_pool:
+        raise ValueError(
+            "no shard yielded a reachable OD pair above min_hop_distance; "
+            "lower min_hop_distance or use fewer shards"
+        )
+    return shard_pools, cross_pool
+
+
+def _draw_region_requests(shard_pools, cross_pool, config: WorkloadConfig,
+                          rng: np.random.Generator) -> list[RankRequest]:
+    populated = [s for s, pool in enumerate(shard_pools) if pool]
+    region_weights = None
+    if populated:
+        raw = zipf_weights(len(shard_pools), config.region_zipf_exponent)
+        mass = np.array([raw[s] for s in populated])
+        region_weights = mass / mass.sum()
+    pool_weights = [zipf_weights(len(pool), config.zipf_exponent)
+                    if pool else None for pool in shard_pools]
+    cross_weights = (zipf_weights(len(cross_pool), config.zipf_exponent)
+                     if cross_pool else None)
+    requests: list[RankRequest] = []
+    for request_id in range(config.num_requests):
+        draw_cross = (cross_pool and
+                      (not populated
+                       or rng.random() < config.cross_shard_fraction))
+        if draw_cross:
+            index = int(rng.choice(len(cross_pool), p=cross_weights))
+            source, target = cross_pool[index]
+        else:
+            shard = populated[int(rng.choice(len(populated),
+                                             p=region_weights))]
+            pool = shard_pools[shard]
+            index = int(rng.choice(len(pool), p=pool_weights[shard]))
+            source, target = pool[index]
+        requests.append(RankRequest(source=source, target=target,
+                                    request_id=request_id))
+    return requests
 
 
 def generate_workload(network: RoadNetwork,
                       config: WorkloadConfig | None = None,
-                      rng: RngLike = None) -> list[RankRequest]:
-    """A Zipf-skewed request stream over a fixed hotspot pool."""
+                      rng: RngLike = None,
+                      partition=None) -> list[RankRequest]:
+    """A Zipf-skewed request stream over a fixed hotspot pool.
+
+    With a :class:`~repro.graph.partition.GraphPartition` the stream is
+    *multi-region*: per-shard hotspot pools with Zipf-skewed region
+    popularity and a ``config.cross_shard_fraction`` of two-shard
+    requests (see :class:`WorkloadConfig`).  Without one, the classic
+    single-pool stream (bit-identical to previous releases under the
+    same seed).
+    """
     config = config or WorkloadConfig()
     generator = make_rng(rng)
-    pool = _hotspot_pool(network, config, generator)
-    weights = zipf_weights(len(pool), config.zipf_exponent)
-    draws = generator.choice(len(pool), size=config.num_requests, p=weights)
-    return [
-        RankRequest(source=pool[int(i)][0], target=pool[int(i)][1],
-                    request_id=request_id)
-        for request_id, i in enumerate(draws)
-    ]
+    if partition is None:
+        pool = _hotspot_pool(network, config, generator)
+        weights = zipf_weights(len(pool), config.zipf_exponent)
+        draws = generator.choice(len(pool), size=config.num_requests,
+                                 p=weights)
+        return [
+            RankRequest(source=pool[int(i)][0], target=pool[int(i)][1],
+                        request_id=request_id)
+            for request_id, i in enumerate(draws)
+        ]
+    shard_pools, cross_pool = _region_pools(network, partition, config,
+                                            generator)
+    return _draw_region_requests(shard_pools, cross_pool, config, generator)
 
 
 def generate_timed_workload(network: RoadNetwork,
                             config: WorkloadConfig | None = None,
-                            rng: RngLike = None) -> list[TimedRequest]:
+                            rng: RngLike = None,
+                            partition=None) -> list[TimedRequest]:
     """The Zipf OD mix plus open-loop arrival timestamps.
 
     The OD draw is identical to :func:`generate_workload` under the
-    same rng seed; arrivals are Poisson at ``config.arrival_rate_qps``
-    (all zero when unset, i.e. "as fast as possible").
+    same rng seed (including the multi-region mix when ``partition`` is
+    given); arrivals are Poisson at ``config.arrival_rate_qps`` (all
+    zero when unset, i.e. "as fast as possible").
     """
     config = config or WorkloadConfig()
     generator = make_rng(rng)
-    requests = generate_workload(network, config, generator)
+    requests = generate_workload(network, config, generator,
+                                 partition=partition)
     if config.arrival_rate_qps is None:
         arrivals = np.zeros(len(requests))
     else:

@@ -5,12 +5,15 @@ Every query — whether it enters through the synchronous
 :class:`~repro.serving.engine.ServingEngine` front door — moves through
 the same four stages:
 
-1. **admission** — resolve the candidate configuration and the model
-   snapshot that will answer the request (the active model, a
+1. **admission** — route the request to its region shard (when the
+   service is sharded), then resolve the candidate configuration and
+   the model snapshot that will answer it (the shard's active model, a
    per-request pinned version, or a weighted A/B traffic split);
-2. **candidate generation** — cache-aware TkDI / D-TkDI enumeration;
-3. **scoring** — coalesced batched forward passes, grouped by model
-   snapshot;
+2. **candidate generation** — cache-aware TkDI / D-TkDI enumeration on
+   the request's routing graph (full network, shard subnetwork, or a
+   cross-shard corridor);
+3. **scoring** — coalesced batched forward passes, grouped per
+   ``(shard, model snapshot)``;
 4. **response assembly** — ranking, degradation, and metrics.
 
 The stage implementations live on :class:`RankingService` (they need its
@@ -35,6 +38,7 @@ from repro.serving.registry import ActiveModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serving.service import RankRequest, RankResponse
+    from repro.serving.sharding import ShardRoute
 
 __all__ = ["QueryState", "TrafficSplit", "normalise_split", "assign_split"]
 
@@ -60,6 +64,13 @@ class QueryState:
     started: float = field(default_factory=time.perf_counter)
     #: Candidate configuration after the per-request ``k`` override.
     config: TrainingDataConfig | None = None
+    #: Region shard owning this request (0 on an unsharded service).
+    #: The scoring stage coalesces per ``(shard, snapshot)`` group and
+    #: every stage indexes its per-shard resources by this.
+    shard: int = 0
+    #: Shard routing decision (graph + cross-shard policy outcome);
+    #: ``None`` on an unsharded service.
+    route: "ShardRoute | None" = None
     #: The split label this request was routed to (a model version), or
     #: ``None`` when the plain active model answered.
     split: str | None = None
@@ -79,6 +90,11 @@ class QueryState:
         """Whether the scoring stage has work to do for this request."""
         return (self.error is None and self.active is not None
                 and bool(self.paths))
+
+    @property
+    def cross_shard(self) -> bool:
+        """Whether the request's endpoints live in different shards."""
+        return self.route is not None and self.route.cross
 
 
 def normalise_split(split) -> TrafficSplit:

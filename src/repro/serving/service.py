@@ -11,18 +11,33 @@ instead of failing the request.
 Internally the service is a **staged pipeline** over
 :class:`~repro.serving.pipeline.QueryState` records:
 
-* :meth:`RankingService.admit` — resolve the candidate configuration
-  and the model snapshot (active, pinned, or A/B-split) for a request;
-* :meth:`RankingService.prepare` — cache-aware candidate generation;
+* :meth:`RankingService.admit` — route the request to its region shard
+  (sharded services), then resolve the candidate configuration and the
+  model snapshot (active, pinned, or A/B-split) for it;
+* :meth:`RankingService.prepare` — cache-aware candidate generation on
+  the request's routing graph;
 * :meth:`RankingService.score_states` — coalesced scoring of many
-  states, grouped by model snapshot, with per-request degradation when
-  a batch fails;
+  states, grouped per *(shard, model snapshot)*, with per-request
+  degradation when a batch fails;
 * :meth:`RankingService.assemble` — ranking, fallback, and metrics.
 
 :meth:`rank_batch` simply runs the stages back to back; the concurrent
 :class:`~repro.serving.engine.ServingEngine` drives the *same* stage
 methods from worker threads with deadline-based flushing, which is what
 makes its responses element-wise identical to the synchronous path.
+
+**Shard plane.**  Every stage indexes its resources through a per-shard
+:class:`~repro.serving.sharding.ShardLane` (registry, candidate cache,
+score cache, scorer).  An unsharded service is the one-lane degenerate
+case — lane 0 over the full network — so the classic
+``RankingService(network, registry)`` construction behaves exactly as
+before.  Constructing the service with a
+:class:`~repro.serving.sharding.ShardedRegistry` instead activates the
+plane: a :class:`~repro.serving.sharding.ShardRouter` tags each request
+with its owning shard at admission, candidate generation runs on the
+request's routing graph (full network by default, shard subnetwork
+under ``local_candidates``, cross-shard corridor), and scoring batches
+coalesce per shard lane.
 """
 
 from __future__ import annotations
@@ -32,18 +47,20 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
 from repro.core.ranker import generate_candidates, rank_paths
-from repro.errors import ReproError, ServingError
+from repro.errors import NoPathError, ReproError, ServingError
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.graph.shortest_path import shortest_path
 from repro.nn.fused import resolve_scoring_backend
 from repro.ranking.training_data import TrainingDataConfig
 from repro.serving.batching import BatchingScorer
-from repro.serving.cache import CandidateCache, ScoreCache
+from repro.serving.cache import CacheStats, CandidateCache, ScoreCache
 from repro.serving.instrumentation import (
     LatencyTracker,
     ServiceCounters,
+    ShardMetrics,
     SplitMetrics,
+    shard_label,
 )
 from repro.serving.pipeline import (
     QueryState,
@@ -52,6 +69,12 @@ from repro.serving.pipeline import (
     normalise_split,
 )
 from repro.serving.registry import ActiveModel, ModelRegistry
+from repro.serving.sharding import (
+    CROSS_SHARD_POLICIES,
+    ShardedRegistry,
+    ShardLane,
+    ShardRouter,
+)
 
 __all__ = ["ServingConfig", "RankRequest", "RankedPath", "RankResponse",
            "RankingService"]
@@ -69,10 +92,28 @@ class ServingConfig:
     deterministically per request identity, so replays and the
     concurrent engine route identically.  ``score_cache_size=0``
     disables score memoisation (every request pays the forward pass;
-    mainly for benchmarks isolating scoring work).  ``concurrency`` and
-    ``flush_deadline_ms`` are defaults for
-    :class:`~repro.serving.engine.ServingEngine` front doors built on
-    top of this service.
+    mainly for benchmarks isolating scoring work) — on a sharded
+    service too, where cache *capacities* otherwise come from the
+    :class:`~repro.serving.sharding.ShardedRegistry`'s global budget
+    rather than the ``*_cache_size`` fields here.
+    ``score_cache_quotas`` makes the score cache split-aware: the
+    default ``"auto"`` derives per-version segment quotas from
+    ``traffic_split`` (so a 5% variant keeps 5% of the cache to itself
+    instead of being churned out by the majority split), ``None``
+    disables segmentation, and an explicit ``{version: weight}`` map
+    pins custom quotas.  ``concurrency`` and ``flush_deadline_ms`` are
+    defaults for :class:`~repro.serving.engine.ServingEngine` front
+    doors built on top of this service.  ``cross_shard_policy`` /
+    ``local_candidates`` configure the
+    :class:`~repro.serving.sharding.ShardRouter` of a sharded service
+    (inert otherwise): cross-shard queries route through the
+    boundary-stitched corridor subgraph (``"corridor"``) or the full
+    network (``"fallback"``), and ``local_candidates=True`` opts
+    same-shard candidate generation onto the shard subnetwork (faster,
+    boundary-approximate; the default keeps it on the full network so
+    same-shard rankings exactly match an unsharded service's).  An
+    explicitly injected ``router=`` carries its *own* policy and
+    overrides both fields.
     """
 
     candidates: TrainingDataConfig = field(default_factory=TrainingDataConfig)
@@ -82,8 +123,11 @@ class ServingConfig:
     fallback_to_shortest: bool = True
     latency_window: int = 4096
     traffic_split: TrafficSplit | None = None
+    score_cache_quotas: object = "auto"
     concurrency: int = 4
     flush_deadline_ms: float = 2.0
+    cross_shard_policy: str = "corridor"
+    local_candidates: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -102,11 +146,26 @@ class ServingConfig:
             raise ValueError(
                 f"flush_deadline_ms must be >= 0, got {self.flush_deadline_ms}"
             )
+        if self.cross_shard_policy not in CROSS_SHARD_POLICIES:
+            raise ValueError(
+                f"cross_shard_policy must be one of {CROSS_SHARD_POLICIES}, "
+                f"got {self.cross_shard_policy!r}"
+            )
         if self.traffic_split is not None:
             # Normalised once here; dataclass frozen-ness is bypassed the
             # sanctioned way since __post_init__ is part of construction.
             object.__setattr__(self, "traffic_split",
                                normalise_split(self.traffic_split))
+        if self.score_cache_quotas is not None \
+                and self.score_cache_quotas != "auto":
+            object.__setattr__(self, "score_cache_quotas",
+                               normalise_split(self.score_cache_quotas))
+
+    def resolved_score_quotas(self) -> TrafficSplit | None:
+        """The per-split score-cache quotas this config asks for."""
+        if self.score_cache_quotas == "auto":
+            return self.traffic_split
+        return self.score_cache_quotas
 
 
 @dataclass(frozen=True)
@@ -146,6 +205,8 @@ class RankResponse:
     candidate_cache_hit: bool
     latency_ms: float
     error: str | None = None
+    #: Region shard that owned the request (0 on unsharded services).
+    shard: int = 0
 
     @property
     def ok(self) -> bool:
@@ -157,36 +218,101 @@ class RankResponse:
 
 
 class RankingService:
-    """Answers ranking queries against the registry's active model."""
+    """Answers ranking queries against the registry's active model(s)."""
 
-    def __init__(self, network: RoadNetwork, registry: ModelRegistry,
-                 config: ServingConfig | None = None) -> None:
+    def __init__(self, network: RoadNetwork,
+                 registry: ModelRegistry | ShardedRegistry,
+                 config: ServingConfig | None = None, *,
+                 router: ShardRouter | None = None) -> None:
         self.network = network
         self.registry = registry
         self.config = config or ServingConfig()
-        # Keyed by the network fingerprint too, so a graph mutation (e.g.
-        # a live incident closing a road) invalidates entries implicitly.
-        self.candidate_cache = CandidateCache(self.config.candidate_cache_size,
-                                              network=network)
-        self.score_cache = (ScoreCache(self.config.score_cache_size)
-                            if self.config.score_cache_size > 0 else None)
-        self.scorer = BatchingScorer(self.config.max_batch_size,
-                                     score_cache=self.score_cache)
+        if isinstance(registry, ShardedRegistry):
+            # Sharded plane: one lane per region shard; caches live in
+            # the ShardedRegistry (global budget), scorers here.
+            self.sharded: ShardedRegistry | None = registry
+            # An injected router must agree with the registry on the
+            # partition (shard ids index the lanes); its routing policy
+            # is its own and overrides the config's policy fields.
+            if router is not None \
+                    and router.partition is not registry.partition:
+                raise ServingError(
+                    "router and sharded registry were built over different "
+                    "partitions; their shard ids cannot agree")
+            self.router: ShardRouter | None = router if router is not None \
+                else ShardRouter(
+                    network, registry.partition,
+                    cross_policy=self.config.cross_shard_policy,
+                    local_candidates=self.config.local_candidates)
+            quotas = self.config.resolved_score_quotas()
+            self._lanes: dict[int, ShardLane] = {}
+            for shard_id in registry.shard_ids():
+                # Cache *capacities* live on the ShardedRegistry (the
+                # global budget), but ``score_cache_size=0`` keeps its
+                # documented meaning — this service scores every request
+                # through the forward pass even if the registry carries
+                # caches for other services — and so does the
+                # on-by-default split-quota segmentation: a registry
+                # whose caches are unsegmented (or segmented for a
+                # *different* split) gets its shard's budget rebuilt as
+                # a segmented cache private to this service, so the
+                # isolation guarantee tracks this service's split.
+                score_cache = (registry.score_cache(shard_id)
+                               if self.config.score_cache_size > 0 else None)
+                if score_cache is not None and quotas \
+                        and score_cache.quotas != quotas:
+                    score_cache = ScoreCache(score_cache.capacity,
+                                             quotas=quotas)
+                self._lanes[shard_id] = ShardLane(
+                    shard_id=shard_id,
+                    registry=registry.registry(shard_id),
+                    candidate_cache=registry.candidate_cache(shard_id),
+                    score_cache=score_cache,
+                    scorer=BatchingScorer(self.config.max_batch_size,
+                                          score_cache=score_cache),
+                )
+            self.candidate_cache = None
+            self.score_cache = None
+            self.scorer = None
+        else:
+            if router is not None:
+                raise ServingError(
+                    "router= requires a ShardedRegistry; an unsharded "
+                    "service has no shard plane to route on")
+            self.sharded = None
+            self.router = None
+            # Keyed by the network fingerprint too, so a graph mutation
+            # (e.g. a live incident closing a road) invalidates entries
+            # implicitly.
+            self.candidate_cache = CandidateCache(
+                self.config.candidate_cache_size, network=network)
+            self.score_cache = (
+                ScoreCache(self.config.score_cache_size,
+                           quotas=self.config.resolved_score_quotas())
+                if self.config.score_cache_size > 0 else None)
+            self.scorer = BatchingScorer(self.config.max_batch_size,
+                                         score_cache=self.score_cache)
+            self._lanes = {0: ShardLane(0, registry, self.candidate_cache,
+                                        self.score_cache, self.scorer)}
         self.latency = LatencyTracker(self.config.latency_window)
         self.counters = ServiceCounters()
         self.split_metrics = SplitMetrics(self.config.latency_window)
+        self.shard_metrics = ShardMetrics()
 
     # ------------------------------------------------------------------
     # Stage 1: admission
     # ------------------------------------------------------------------
     def admit(self, request: RankRequest,
-              default: ActiveModel | None | object = _UNRESOLVED) -> QueryState:
-        """Open a :class:`QueryState` and route it to a model snapshot.
+              default: object = _UNRESOLVED) -> QueryState:
+        """Open a :class:`QueryState`, tag its shard, route it to a model.
 
         ``default`` lets a batch caller take one registry snapshot for
         every unsplit request (so a concurrent hot-swap cannot divide a
-        batch across versions); pinned and split-routed requests resolve
-        their own snapshot regardless.
+        batch across versions): pass an :class:`ActiveModel` (or
+        ``None``) to impose it, or a mutable ``dict`` that admit fills
+        with one snapshot per shard on first sight — the sharded batch
+        equivalent.  Pinned and split-routed requests resolve their own
+        snapshot regardless.
         """
         state = QueryState(request=request)
         try:
@@ -194,14 +320,28 @@ class RankingService:
         except ValueError as exc:  # hostile per-request k override
             state.error = str(exc)
             return state
+        if self.router is not None:
+            try:
+                state.route = self.router.route(request.source,
+                                                request.target)
+            except ReproError as exc:  # vertex outside the network
+                state.error = str(exc)
+                return state
+            state.shard = state.route.shard
+        lane = self._lanes[state.shard]
         version = request.model_version
         if version is None and self.config.traffic_split is not None:
             version = assign_split(request, self.config.traffic_split)
         try:
             if version is not None:
-                state.active, state.split = self.registry.resolve(version), version
+                state.active = lane.registry.resolve(version)
+                state.split = version
+            elif isinstance(default, dict):
+                if state.shard not in default:
+                    default[state.shard] = lane.registry.snapshot()
+                state.active = default[state.shard]
             elif default is _UNRESOLVED:
-                state.active = self.registry.snapshot()
+                state.active = lane.registry.snapshot()
             else:
                 state.active = default
         except ServingError as exc:  # unpublished pin / stale split target
@@ -227,54 +367,69 @@ class RankingService:
         if state.error is not None or state.active is None:
             return state
         try:
-            state.paths, state.cache_hit = self._candidates(state.request,
-                                                            state.config)
+            state.paths, state.cache_hit = self._candidates(state)
         except ReproError as exc:
             state.error = str(exc)
         return state
 
-    def _candidates(self, request: RankRequest,
-                    config: TrainingDataConfig) -> tuple[list[Path], bool]:
-        cached = self.candidate_cache.lookup(request.source, request.target,
-                                             config)
+    def _candidates(self, state: QueryState) -> tuple[list[Path], bool]:
+        request, config = state.request, state.config
+        lane = self._lanes[state.shard]
+        graph = state.route.graph if state.route is not None else self.network
+        cached = lane.candidate_cache.lookup(request.source, request.target,
+                                             config, network=graph)
         if cached is not None:
             return cached, True
-        paths = generate_candidates(self.network, request.source,
-                                    request.target, config)
-        self.candidate_cache.store(request.source, request.target, config,
-                                   paths)
+        try:
+            paths = generate_candidates(graph, request.source, request.target,
+                                        config)
+        except NoPathError:
+            if state.route is None or not state.route.local:
+                raise
+            # The shard-restricted graph (subnetwork or corridor) found
+            # no path; the full network is the authority on
+            # reachability, and its answer matches the unsharded one.
+            paths = generate_candidates(self.network, request.source,
+                                        request.target, config)
+        lane.candidate_cache.store(request.source, request.target, config,
+                                   paths, network=graph)
         return paths, False
 
     # ------------------------------------------------------------------
     # Stage 3: coalesced scoring
     # ------------------------------------------------------------------
     def score_states(self, states: Sequence[QueryState]) -> None:
-        """Score every scorable state, one coalesced pass per snapshot.
+        """Score every scorable state, one coalesced pass per group.
 
-        States are grouped by their model snapshot (A/B splits and
-        hot-swaps can mix snapshots within one batch) and each group is
-        scored atomically through the :class:`BatchingScorer`.  A batch
-        failure degrades *only* the affected requests: each member is
-        retried individually, and only the ones that still fail fall
-        back to the shortest path.
+        States are grouped per *(shard, model snapshot)* — A/B splits,
+        hot-swaps, and shard routing can all mix within one batch — and
+        each group is scored atomically through its shard's
+        :class:`BatchingScorer`.  A batch failure degrades *only* the
+        affected requests: each member is retried individually, and only
+        the ones that still fail fall back to the shortest path — so a
+        poison path in one shard's flush never touches another shard's
+        group.
         """
-        groups: dict[int, list[QueryState]] = {}
+        groups: dict[tuple[int, int], list[QueryState]] = {}
         for state in states:
             if state.scorable:
-                groups.setdefault(state.active.generation, []).append(state)
-        for members in groups.values():
+                groups.setdefault((state.shard, state.active.generation),
+                                  []).append(state)
+        for (shard_id, _), members in groups.items():
+            lane = self._lanes[shard_id]
             active = members[0].active
             try:
-                scored = self.scorer.score_many(
+                scored = lane.scorer.score_many(
                     active.model, [state.paths for state in members],
                     active.version)
             except ReproError:
-                self._score_individually(members)
+                self._score_individually(lane, members)
             else:
                 for state, scores in zip(members, scored):
                     state.scores = scores.tolist()
 
-    def _score_individually(self, states: Sequence[QueryState]) -> None:
+    def _score_individually(self, lane: ShardLane,
+                            states: Sequence[QueryState]) -> None:
         """Retry a failed batch one request at a time.
 
         Isolates the poison request(s): a path that breaks the forward
@@ -284,7 +439,7 @@ class RankingService:
         for state in states:
             active = state.active
             try:
-                scores = self.scorer.score_paths(active.model, state.paths,
+                scores = lane.scorer.score_paths(active.model, state.paths,
                                                  active.version)
             except ReproError as exc:
                 state.active = None
@@ -307,13 +462,10 @@ class RankingService:
         end = completed if completed is not None else time.perf_counter()
         elapsed_ms = (end - state.started) * 1000.0
         if state.error is not None:
-            response = self._error_response(state.request, state.error,
-                                            state.cache_hit, elapsed_ms,
+            response = self._error_response(state, state.error, elapsed_ms,
                                             record)
         elif state.active is None:
-            response = self._fallback_response(state.request, state.cache_hit,
-                                               elapsed_ms, state.degraded,
-                                               record)
+            response = self._fallback_response(state, elapsed_ms, record)
         else:
             response = self._model_response(state, elapsed_ms, record)
         if record:
@@ -321,6 +473,12 @@ class RankingService:
             self.counters.bump("requests")
             self.split_metrics.record(state.split, response.served_by,
                                       response.latency_ms)
+            if self.router is not None and state.route is not None:
+                # No route means no owning shard (e.g. an unknown
+                # vertex): recording it would misattribute the error to
+                # shard 0's accounting.
+                self.shard_metrics.record(state.shard, state.cross_shard,
+                                          response.served_by)
         state.response = response
         return response
 
@@ -332,16 +490,17 @@ class RankingService:
         return self.rank_batch([request])[0]
 
     def rank_batch(self, requests: Sequence[RankRequest]) -> list[RankResponse]:
-        """Answer many queries with one coalesced scoring pass per model.
+        """Answer many queries with one coalesced pass per (shard, model).
 
-        The default snapshot is taken once for the whole batch, so a
-        concurrent hot-swap cannot split the unsplit portion of a batch
-        across versions.
+        The default snapshot is taken once per shard for the whole
+        batch, so a concurrent hot-swap cannot split the unsplit portion
+        of a batch across versions.
         """
         if not requests:
             return []
-        default = self.registry.snapshot()
-        states = [self.admit(request, default=default) for request in requests]
+        defaults: dict[int, ActiveModel | None] = {}
+        states = [self.admit(request, default=defaults)
+                  for request in requests]
         for state in states:
             self.prepare(state)
         self.score_states(states)
@@ -351,7 +510,7 @@ class RankingService:
         """Replay a recorded query mix through the caches, off the books.
 
         Runs the candidate and scoring stages for every distinct request
-        so the candidate cache (and score cache, when enabled) are hot
+        so the candidate caches (and score caches, when enabled) are hot
         before live traffic arrives — the deploy-time cure for the cold
         p95 cliff.  Nothing is recorded in the latency/counter metrics;
         returns the number of requests replayed.
@@ -385,63 +544,135 @@ class RankingService:
                             served_by="model",
                             model_version=state.active.version,
                             candidate_cache_hit=state.cache_hit,
-                            latency_ms=elapsed_ms)
+                            latency_ms=elapsed_ms, shard=state.shard)
 
-    def _fallback_response(self, request: RankRequest, hit: bool,
-                           elapsed_ms: float, cause: str | None,
+    def _fallback_response(self, state: QueryState, elapsed_ms: float,
                            record: bool = True) -> RankResponse:
+        request, cause = state.request, state.degraded
         if not self.config.fallback_to_shortest:
             reason = cause or "no active model"
             return self._error_response(
-                request, f"{reason} (fallback disabled)", hit, elapsed_ms,
-                record)
+                state, f"{reason} (fallback disabled)", elapsed_ms, record)
         try:
+            # Always the full network: the fallback is the floor of
+            # service quality, and shard-local reachability must never
+            # lower it.
             path = shortest_path(self.network, request.source, request.target)
         except ReproError as exc:
-            return self._error_response(request, str(exc), hit, elapsed_ms,
-                                        record)
+            return self._error_response(state, str(exc), elapsed_ms, record)
         if record:
             self.counters.bump("fallback_served")
         results = (RankedPath(path=path, score=0.0, position=1),)
         return RankResponse(request=request, results=results,
                             served_by="fallback", model_version=None,
-                            candidate_cache_hit=hit,
-                            latency_ms=elapsed_ms, error=cause)
+                            candidate_cache_hit=state.cache_hit,
+                            latency_ms=elapsed_ms, error=cause,
+                            shard=state.shard)
 
-    def _error_response(self, request: RankRequest, error: str, hit: bool,
-                        elapsed_ms: float, record: bool = True) -> RankResponse:
+    def _error_response(self, state: QueryState, error: str,
+                        elapsed_ms: float,
+                        record: bool = True) -> RankResponse:
         if record:
             self.counters.bump("failed")
-        return RankResponse(request=request, results=(), served_by="error",
-                            model_version=None, candidate_cache_hit=hit,
-                            latency_ms=elapsed_ms, error=error)
+        return RankResponse(request=state.request, results=(),
+                            served_by="error", model_version=None,
+                            candidate_cache_hit=state.cache_hit,
+                            latency_ms=elapsed_ms, error=error,
+                            shard=state.shard)
 
     # ------------------------------------------------------------------
     # Lifecycle / introspection
     # ------------------------------------------------------------------
-    def activate(self, version: str) -> ActiveModel:
-        """Hot-swap to ``version`` (in-flight batches keep their snapshot)."""
-        active = self.registry.activate(version)
+    def activate(self, version: str, shards: list[int] | None = None):
+        """Hot-swap to ``version`` (in-flight batches keep their snapshot).
+
+        On a sharded service this activates the version on every shard
+        (or just ``shards``) and returns the per-shard snapshot map.
+        """
+        if self.sharded is not None:
+            actives = self.sharded.activate(version, shards=shards)
+        else:
+            actives = self.registry.activate(version)
         self.counters.bump("hot_swaps")
-        return active
+        return actives
+
+    def lane(self, shard_id: int) -> ShardLane:
+        """The per-shard resource bundle (lane 0 on unsharded services)."""
+        try:
+            return self._lanes[shard_id]
+        except KeyError:
+            raise ServingError(
+                f"no shard {shard_id}; service has lanes "
+                f"{sorted(self._lanes)}") from None
+
+    def lanes(self) -> list[ShardLane]:
+        return [self._lanes[shard_id] for shard_id in sorted(self._lanes)]
 
     def stats(self) -> dict[str, object]:
-        """Everything ``serve --json`` and the load benchmark report."""
-        active = self.registry.snapshot()
-        score_cache = (self.score_cache.stats.as_dict()
-                       if self.score_cache is not None
-                       else {"disabled": True})
-        return {
-            "active_version": active.version if active else None,
+        """Everything ``serve --json`` and the load benchmark report.
+
+        Aggregate cache/scoring numbers keep their PR-4 shape in both
+        modes (summed across lanes when sharded); a sharded service adds
+        a ``"sharding"`` section with the partition summary and the
+        per-shard breakdown.
+        """
+        lanes = self.lanes()
+        score_stats = [lane.score_cache.stats for lane in lanes
+                       if lane.score_cache is not None]
+        result: dict[str, object] = {
+            "active_version": self._active_version_view(),
             "counters": self.counters.as_dict(),
             "latency": self.latency.as_dict(),
             "splits": self.split_metrics.as_dict(),
-            "candidate_cache": self.candidate_cache.stats.as_dict(),
-            "score_cache": score_cache,
+            "candidate_cache": CacheStats.merged(
+                [lane.candidate_cache.stats for lane in lanes]).as_dict(),
+            "score_cache": (CacheStats.merged(score_stats).as_dict()
+                            if score_stats else {"disabled": True}),
             "scoring": {
-                "batches_run": self.scorer.batches_run,
-                "paths_scored": self.scorer.paths_scored,
-                "max_batch_size": self.scorer.max_batch_size,
+                "batches_run": sum(lane.scorer.batches_run for lane in lanes),
+                "paths_scored": sum(lane.scorer.paths_scored
+                                    for lane in lanes),
+                "max_batch_size": self.config.max_batch_size,
                 "backend": resolve_scoring_backend(),
             },
         }
+        quota_views = {}
+        for lane in lanes:
+            if lane.score_cache is None:
+                continue
+            view = lane.score_cache.quota_stats()
+            if view:
+                quota_views[shard_label(lane.shard_id)] = view
+        if quota_views:
+            if self.sharded is None:
+                result["score_cache_splits"] = quota_views[shard_label(0)]
+            else:
+                result["score_cache_splits"] = quota_views
+        if self.sharded is not None:
+            sharding = self.sharded.stats()
+            per_shard = sharding["per_shard"]
+            for label, counts in self.shard_metrics.as_dict().items():
+                per_shard.setdefault(label, {})["requests"] = counts
+            for lane in lanes:
+                label = shard_label(lane.shard_id)
+                entry = per_shard.setdefault(label, {})
+                entry["scoring"] = {
+                    "batches_run": lane.scorer.batches_run,
+                    "paths_scored": lane.scorer.paths_scored,
+                }
+                # The lane's view wins over the registry's: the lane may
+                # run a quota-segmented rebuild (or no cache at all)
+                # while the registry still holds the unsegmented budget.
+                entry["score_cache"] = (
+                    lane.score_cache.stats.as_dict()
+                    if lane.score_cache is not None else {"disabled": True})
+            result["sharding"] = sharding
+        return result
+
+    def _active_version_view(self):
+        if self.sharded is not None:
+            return {shard_label(shard_id): version
+                    for shard_id, version
+                    in self.sharded.active_versions().items()}
+        active = self.registry.snapshot()
+        return active.version if active else None

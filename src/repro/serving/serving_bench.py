@@ -57,6 +57,7 @@ __all__ = [
     "smoke_config",
     "full_config",
     "apply_overrides",
+    "build_random_ranker",
     "run_serving_benchmark",
     "validate_report",
     "write_report",
@@ -176,17 +177,32 @@ def _candidates(config: ServingBenchConfig) -> TrainingDataConfig:
                               examine_limit=config.examine_limit)
 
 
-def _publish(config: ServingBenchConfig, network, registry: ModelRegistry,
-             version: str, seed: int) -> None:
-    """Publish a randomly initialised model (serving latency does not
-    depend on weight quality, so the benchmark skips training)."""
+def build_random_ranker(network, *, embedding_dim: int, hidden_size: int,
+                        fc_hidden: int, candidates: TrainingDataConfig,
+                        seed: int) -> PathRankRanker:
+    """A ranker with randomly initialised weights, ready to publish.
+
+    Serving latency does not depend on weight quality, so the serving
+    and sharding benchmarks skip training; the same seed yields the
+    same weights, which is how the sharding benchmark puts *identical*
+    models behind its sharded and unsharded arms for parity checks.
+    """
     ranker = PathRankRanker(network, RankerConfig(
-        embedding_dim=config.embedding_dim, hidden_size=config.hidden_size,
-        fc_hidden=config.fc_hidden, training_data=_candidates(config)))
+        embedding_dim=embedding_dim, hidden_size=hidden_size,
+        fc_hidden=fc_hidden, training_data=candidates))
     ranker.model = build_pathrank(
         "PR-A2", num_vertices=network.num_vertices,
-        embedding_dim=config.embedding_dim, hidden_size=config.hidden_size,
-        fc_hidden=config.fc_hidden, rng=seed)
+        embedding_dim=embedding_dim, hidden_size=hidden_size,
+        fc_hidden=fc_hidden, rng=seed)
+    return ranker
+
+
+def _publish(config: ServingBenchConfig, network, registry: ModelRegistry,
+             version: str, seed: int) -> None:
+    ranker = build_random_ranker(
+        network, embedding_dim=config.embedding_dim,
+        hidden_size=config.hidden_size, fc_hidden=config.fc_hidden,
+        candidates=_candidates(config), seed=seed)
     registry.publish(ranker, version=version)
 
 

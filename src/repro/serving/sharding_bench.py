@@ -1,0 +1,482 @@
+"""Sharded-serving benchmark: the shard plane vs the single-graph engine.
+
+Times the PR-5 shard plane on a *multi-region* workload (per-shard Zipf
+hotspot pools, a tunable cross-shard fraction — the regime a
+city-and-beyond deployment actually sees) and writes the result as
+``BENCH_sharding.json``:
+
+* **multi-region throughput** — the same workload closed-loop through
+  the unsharded :class:`ServingEngine` (PR 4's arrangement) and through
+  a sharded service (one registry + caches + scorer per region, flushes
+  coalesced per *(shard, snapshot)* group), with per-shard cache
+  hit-rates and request accounting showing the isolation;
+* **parity** — same-shard responses must be element-wise identical to
+  the unsharded service's (the exact-mode guarantee: same rankings,
+  scores within float32 roundoff); cross-shard corridor responses are
+  reported as an agreement rate, not a requirement;
+* **local routing** — the opt-in ``local_candidates=True`` mode
+  (candidate generation on shard subnetworks), with its throughput and
+  its same-shard agreement rate, quantifying the boundary
+  approximation that exact mode avoids;
+* **single-region floor** — a workload confined to one region through
+  both engines: sharding must not tax the deployment that doesn't need
+  it.
+
+Consumed by ``benchmarks/bench_sharding.py`` (standalone + pytest smoke
+mode) and the ``bench-sharding`` CLI subcommand, mirroring
+``serving_bench`` / ``core.scoring_bench`` / ``graph.routing_bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import tempfile
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path as FilePath
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.graph.builders import north_jutland_like
+from repro.graph.partition import partition_network
+from repro.ranking.training_data import Strategy, TrainingDataConfig
+from repro.serving.engine import ServingEngine
+from repro.serving.instrumentation import percentile
+from repro.serving.loadgen import (
+    WorkloadConfig,
+    generate_workload,
+    run_engine_workload,
+)
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import RankingService, ServingConfig
+from repro.serving.serving_bench import PARITY_LIMIT, build_random_ranker
+from repro.serving.sharding import ShardedRegistry
+
+__all__ = [
+    "ShardingBenchConfig",
+    "smoke_config",
+    "full_config",
+    "apply_overrides",
+    "run_sharding_benchmark",
+    "validate_report",
+    "write_report",
+]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardingBenchConfig:
+    """Knobs of one sharding benchmark run."""
+
+    num_towns: int = 6
+    seed: int = 11
+    num_shards: int = 4
+    partition_method: str = "voronoi"
+    embedding_dim: int = 64
+    hidden_size: int = 64
+    fc_hidden: int = 32
+    k: int = 8
+    diversity_threshold: float = 0.8
+    examine_limit: int = 100
+    num_requests: int = 400
+    num_hotspots: int = 40
+    zipf_exponent: float = 1.1
+    region_zipf_exponent: float = 1.0
+    cross_shard_fraction: float = 0.3
+    #: Same-shard hotspots are in-town trips; keep the floor below a
+    #: town diameter or the per-region pools come up empty.
+    min_hop_distance: float = 500.0
+    candidate_cache_size: int = 2048
+    score_cache_size: int = 8192
+    concurrency: int = 16
+    flush_deadline_ms: float = 4.0
+    max_batch_size: int = 128
+    repeats: int = 3
+    preset: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.num_towns < 2:
+            raise ValueError(f"num_towns must be >= 2, got {self.num_towns}")
+        if self.num_shards < 2:
+            raise ValueError(
+                f"num_shards must be >= 2 (the point of the benchmark), "
+                f"got {self.num_shards}")
+        if self.num_requests < 1 or self.num_hotspots < 1:
+            raise ValueError("num_requests and num_hotspots must be >= 1")
+        if self.concurrency < 1 or self.repeats < 1:
+            raise ValueError("concurrency and repeats must be >= 1")
+        if not 0.0 <= self.cross_shard_fraction <= 1.0:
+            raise ValueError(
+                f"cross_shard_fraction must be in [0, 1], "
+                f"got {self.cross_shard_fraction}")
+
+
+def smoke_config() -> ShardingBenchConfig:
+    """Tiny preset for the tier-1 pytest wrapper: two regions, a small
+    model, few requests — a couple of seconds, stable under CI jitter
+    via best-of-repeats timing."""
+    return ShardingBenchConfig(num_towns=2, seed=7, num_shards=2,
+                               embedding_dim=32, hidden_size=32, fc_hidden=16,
+                               k=3, examine_limit=30, num_requests=80,
+                               num_hotspots=12, cross_shard_fraction=0.25,
+                               min_hop_distance=300.0,
+                               candidate_cache_size=512,
+                               score_cache_size=2048, concurrency=8,
+                               flush_deadline_ms=1.0, max_batch_size=24,
+                               repeats=2, preset="smoke")
+
+
+def full_config() -> ShardingBenchConfig:
+    """The headline preset behind the committed ``BENCH_sharding.json``."""
+    return ShardingBenchConfig()
+
+
+def apply_overrides(
+    config: ShardingBenchConfig,
+    requests: int | None = None,
+    shards: int | None = None,
+    cross_fraction: float | None = None,
+    concurrency: int | None = None,
+    k: int | None = None,
+    seed: int | None = None,
+) -> ShardingBenchConfig:
+    """Apply the command-line overrides shared by the ``bench-sharding``
+    CLI subcommand and the standalone benchmark entry point."""
+    overrides: dict[str, object] = {}
+    if requests is not None:
+        overrides["num_requests"] = requests
+    if shards is not None:
+        overrides["num_shards"] = shards
+    if cross_fraction is not None:
+        overrides["cross_shard_fraction"] = cross_fraction
+    if concurrency is not None:
+        overrides["concurrency"] = concurrency
+    if k is not None:
+        overrides["k"] = k
+    if seed is not None:
+        overrides["seed"] = seed
+    return replace(config, **overrides) if overrides else config
+
+
+# ----------------------------------------------------------------------
+# Fixture assembly
+# ----------------------------------------------------------------------
+def _candidates(config: ShardingBenchConfig) -> TrainingDataConfig:
+    return TrainingDataConfig(strategy=Strategy.D_TKDI, k=config.k,
+                              diversity_threshold=config.diversity_threshold,
+                              examine_limit=config.examine_limit)
+
+
+def _serving_config(config: ShardingBenchConfig,
+                    local_candidates: bool = False) -> ServingConfig:
+    return ServingConfig(
+        candidates=_candidates(config),
+        candidate_cache_size=config.candidate_cache_size,
+        score_cache_size=config.score_cache_size,
+        max_batch_size=config.max_batch_size,
+        concurrency=config.concurrency,
+        flush_deadline_ms=config.flush_deadline_ms,
+        local_candidates=local_candidates,
+    )
+
+
+def _sharded_service(config: ShardingBenchConfig, network, partition,
+                     root: FilePath, ranker,
+                     local_candidates: bool = False) -> RankingService:
+    sharded = ShardedRegistry(
+        root, network, partition,
+        candidate_cache_size=config.candidate_cache_size,
+        score_cache_size=config.score_cache_size)
+    sharded.publish(ranker, version="bench-a", activate=True)
+    return RankingService(network, sharded,
+                          _serving_config(config, local_candidates))
+
+
+def _best_engine_run(config: ShardingBenchConfig, service, workload) -> dict:
+    """Closed-loop drive, best elapsed over ``repeats`` (fresh engine
+    each repeat so close/drain costs are not carried across runs)."""
+    best: dict = {}
+    for _ in range(config.repeats):
+        engine = ServingEngine(service, concurrency=config.concurrency,
+                               flush_deadline_ms=config.flush_deadline_ms,
+                               max_batch_size=config.max_batch_size)
+        summary = run_engine_workload(engine, workload,
+                                      concurrency=config.concurrency)
+        engine.close()
+        if not best or summary["elapsed_s"] < best["elapsed_s"]:
+            best = summary
+    return best
+
+
+def _latency_block(latencies: list[float]) -> dict[str, float]:
+    return {
+        "mean": float(np.mean(latencies)) if latencies else 0.0,
+        "p50": percentile(latencies, 50.0),
+        "p95": percentile(latencies, 95.0),
+    }
+
+
+def _compare(sharded_responses, unsharded_responses, workload, partition):
+    """Element-wise response comparison, split by same-/cross-shard."""
+    same_total = same_mismatch = 0
+    cross_total = cross_match = 0
+    max_diff = 0.0
+    for request, mine, theirs in zip(workload, sharded_responses,
+                                     unsharded_responses):
+        identical = (mine.served_by == theirs.served_by
+                     and mine.model_version == theirs.model_version
+                     and [r.path.vertices for r in mine.results]
+                     == [r.path.vertices for r in theirs.results])
+        if partition.same_shard(request.source, request.target):
+            same_total += 1
+            if not identical:
+                same_mismatch += 1
+                continue
+            for a, b in zip(mine.results, theirs.results):
+                max_diff = max(max_diff, abs(a.score - b.score))
+        else:
+            cross_total += 1
+            cross_match += int(identical)
+    return {
+        "same_shard_requests": same_total,
+        "mismatched_same_shard": same_mismatch,
+        "max_abs_score_diff_same_shard": max_diff,
+        "cross_shard_requests": cross_total,
+        "cross_shard_agreement": (cross_match / cross_total
+                                  if cross_total else 1.0),
+    }
+
+
+def _per_shard_view(service: RankingService) -> dict[str, dict]:
+    """Per-shard hit-rates / traffic from a sharded service's stats."""
+    per_shard = service.stats()["sharding"]["per_shard"]
+    view: dict[str, dict] = {}
+    for label, entry in sorted(per_shard.items()):
+        requests = entry.get("requests", {})
+        view[label] = {
+            "nodes": entry.get("nodes", 0),
+            "requests": requests.get("requests", 0),
+            "cross_shard": requests.get("cross_shard", 0),
+            "candidate_cache_hit_rate":
+                entry["candidate_cache"]["hit_rate"],
+            "score_cache_hit_rate":
+                entry["score_cache"].get("hit_rate", 0.0),
+            "batches_run": entry.get("scoring", {}).get("batches_run", 0),
+            "paths_scored": entry.get("scoring", {}).get("paths_scored", 0),
+        }
+    return view
+
+
+# ----------------------------------------------------------------------
+# The benchmark
+# ----------------------------------------------------------------------
+def run_sharding_benchmark(config: ShardingBenchConfig | None = None) -> dict:
+    """Benchmark the shard plane at the configured scale."""
+    config = config or full_config()
+    network = north_jutland_like(num_towns=config.num_towns, seed=config.seed)
+    partition = partition_network(network, config.num_shards,
+                                  method=config.partition_method,
+                                  rng=config.seed)
+    workload_config = WorkloadConfig(
+        num_requests=config.num_requests, num_hotspots=config.num_hotspots,
+        zipf_exponent=config.zipf_exponent,
+        region_zipf_exponent=config.region_zipf_exponent,
+        cross_shard_fraction=config.cross_shard_fraction,
+        min_hop_distance=config.min_hop_distance)
+    workload = generate_workload(network, workload_config, rng=config.seed,
+                                 partition=partition)
+    cross_requests = sum(
+        1 for request in workload
+        if not partition.same_shard(request.source, request.target))
+
+    # One set of weights behind every arm: parity compares like with like.
+    ranker = build_random_ranker(
+        network, embedding_dim=config.embedding_dim,
+        hidden_size=config.hidden_size, fc_hidden=config.fc_hidden,
+        candidates=_candidates(config), seed=0)
+
+    with tempfile.TemporaryDirectory() as tmp_root:
+        root = FilePath(tmp_root)
+
+        # -- the two arms ---------------------------------------------
+        unsharded_registry = ModelRegistry(root / "unsharded", network)
+        unsharded_registry.publish(ranker, version="bench-a")
+        unsharded = RankingService(network, unsharded_registry,
+                                   _serving_config(config))
+        unsharded.activate("bench-a")
+
+        sharded = _sharded_service(config, network, partition,
+                                   root / "sharded", ranker)
+
+        # -- multi-region closed loop ---------------------------------
+        unsharded.warm_up(workload)
+        sharded.warm_up(workload)
+        unsharded_run = _best_engine_run(config, unsharded, workload)
+        sharded_run = _best_engine_run(config, sharded, workload)
+
+        # -- parity (synchronous, deterministic) ----------------------
+        unsharded_responses = unsharded.rank_batch(workload)
+        sharded_responses = sharded.rank_batch(workload)
+        parity = _compare(sharded_responses, unsharded_responses, workload,
+                          partition)
+        per_shard = _per_shard_view(sharded)
+
+        # -- opt-in local routing (boundary-approximate) --------------
+        local = _sharded_service(config, network, partition, root / "local",
+                                 ranker, local_candidates=True)
+        local.warm_up(workload)
+        local_run = _best_engine_run(config, local, workload)
+        local_parity = _compare(local.rank_batch(workload),
+                                unsharded_responses, workload, partition)
+
+        # -- single-region floor --------------------------------------
+        dominant = max(partition.shards, key=lambda shard: shard.size)
+        single_workload = generate_workload(
+            partition.subnetwork(dominant.shard_id),
+            replace(workload_config, cross_shard_fraction=0.0),
+            rng=config.seed)
+        unsharded.warm_up(single_workload)
+        sharded.warm_up(single_workload)
+        single_unsharded = _best_engine_run(config, unsharded,
+                                            single_workload)
+        single_sharded = _best_engine_run(config, sharded, single_workload)
+
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "preset": config.preset,
+        "config": asdict(config),
+        "network": {"vertices": network.num_vertices,
+                    "edges": network.num_edges},
+        "partition": partition.as_dict(),
+        "multi_region": {
+            "requests": len(workload),
+            "cross_shard_requests": cross_requests,
+            "unsharded": {
+                "elapsed_s": unsharded_run["elapsed_s"],
+                "throughput_qps": unsharded_run["throughput_qps"],
+                "latency_ms": unsharded_run["latency_ms"],
+            },
+            "sharded": {
+                "elapsed_s": sharded_run["elapsed_s"],
+                "throughput_qps": sharded_run["throughput_qps"],
+                "latency_ms": sharded_run["latency_ms"],
+                "occupancy": sharded_run["occupancy"],
+            },
+            "throughput_ratio": (
+                sharded_run["throughput_qps"]
+                / unsharded_run["throughput_qps"]
+                if unsharded_run["throughput_qps"] > 0 else math.inf),
+            "per_shard": per_shard,
+        },
+        "parity": parity,
+        "local_routing": {
+            "throughput_qps": local_run["throughput_qps"],
+            "throughput_ratio_vs_unsharded": (
+                local_run["throughput_qps"]
+                / unsharded_run["throughput_qps"]
+                if unsharded_run["throughput_qps"] > 0 else math.inf),
+            "same_shard_agreement": (
+                1.0 - (local_parity["mismatched_same_shard"]
+                       / local_parity["same_shard_requests"])
+                if local_parity["same_shard_requests"] else 1.0),
+        },
+        "single_region": {
+            "requests": len(single_workload),
+            "region": dominant.shard_id,
+            "unsharded_qps": single_unsharded["throughput_qps"],
+            "sharded_qps": single_sharded["throughput_qps"],
+            "throughput_ratio": (
+                single_sharded["throughput_qps"]
+                / single_unsharded["throughput_qps"]
+                if single_unsharded["throughput_qps"] > 0 else math.inf),
+        },
+    }
+    report["headline"] = {
+        "num_shards": partition.num_shards,
+        "multi_region_sharded_qps": sharded_run["throughput_qps"],
+        "multi_region_throughput_ratio":
+            report["multi_region"]["throughput_ratio"],
+        "single_region_throughput_ratio":
+            report["single_region"]["throughput_ratio"],
+        "same_shard_mismatches": parity["mismatched_same_shard"],
+        "min_shard_candidate_hit_rate": min(
+            (entry["candidate_cache_hit_rate"]
+             for entry in per_shard.values()), default=0.0),
+    }
+    validate_report(report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Report schema
+# ----------------------------------------------------------------------
+_TOP_KEYS = ("schema_version", "preset", "config", "network", "partition",
+             "multi_region", "parity", "local_routing", "single_region",
+             "headline")
+_NUMERIC_BLOCKS = {
+    "multi_region": ("requests", "cross_shard_requests", "throughput_ratio"),
+    "parity": ("same_shard_requests", "mismatched_same_shard",
+               "max_abs_score_diff_same_shard", "cross_shard_requests",
+               "cross_shard_agreement"),
+    "local_routing": ("throughput_qps", "throughput_ratio_vs_unsharded",
+                      "same_shard_agreement"),
+    "single_region": ("requests", "unsharded_qps", "sharded_qps",
+                      "throughput_ratio"),
+    "headline": ("num_shards", "multi_region_sharded_qps",
+                 "multi_region_throughput_ratio",
+                 "single_region_throughput_ratio", "same_shard_mismatches",
+                 "min_shard_candidate_hit_rate"),
+}
+
+
+def validate_report(report: dict) -> None:
+    """Check a report parses as valid ``BENCH_sharding.json``.
+
+    Raises :class:`DataError` on a malformed document, a same-shard
+    parity violation, or a degenerate (< 2 shard) run; used both when a
+    report is produced and by the smoke test against re-parsed JSON.
+    """
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise DataError(
+            f"unexpected schema_version {report.get('schema_version')!r}")
+    missing = [key for key in _TOP_KEYS if key not in report]
+    if missing:
+        raise DataError(f"report missing keys: {missing}")
+    for block, keys in _NUMERIC_BLOCKS.items():
+        for key in keys:
+            value = report[block].get(key)
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                raise DataError(
+                    f"{block}.{key} must be a finite number, got {value!r}")
+    if report["headline"]["num_shards"] < 2:
+        raise DataError("sharding report must cover >= 2 shards")
+    per_shard = report["multi_region"]["per_shard"]
+    if len(per_shard) < 2:
+        raise DataError("per-shard breakdown must cover >= 2 shards")
+    for label, entry in per_shard.items():
+        rate = entry.get("candidate_cache_hit_rate")
+        if not isinstance(rate, (int, float)) or not math.isfinite(rate):
+            raise DataError(
+                f"per_shard[{label}].candidate_cache_hit_rate must be a "
+                f"finite number, got {rate!r}")
+    parity = report["parity"]
+    if parity["mismatched_same_shard"] != 0:
+        raise DataError(
+            f"same-shard parity violation: "
+            f"{parity['mismatched_same_shard']} sharded responses differ "
+            f"from the unsharded service's")
+    if not parity["max_abs_score_diff_same_shard"] <= PARITY_LIMIT:
+        raise DataError(
+            f"same-shard parity violation: max_abs_score_diff_same_shard="
+            f"{parity['max_abs_score_diff_same_shard']!r}")
+
+
+def write_report(report: dict, path: str | FilePath) -> FilePath:
+    """Validate and write the report; returns the output path."""
+    validate_report(report)
+    out = FilePath(path)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return out

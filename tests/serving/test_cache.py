@@ -171,3 +171,112 @@ class TestCandidateCacheInvalidation:
                        config.examine_limit)
         cache.store(0, 5, config, [Path(tiny_network, [0, 1, 2])])
         assert cache.lookup(0, 5, config) is not None
+
+
+class _FakePath:
+    """Stands in for a Path in score-cache keys (only ``vertices`` is read)."""
+
+    __slots__ = ("vertices",)
+
+    def __init__(self, *vertices):
+        self.vertices = tuple(vertices)
+
+
+class TestScoreCacheQuotas:
+    def test_minority_split_survives_majority_churn(self):
+        """The whole point of split quotas: a 10% variant's entries must
+        not be evicted by the 90% variant's churn."""
+        cache = ScoreCache(capacity=100, quotas={"big": 0.9, "small": 0.1})
+        cache.store("small", _FakePath(0, 1), 0.5)
+        for i in range(500):
+            cache.store("big", _FakePath(i, i + 1), float(i))
+        assert cache.lookup("small", _FakePath(0, 1)) == pytest.approx(0.5)
+
+    def test_without_quotas_majority_churn_evicts(self):
+        """Baseline behaviour the quotas exist to fix."""
+        cache = ScoreCache(capacity=100)
+        cache.store("small", _FakePath(0, 1), 0.5)
+        for i in range(500):
+            cache.store("big", _FakePath(i, i + 1), float(i))
+        assert cache.lookup("small", _FakePath(0, 1)) is None
+
+    def test_unquoted_version_uses_shared_segment(self):
+        cache = ScoreCache(capacity=100, quotas={"a": 0.5, "b": 0.5})
+        cache.store("other", _FakePath(7, 8), 1.25)
+        assert cache.lookup("other", _FakePath(7, 8)) == pytest.approx(1.25)
+        assert cache.lookup("a", _FakePath(7, 8)) is None
+
+    def test_shared_segment_keeps_working_capacity(self):
+        """Out-of-split pinned versions must keep a real cache, not the
+        one-entry sliver that fully-allocated quota weights would leave."""
+        cache = ScoreCache(capacity=800, quotas={"a": 0.5, "b": 0.5})
+        for i in range(50):
+            cache.store("pinned", _FakePath(i, i + 1), float(i))
+        hits = sum(cache.lookup("pinned", _FakePath(i, i + 1)) is not None
+                   for i in range(50))
+        assert hits == 50  # capacity // SHARED_FRACTION = 100 entries
+        assert cache.capacity <= 800
+
+    def test_stats_aggregate_across_segments(self):
+        cache = ScoreCache(capacity=100, quotas={"a": 0.5, "b": 0.5})
+        cache.store("a", _FakePath(0, 1), 0.1)
+        cache.lookup("a", _FakePath(0, 1))
+        cache.lookup("b", _FakePath(0, 1))
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        quota_stats = cache.quota_stats()
+        assert set(quota_stats) == {"a", "b", "(shared)"}
+        assert quota_stats["a"]["hits"] == 1
+
+    def test_lookup_many_respects_segments(self):
+        cache = ScoreCache(capacity=100, quotas={"a": 0.5})
+        paths = [_FakePath(0, 1), _FakePath(1, 2)]
+        cache.store_many("a", [(paths[0], 0.5)])
+        found = cache.lookup_many("a", paths)
+        assert found == {(0, 1): 0.5}
+
+    def test_clear_empties_every_segment(self):
+        cache = ScoreCache(capacity=100, quotas={"a": 0.5})
+        cache.store("a", _FakePath(0, 1), 0.5)
+        cache.store("other", _FakePath(2, 3), 0.5)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_quotas_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ScoreCache(capacity=10, quotas={"": 1.0})
+        with pytest.raises(ConfigError):
+            ScoreCache(capacity=10, quotas={"a": 0.0})
+        with pytest.raises(ConfigError):
+            ScoreCache(capacity=10, quotas=[("a", 1.0), ("a", 1.0)])
+
+
+class TestCandidateCachePerGraphKeys:
+    """The shard plane keys one cache by several routing graphs."""
+
+    def test_network_override_separates_graphs(self, tiny_network):
+        import copy
+
+        config = TrainingDataConfig(strategy=Strategy.TKDI, k=3)
+        other = copy.deepcopy(tiny_network)
+        other.add_edge(3, 1)
+        cache = CandidateCache(capacity=8)
+        cache.store(0, 5, config, [Path(tiny_network, [0, 1, 2])],
+                    network=tiny_network)
+        assert cache.lookup(0, 5, config, network=tiny_network) is not None
+        assert cache.lookup(0, 5, config, network=other) is None
+        assert cache.lookup(0, 5, config) is None  # unkeyed lookup differs
+
+    def test_override_wins_over_bound_network(self, tiny_network):
+        import copy
+
+        config = TrainingDataConfig(strategy=Strategy.TKDI, k=3)
+        other = copy.deepcopy(tiny_network)
+        other.add_edge(3, 1)
+        cache = CandidateCache(capacity=8, network=tiny_network)
+        cache.store(0, 5, config, [Path(tiny_network, [0, 1, 2])],
+                    network=other)
+        assert cache.lookup(0, 5, config) is None
+        assert cache.lookup(0, 5, config, network=other) is not None

@@ -96,3 +96,85 @@ class TestEngineDrivers:
     def test_open_loop_time_scale_validation(self, service, tiny_network):
         with pytest.raises(ValueError):
             replay_open_loop(None, [], time_scale=0.0)
+
+
+class TestMultiRegionWorkload:
+    @pytest.fixture(scope="class")
+    def partition(self, region_network):
+        from repro.graph import voronoi_partition
+
+        return voronoi_partition(region_network, 3, rng=0)
+
+    def _config(self, **overrides):
+        defaults = dict(num_requests=200, num_hotspots=18,
+                        min_hop_distance=200.0, cross_shard_fraction=0.3)
+        defaults.update(overrides)
+        return WorkloadConfig(**defaults)
+
+    def test_cross_shard_fraction_realised(self, region_network, partition):
+        workload = generate_workload(region_network, self._config(),
+                                     rng=3, partition=partition)
+        cross = sum(1 for r in workload
+                    if not partition.same_shard(r.source, r.target))
+        assert 0.15 <= cross / len(workload) <= 0.45
+
+    def test_zero_cross_fraction_stays_in_shard(self, region_network,
+                                                partition):
+        workload = generate_workload(
+            region_network, self._config(cross_shard_fraction=0.0),
+            rng=3, partition=partition)
+        assert all(partition.same_shard(r.source, r.target)
+                   for r in workload)
+
+    def test_multiple_shards_receive_traffic(self, region_network,
+                                             partition):
+        workload = generate_workload(region_network, self._config(),
+                                     rng=3, partition=partition)
+        owners = {partition.shard_of(r.source) for r in workload}
+        assert len(owners) >= 2
+
+    def test_region_zipf_skews_toward_first_shards(self, region_network,
+                                                   partition):
+        flat = generate_workload(
+            region_network,
+            self._config(cross_shard_fraction=0.0, region_zipf_exponent=1.0),
+            rng=3, partition=partition)
+        skewed = generate_workload(
+            region_network,
+            self._config(cross_shard_fraction=0.0, region_zipf_exponent=4.0),
+            rng=3, partition=partition)
+
+        def shard0_share(workload):
+            return sum(1 for r in workload
+                       if partition.shard_of(r.source) == 0) / len(workload)
+
+        assert shard0_share(skewed) > shard0_share(flat)
+
+    def test_deterministic_per_seed(self, region_network, partition):
+        first = generate_workload(region_network, self._config(), rng=9,
+                                  partition=partition)
+        second = generate_workload(region_network, self._config(), rng=9,
+                                   partition=partition)
+        assert first == second
+
+    def test_timed_workload_shares_the_od_mix(self, region_network,
+                                              partition):
+        config = self._config(arrival_rate_qps=500.0)
+        untimed = generate_workload(region_network, config, rng=4,
+                                    partition=partition)
+        timed = generate_timed_workload(region_network, config, rng=4,
+                                        partition=partition)
+        assert [t.request for t in timed] == untimed
+        arrivals = [t.arrival_s for t in timed]
+        assert arrivals == sorted(arrivals)
+
+    def test_request_ids_are_sequential(self, region_network, partition):
+        workload = generate_workload(region_network, self._config(),
+                                     rng=3, partition=partition)
+        assert [r.request_id for r in workload] == list(range(len(workload)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(cross_shard_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(region_zipf_exponent=0.0)
