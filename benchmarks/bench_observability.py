@@ -1,0 +1,145 @@
+"""Benchmark E13 — the telemetry plane's cost and fidelity.
+
+Drives the serving stack through ``repro.obs.observability_bench``: the
+same closed-loop engine workload run with telemetry dormant
+(``trace_sample=0``) and with full tracing plus the JSONL timeline
+exporter (``trace_sample=1.0``).  The result is written as
+``BENCH_observability.json``.
+
+Target (asserted standalone at full scale): full tracing costs less
+than **5%** of baseline throughput, with element-wise response parity
+between the arms, a complete per-stage latency breakdown, retained
+slow-request exemplars, and a monotone exported counter timeline.
+
+Runs standalone (``PYTHONPATH=src python
+benchmarks/bench_observability.py``, add ``--smoke`` for the tiny
+preset) or under pytest, where the smoke preset keeps tier-1 fast while
+still asserting parity, stage completeness, and a loosely bounded
+overhead (sub-second workloads jitter past 5%).
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro.obs.observability_bench import (
+    REQUIRED_STAGES,
+    apply_overrides,
+    full_config,
+    run_observability_benchmark,
+    smoke_config,
+    validate_report,
+    write_report,
+)
+
+#: Full-scale acceptance ceiling: tracing every request plus the
+#: timeline exporter must cost under 5% of baseline throughput.
+OVERHEAD_TARGET = 0.05
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke scale — see conftest.observability_smoke_report)
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="observability")
+def test_smoke_tracing_preserves_responses(observability_smoke_report):
+    """Tracing must be read-only: element-wise parity with the
+    untraced arm on the same workload."""
+    parity = observability_smoke_report["parity"]
+    assert parity["mismatched_responses"] == 0
+    assert parity["max_abs_score_diff"] <= 1e-6
+
+
+@pytest.mark.benchmark(group="observability")
+def test_smoke_overhead_bounded(observability_smoke_report):
+    """The smoke preset's loose overhead bound still catches a
+    telemetry plane that, say, serialises every request."""
+    overhead = observability_smoke_report["overhead"]
+    assert overhead["fraction"] <= overhead["limit"], (
+        f"tracing overhead {overhead['fraction']:.3f} exceeds the smoke "
+        f"limit {overhead['limit']:.3f}"
+    )
+
+
+@pytest.mark.benchmark(group="observability")
+def test_smoke_stage_breakdown_complete(observability_smoke_report):
+    """Every engine pipeline stage must appear with observations and
+    a coherent p50 <= p95 summary."""
+    stages = observability_smoke_report["stages"]
+    for name in REQUIRED_STAGES:
+        assert name in stages, f"stage {name!r} missing from breakdown"
+        summary = stages[name]
+        assert summary["count"] >= 1
+        assert summary["p50"] <= summary["p95"] <= summary["max"] + 1e-9
+
+
+@pytest.mark.benchmark(group="observability")
+def test_smoke_slow_request_exemplars_retained(observability_smoke_report):
+    """The slowest requests must survive with their full span logs,
+    slowest first."""
+    exemplars = observability_smoke_report["slow_requests"]
+    assert exemplars, "no slow-request exemplars retained"
+    latencies = [record["latency_ms"] for record in exemplars]
+    assert latencies == sorted(latencies, reverse=True)
+    for record in exemplars:
+        span_names = {span["name"] for span in record["spans"]}
+        assert {"admit", "score", "assemble"} <= span_names
+
+
+@pytest.mark.benchmark(group="observability")
+def test_smoke_timeline_monotone(observability_smoke_report):
+    """The exported JSONL timeline must show the request counter only
+    ever increasing across snapshots."""
+    timeline = observability_smoke_report["timeline"]
+    assert timeline["snapshots"] >= 1
+    series = timeline["requests_series"]
+    assert all(b >= a for a, b in zip(series, series[1:]))
+    assert series[-1] >= 1
+
+
+@pytest.mark.benchmark(group="observability")
+def test_smoke_report_is_valid_bench_observability_json(
+        observability_smoke_report):
+    """The emitted document must round-trip as valid
+    BENCH_observability.json."""
+    validate_report(observability_smoke_report)  # raises DataError
+    assert observability_smoke_report["preset"] == "smoke"
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the telemetry plane: full tracing vs "
+                    "dormant, with parity and timeline checks")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny preset (small region, sub-second)")
+    parser.add_argument("--out", default="BENCH_observability.json",
+                        help="report path (default: "
+                             "BENCH_observability.json)")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--hotspots", type=int, default=None)
+    parser.add_argument("--concurrency", type=int, default=None)
+    parser.add_argument("--k", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    config = apply_overrides(
+        smoke_config() if args.smoke else full_config(),
+        requests=args.requests, hotspots=args.hotspots,
+        concurrency=args.concurrency, k=args.k, seed=args.seed)
+    report = run_observability_benchmark(config)
+    write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+
+    if not args.smoke:
+        headline = report["headline"]
+        assert headline["overhead_fraction"] < OVERHEAD_TARGET, (
+            f"tracing overhead {headline['overhead_fraction']:.3f} "
+            f"at or above the {OVERHEAD_TARGET} target")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,19 +44,21 @@ def pipeline(bench_config) -> ExperimentPipeline:
 
 
 def pytest_collect_file(file_path, parent):
-    """Wire the routing/scoring/serving/sharding benchmarks' smoke
-    assertions into tier-1.
+    """Wire the routing/scoring/serving/sharding/observability
+    benchmarks' smoke assertions into tier-1.
 
     Benchmark modules are named ``bench_*.py`` and therefore invisible
     to the default ``test_*.py`` collection — the heavyweight table /
     figure benches must stay opt-in.  The routing, scoring, serving,
-    and sharding benches' smoke modes run in a few seconds combined and
-    guard the CSR kernel, the fused-scoring backend, the concurrent
-    serving engine, and the shard plane (not-slower + parity + valid
-    ``BENCH_*.json``), so they alone are collected explicitly.
+    sharding, and observability benches' smoke modes run in a few
+    seconds combined and guard the CSR kernel, the fused-scoring
+    backend, the concurrent serving engine, the shard plane, and the
+    telemetry plane (not-slower + parity + valid ``BENCH_*.json``), so
+    they alone are collected explicitly.
     """
     if file_path.name in ("bench_routing.py", "bench_scoring.py",
-                          "bench_serving.py", "bench_sharding.py"):
+                          "bench_serving.py", "bench_sharding.py",
+                          "bench_observability.py"):
         return pytest.Module.from_parent(parent, path=file_path)
 
 
@@ -111,6 +113,22 @@ def sharding_smoke_report(tmp_path_factory):
         sharding_bench.smoke_config())
     out = tmp_path_factory.mktemp("sharding") / "BENCH_sharding.json"
     sharding_bench.write_report(report, out)
+    return json.loads(out.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="session")
+def observability_smoke_report(tmp_path_factory):
+    """The observability benchmark at smoke scale, round-tripped through
+    its JSON report so the schema tests exercise what
+    ``bench-observability`` actually writes.  This wrapper is what wires
+    ``bench_observability.py`` into the tier-1 test run at a tiny,
+    stable-cost preset."""
+    from repro.obs import observability_bench
+
+    report = observability_bench.run_observability_benchmark(
+        observability_bench.smoke_config())
+    out = tmp_path_factory.mktemp("obs") / "BENCH_observability.json"
+    observability_bench.write_report(report, out)
     return json.loads(out.read_text(encoding="utf-8"))
 
 

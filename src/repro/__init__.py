@@ -13,6 +13,9 @@ system diagram, bottom-up:
   ranking metrics, non-learned baselines;
 * :mod:`repro.core` — the PathRank model (PR-A1 / PR-A2 / multi-task),
   trainer, and the user-facing ranking API;
+* :mod:`repro.obs` — the stdlib-only telemetry plane (metrics
+  registry, per-request tracing, JSONL/Prometheus export) the serving
+  layer publishes into;
 * :mod:`repro.experiments` — configs and harnesses regenerating every
   table and figure of the paper's evaluation.
 """

@@ -22,6 +22,8 @@ without writing Python::
     python -m repro.cli bench-routing --out BENCH_routing.json
     python -m repro.cli bench-scoring --out BENCH_scoring.json
     python -m repro.cli bench-sharding --out BENCH_sharding.json
+    python -m repro.cli bench-observability --out BENCH_observability.json
+    python -m repro.cli metrics-dump --timeline /tmp/run.jsonl --format summary
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ import argparse
 import json
 import sys
 from collections.abc import Sequence
+from contextlib import nullcontext
 from pathlib import Path as FilePath
 
 from repro.core.ranker import PathRankRanker, RankerConfig
@@ -63,6 +66,13 @@ from repro.serving import (
     replay_open_loop,
     run_engine_workload,
     run_workload,
+)
+from repro.obs import observability_bench
+from repro.obs.export import (
+    SnapshotExporter,
+    load_timeline,
+    prometheus_snapshot_lines,
+    summarise_timeline,
 )
 from repro.serving import sharding_bench
 from repro.trajectories.dataset import TrajectoryDataset
@@ -164,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="partitioner behind --shards")
     serve.add_argument("--json", action="store_true",
                        help="print responses and stats as JSON")
+    _add_trace_flags(serve)
 
     bench = commands.add_parser(
         "bench-serve", help="replay a Zipf-skewed hotspot workload, report JSON")
@@ -198,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--cross-fraction", type=float, default=0.25,
                        help="with --shards: fraction of requests spanning "
                             "two shards (multi-region workload)")
+    _add_trace_flags(bench)
 
     routing = commands.add_parser(
         "bench-routing",
@@ -241,7 +253,50 @@ def build_parser() -> argparse.ArgumentParser:
     sharding.add_argument("--out", default=None,
                           help="also write the report to this path")
 
+    observability = commands.add_parser(
+        "bench-observability",
+        help="measure the telemetry plane's overhead vs dormant, "
+             "report JSON")
+    observability.add_argument("--smoke", action="store_true",
+                               help="tiny sub-second preset")
+    observability.add_argument("--requests", type=int, default=None)
+    observability.add_argument("--hotspots", type=int, default=None)
+    observability.add_argument("--concurrency", type=int, default=None)
+    observability.add_argument("--k", type=int, default=None)
+    observability.add_argument("--seed", type=int, default=None)
+    observability.add_argument("--out", default=None,
+                               help="also write the report to this path")
+
+    dump = commands.add_parser(
+        "metrics-dump",
+        help="read a SnapshotExporter JSONL timeline back out")
+    dump.add_argument("--timeline", required=True,
+                      help="JSONL timeline written via --metrics-out")
+    dump.add_argument("--format", choices=("summary", "last", "prom"),
+                      default="summary",
+                      help="summary: first/last/delta per series; last: "
+                           "the final snapshot's flat metrics as JSON; "
+                           "prom: the final snapshot in the Prometheus "
+                           "text format")
+
     return parser
+
+
+def _add_trace_flags(subparser: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by ``serve`` and ``bench-serve``."""
+    subparser.add_argument("--trace", action="store_true",
+                           help="trace every request (shorthand for "
+                                "--trace-sample 1.0) and report per-stage "
+                                "latency breakdowns plus slow-request "
+                                "exemplars")
+    subparser.add_argument("--trace-sample", type=float, default=0.0,
+                           help="fraction of requests to trace, in [0, 1] "
+                                "(default 0: tracing off)")
+    subparser.add_argument("--metrics-out", default=None,
+                           help="append periodic metrics snapshots to this "
+                                "JSONL timeline (readable via metrics-dump)")
+    subparser.add_argument("--metrics-interval-s", type=float, default=0.25,
+                           help="snapshot cadence for --metrics-out")
 
 
 # ----------------------------------------------------------------------
@@ -388,6 +443,8 @@ def _build_service(args: argparse.Namespace):
         traffic_split=split,
         concurrency=max(getattr(args, "concurrency", 0), 1),
         flush_deadline_ms=getattr(args, "flush_deadline_ms", 2.0),
+        trace_sample=(1.0 if getattr(args, "trace", False)
+                      else getattr(args, "trace_sample", 0.0)),
     )
     shards = getattr(args, "shards", 0)
     if shards and shards > 1:
@@ -441,6 +498,31 @@ def _load_queries(path: str) -> list[RankRequest]:
     return requests
 
 
+def _timeline(service, args: argparse.Namespace):
+    """A running :class:`SnapshotExporter` for ``--metrics-out``, or a
+    no-op context when the flag is absent."""
+    if getattr(args, "metrics_out", None) is None:
+        return nullcontext(None)
+    return SnapshotExporter(service.metrics, args.metrics_out,
+                            interval_s=args.metrics_interval_s)
+
+
+def _print_trace_breakdown(trace: dict) -> None:
+    """Human-readable per-stage latencies + slow-request exemplars."""
+    print(f"trace: sample={trace['sample']} "
+          f"finished={trace['finished']} requests")
+    for name, summary in trace["stages"].items():
+        print(f"  stage {name:<12} p50 {summary['p50']:.3f} ms  "
+              f"p95 {summary['p95']:.3f} ms  "
+              f"(n={int(summary['count'])})")
+    for record in trace["slow_requests"][:3]:
+        label = record.get("request", record.get("label", "?"))
+        spans = ", ".join(
+            f"{span['name']} {span['duration_ms']:.2f}ms"
+            for span in record.get("spans", []))
+        print(f"  slow {label}: {record['latency_ms']:.2f} ms [{spans}]")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     service = _build_service(args)
     requests = _load_queries(args.queries_file)
@@ -449,13 +531,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # deadline/size policy; responses stay in request order.
         with ServingEngine(service, concurrency=args.concurrency,
                            flush_deadline_ms=args.flush_deadline_ms) as engine:
-            responses = engine.rank_batch(requests)
+            with _timeline(service, args):
+                responses = engine.rank_batch(requests)
             stats = engine.stats()
     else:
         responses = []
-        for start in range(0, len(requests), args.batch_size):
-            responses.extend(
-                service.rank_batch(requests[start:start + args.batch_size]))
+        with _timeline(service, args):
+            for start in range(0, len(requests), args.batch_size):
+                responses.extend(
+                    service.rank_batch(
+                        requests[start:start + args.batch_size]))
         stats = service.stats()
     if args.json:
         print(json.dumps({
@@ -491,6 +576,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{stats['candidate_cache']['hit_rate']:.2f} | "
           f"p50 {stats['latency']['p50_ms']:.2f} ms, "
           f"p95 {stats['latency']['p95_ms']:.2f} ms")
+    if "trace" in stats:
+        _print_trace_breakdown(stats["trace"])
     return 0 if all(r.ok for r in responses) else 1
 
 
@@ -514,18 +601,26 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
                                                 workload_config,
                                                 rng=args.seed,
                                                 partition=partition)
-                summary = replay_open_loop(engine, timed)
+                summary = replay_open_loop(
+                    engine, timed, metrics_out=args.metrics_out,
+                    metrics_interval_s=args.metrics_interval_s)
             else:
                 workload = generate_workload(service.network, workload_config,
                                              rng=args.seed,
                                              partition=partition)
-                summary = run_engine_workload(engine, workload,
-                                              concurrency=args.concurrency)
+                summary = run_engine_workload(
+                    engine, workload, concurrency=args.concurrency,
+                    metrics_out=args.metrics_out,
+                    metrics_interval_s=args.metrics_interval_s)
             summary["stats"] = engine.stats()
     else:
         workload = generate_workload(service.network, workload_config,
                                      rng=args.seed, partition=partition)
-        summary = run_workload(service, workload, batch_size=args.batch_size)
+        summary = run_workload(service, workload, batch_size=args.batch_size,
+                               metrics_out=args.metrics_out,
+                               metrics_interval_s=args.metrics_interval_s)
+        if service.tracer.enabled:
+            summary["trace"] = service.tracer.as_dict()
     print(json.dumps(summary, indent=2))
     return 0
 
@@ -566,6 +661,35 @@ def _cmd_bench_sharding(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_observability(args: argparse.Namespace) -> int:
+    config = observability_bench.apply_overrides(
+        observability_bench.smoke_config() if args.smoke
+        else observability_bench.full_config(),
+        requests=args.requests, hotspots=args.hotspots,
+        concurrency=args.concurrency, k=args.k, seed=args.seed)
+    report = observability_bench.run_observability_benchmark(config)
+    if args.out:
+        observability_bench.write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+def _cmd_metrics_dump(args: argparse.Namespace) -> int:
+    snapshots = load_timeline(args.timeline)
+    if not snapshots:
+        print(f"error: {args.timeline} holds no metrics snapshots",
+              file=sys.stderr)
+        return 2
+    if args.format == "summary":
+        print(json.dumps(summarise_timeline(snapshots), indent=2))
+    elif args.format == "last":
+        print(json.dumps(snapshots[-1]["metrics"], indent=2, sort_keys=True))
+    else:
+        for line in prometheus_snapshot_lines(snapshots[-1]["metrics"]):
+            print(line)
+    return 0
+
+
 _COMMANDS = {
     "build-network": _cmd_build_network,
     "simulate-fleet": _cmd_simulate_fleet,
@@ -577,6 +701,8 @@ _COMMANDS = {
     "bench-routing": _cmd_bench_routing,
     "bench-scoring": _cmd_bench_scoring,
     "bench-sharding": _cmd_bench_sharding,
+    "bench-observability": _cmd_bench_observability,
+    "metrics-dump": _cmd_metrics_dump,
 }
 
 

@@ -34,6 +34,7 @@ from repro.graph.builders import grid_network, north_jutland_like, ring_radial_n
 from repro.graph.csr import (
     CSRGraph,
     csr_for,
+    csr_if_built,
     get_routing_backend,
     set_routing_backend,
     use_routing_backend,
@@ -93,6 +94,7 @@ __all__ = [
     "voronoi_partition",
     "CSRGraph",
     "csr_for",
+    "csr_if_built",
     "get_routing_backend",
     "set_routing_backend",
     "use_routing_backend",

@@ -66,6 +66,7 @@ from repro.rng import RngLike, make_rng
 __all__ = [
     "CSRGraph",
     "csr_for",
+    "csr_if_built",
     "get_routing_backend",
     "set_routing_backend",
     "use_routing_backend",
@@ -163,6 +164,14 @@ class CSRGraph:
         self._seen_b = [0] * n
         self._done_b = [0] * n
         self._lock = threading.Lock()
+        # Cumulative search-effort counters, read by profile_counters().
+        # Updated in bulk at the end of each search (which already holds
+        # self._lock), so the hot loops only touch local ints.
+        self._profile: dict[str, int] = {
+            "sssp_runs": 0, "p2p_runs": 0, "astar_runs": 0,
+            "bidirectional_runs": 0, "yen_runs": 0, "yen_spur_searches": 0,
+            "heap_pops": 0, "settled": 0, "alt_pruned": 0,
+        }
 
     # ------------------------------------------------------------------
     # Weights and adjacency
@@ -309,11 +318,14 @@ class CSRGraph:
             seen[source] = gen
             heap = [(0.0, source)]
             push, pop = heappush, heappop
+            pops = settled = 0
             while heap:
                 d, u = pop(heap)
+                pops += 1
                 if done[u] == gen:
                     continue
                 done[u] = gen
+                settled += 1
                 for v, w in adj[u]:
                     if done[v] == gen:
                         continue
@@ -322,6 +334,10 @@ class CSRGraph:
                         dist[v] = nd
                         seen[v] = gen
                         push(heap, (nd, v))
+            profile = self._profile
+            profile["sssp_runs"] += 1
+            profile["heap_pops"] += pops
+            profile["settled"] += settled
             out = np.array(dist, dtype=np.float64)
             out[np.asarray(seen) != gen] = np.inf
             return out
@@ -359,11 +375,14 @@ class CSRGraph:
             heap = [(0.0 if h is None else h[source], source)]
             push, pop = heappush, heappop
             check_edges = bool(banned_edges)
+            pops = settled = 0
             while heap:
                 _, u = pop(heap)
+                pops += 1
                 if done[u] == gen:
                     continue
                 done[u] = gen
+                settled += 1
                 if u == target:
                     break
                 d = dist[u]
@@ -378,6 +397,14 @@ class CSRGraph:
                         seen[v] = gen
                         parent[v] = u
                         push(heap, (nd if h is None else nd + h[v], v))
+            profile = self._profile
+            profile["astar_runs" if h is not None else "p2p_runs"] += 1
+            profile["heap_pops"] += pops
+            profile["settled"] += settled
+            if h is not None:
+                # Entries still queued when the target settled: frontier
+                # the goal-directed heuristic never had to expand.
+                profile["alt_pruned"] += len(heap)
             if done[target] != gen:
                 return None
             path = [target]
@@ -414,15 +441,18 @@ class CSRGraph:
             best = inf
             meeting = -1
             push, pop = heappush, heappop
+            pops = settled = 0
 
             while heap_f and heap_b:
                 if heap_f[0][0] + heap_b[0][0] >= best:
                     break
                 if heap_f[0][0] <= heap_b[0][0]:
                     d, u = pop(heap_f)
+                    pops += 1
                     if done_f[u] == gen:
                         continue
                     done_f[u] = gen
+                    settled += 1
                     for v, w in fadj[u]:
                         nd = d + w
                         if seen_f[v] != gen or nd < dist_f[v]:
@@ -435,9 +465,11 @@ class CSRGraph:
                             meeting = v
                 else:
                     d, u = pop(heap_b)
+                    pops += 1
                     if done_b[u] == gen:
                         continue
                     done_b[u] = gen
+                    settled += 1
                     for v, w in radj[u]:
                         nd = d + w
                         if seen_b[v] != gen or nd < dist_b[v]:
@@ -449,6 +481,10 @@ class CSRGraph:
                             best = nd + dist_f[v]
                             meeting = v
 
+            profile = self._profile
+            profile["bidirectional_runs"] += 1
+            profile["heap_pops"] += pops
+            profile["settled"] += settled
             if meeting < 0:
                 return None
             path = [meeting]
@@ -738,6 +774,8 @@ class CSRGraph:
         weights = self.edge_weights(cost)
         h = self._heuristic_for(cost, t, use_alt)
 
+        with self._lock:
+            self._profile["yen_runs"] += 1
         first = self._p2p(s, t, adj, h)
         if first is None:
             raise NoPathError(source_id, target_id)
@@ -774,6 +812,8 @@ class CSRGraph:
                     if verts[: spur_index + 1] == root:
                         banned_edges.add((verts[spur_index],
                                           verts[spur_index + 1]))
+                with self._lock:
+                    self._profile["yen_spur_searches"] += 1
                 result = self._p2p(spur_vertex, t, adj, h,
                                    banned_vertices=root[:-1],
                                    banned_edges=banned_edges)
@@ -794,6 +834,21 @@ class CSRGraph:
             accepted.append((best_verts, prefix_costs(best_verts)))
             produced += 1
             yield tuple(ids[i] for i in best_verts), best_cost
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    def profile_counters(self) -> dict[str, int]:
+        """Cumulative search-effort counters since this kernel was built.
+
+        Per-search-kind run counts plus the three effort numbers that
+        predict routing cost: ``heap_pops`` (priority-queue work),
+        ``settled`` (vertices finalised), and ``alt_pruned`` (frontier
+        entries an ALT/A* early exit never had to expand).  Serving
+        publishes these under ``kernel.routing.*``.
+        """
+        with self._lock:
+            return dict(self._profile)
 
     def __repr__(self) -> str:
         return (f"CSRGraph(vertices={self.num_vertices}, "
@@ -879,3 +934,15 @@ def csr_for(network: RoadNetwork) -> CSRGraph:
             graph = CSRGraph(network)
             _csr_cache[network] = graph
         return graph
+
+
+def csr_if_built(network: RoadNetwork) -> CSRGraph | None:
+    """The cached CSR kernel for ``network`` — without building one.
+
+    Telemetry readers (``kernel.routing.*`` callbacks) must observe the
+    kernel routing actually used, not force an expensive CSR build on a
+    network nothing has routed on yet; ``None`` means "no kernel, no
+    counters".  A stale kernel (the network mutated since the build) is
+    still returned: its counters describe the searches that really ran.
+    """
+    return _csr_cache.get(network)

@@ -10,6 +10,7 @@ from repro.nn import functional  # noqa: F401  (re-export the namespace)
 from repro.nn.fused import (
     CompiledPathRank,
     compiled_for,
+    compiled_if_cached,
     get_scoring_backend,
     resolve_scoring_backend,
     set_scoring_backend,
@@ -75,6 +76,7 @@ __all__ = [
     "numerical_gradient",
     "CompiledPathRank",
     "compiled_for",
+    "compiled_if_cached",
     "get_scoring_backend",
     "set_scoring_backend",
     "use_scoring_backend",

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import weakref
 from contextlib import contextmanager
 from typing import TYPE_CHECKING
@@ -62,6 +63,7 @@ __all__ = [
     "DEFAULT_COMPILE_DTYPE",
     "CompiledPathRank",
     "compiled_for",
+    "compiled_if_cached",
     "get_scoring_backend",
     "set_scoring_backend",
     "use_scoring_backend",
@@ -165,6 +167,16 @@ class CompiledPathRank:
         self.num_vertices, self.embedding_dim = self.embedding.shape
         self.summary_size = (2 if self.bidirectional else 1) * self.hidden_size
         self._tls = threading.local()
+        # Cumulative forward-pass profile (surfaced by the serving layer
+        # under ``kernel.scoring.*``): call/volume counters, wall time,
+        # and a log2 batch-size distribution.  One short lock hold per
+        # forward — noise next to the matmuls it measures.
+        self._profile_lock = threading.Lock()
+        self._profile: dict[str, float] = {
+            "forwards": 0, "paths_scored": 0, "steps_total": 0,
+            "wall_s": 0.0,
+        }
+        self._profile_batches: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Forward
@@ -255,6 +267,7 @@ class CompiledPathRank:
                 f"mask shape {raw_mask.shape} does not match ids {ids.shape}")
         steps, batch = ids.shape
         dtype = self.dtype
+        began = time.perf_counter()
         workspace = self._workspace()
 
         # Embedding gather, flattened so both direction matmuls reuse it.
@@ -298,9 +311,38 @@ class CompiledPathRank:
         flat = logits.reshape(batch)
         scores = workspace.get("scores", (batch,), dtype)
         _sigmoid_into(flat, scores)
-        return scores.astype(np.float64)
+        result = scores.astype(np.float64)
+        elapsed = time.perf_counter() - began
+        with self._profile_lock:
+            profile = self._profile
+            profile["forwards"] += 1
+            profile["paths_scored"] += batch
+            profile["steps_total"] += steps * batch
+            profile["wall_s"] += elapsed
+            bucket = 1 << max(0, batch - 1).bit_length()
+            self._profile_batches[bucket] = \
+                self._profile_batches.get(bucket, 0) + 1
+        return result
 
     __call__ = forward
+
+    def profile_counters(self) -> dict[str, object]:
+        """Cumulative forward-pass profile since this kernel was compiled.
+
+        ``batch_le_<N>`` keys form a log2 batch-size distribution (the
+        count of forwards whose batch fit under each power-of-two
+        ceiling) — the direct evidence of whether batching/coalescing
+        delivers the batch sizes the fused kernel is built for.
+        """
+        with self._profile_lock:
+            profile = dict(self._profile)
+            batches = dict(self._profile_batches)
+        forwards = profile["forwards"]
+        profile["mean_batch"] = (
+            profile["paths_scored"] / forwards if forwards else 0.0)
+        for bucket in sorted(batches):
+            profile[f"batch_le_{bucket}"] = batches[bucket]
+        return profile
 
     def _attention_pool(self, outputs: np.ndarray, mask_float: np.ndarray,
                         summary: np.ndarray, workspace: _Workspace) -> None:
@@ -372,6 +414,21 @@ def compiled_for(model: "Module",
             _compiled_cache[model] = entry
         entry[dtype] = compiled
         return compiled
+
+
+def compiled_if_cached(model: "Module",
+                       dtype: np.dtype | None = None) -> CompiledPathRank | None:
+    """The cached compiled kernel for ``model`` — without compiling one.
+
+    Telemetry readers (``kernel.scoring.*`` callbacks) want the profile
+    of the kernel serving actually used; ``None`` means nothing compiled
+    this model yet (e.g. the module backend is active) and there is no
+    profile to report.  Staleness is deliberately ignored: a superseded
+    snapshot's counters still describe the forwards that really ran.
+    """
+    dtype = np.dtype(dtype if dtype is not None else DEFAULT_COMPILE_DTYPE)
+    entry = _compiled_cache.get(model)
+    return entry.get(dtype) if entry else None
 
 
 # ----------------------------------------------------------------------

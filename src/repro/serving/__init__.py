@@ -51,6 +51,16 @@ deployment needs around it:
   same-shard rankings are element-wise identical to an unsharded
   service's (``benchmarks/bench_sharding.py`` pins this;
   ``BENCH_sharding.json`` holds the committed numbers).
+* **Telemetry** (:mod:`repro.obs`) — every tracker above registers
+  into the service's central
+  :class:`~repro.obs.metrics.MetricsRegistry` under canonical dotted
+  names, ``ServingConfig.trace_sample`` arms per-request stage tracing
+  (spans on :class:`~repro.serving.pipeline.QueryState`, per-stage
+  latency histograms, top-K slow-request exemplars; dormant by
+  default), and a :class:`~repro.obs.export.SnapshotExporter` can
+  stream JSONL metric timelines during a run.  Full tracing stays
+  under 5% throughput overhead with exact response parity
+  (``BENCH_observability.json``; see ``docs/observability.md``).
 
 Usage::
 

@@ -78,6 +78,20 @@ class BatchingScorer:
         self.paths_scored = 0
         self.cache_hits = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """Forward-pass counters as one consistent snapshot.
+
+        Taken under the scorer lock so a concurrent flush can't show a
+        batch whose paths haven't been added yet — the view stats() and
+        the metrics registry publish.
+        """
+        with self._lock:
+            return {
+                "batches_run": self.batches_run,
+                "paths_scored": self.paths_scored,
+                "cache_hits": self.cache_hits,
+            }
+
     def pending_requests(self) -> int:
         return len(self._pending)
 

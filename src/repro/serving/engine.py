@@ -130,6 +130,11 @@ class ServingEngine:
         self._warmup = list(warmup) if warmup else []
         self.warmed_up = 0
         self.occupancy = OccupancyTracker()
+        # The engine is part of the service's telemetry plane: its flush
+        # occupancy exports under engine.occupancy.* (a rebuilt engine
+        # over the same service simply takes the section over).
+        service.metrics.register_callback("engine.occupancy",
+                                          self.occupancy.as_dict)
 
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)   # inbox activity
@@ -318,6 +323,7 @@ class ServingEngine:
         every ticket it claimed, and its waiters block forever).
         """
         service = self.service
+        picked_up = time.perf_counter()
         try:
             state = service.admit(ticket.request)
         except Exception as exc:  # noqa: BLE001 - deliberate backstop
@@ -326,6 +332,12 @@ class ServingEngine:
         # Queue wait counts toward latency: the clock starts at
         # submission, not at pickup.
         state.started = ticket.submitted
+        if state.trace is not None:
+            # Rebase the trace origin to the submit time (spans store
+            # absolute starts, so already-recorded admit offsets shift
+            # consistently) and book the inbox wait as its own stage.
+            state.trace.started = ticket.submitted
+            state.trace.add("queue_wait", ticket.submitted, picked_up)
         ticket.state = state
         if state.error is None:
             try:

@@ -66,22 +66,29 @@ class LatencyTracker:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def mean_ms(self) -> float:
-        return self._total / self._count if self._count else 0.0
+        with self._lock:
+            return self._total / self._count if self._count else 0.0
 
     def percentile_ms(self, q: float) -> float:
         with self._lock:
             return percentile(list(self._samples), q)
 
     def as_dict(self) -> dict[str, float]:
+        # One lock hold for the whole view: count/mean/samples come from
+        # the same instant instead of racing a concurrent record().
+        with self._lock:
+            count, total = self._count, self._total
+            samples = list(self._samples)
         return {
-            "count": self.count,
-            "mean_ms": self.mean_ms,
-            "p50_ms": self.percentile_ms(50.0),
-            "p95_ms": self.percentile_ms(95.0),
+            "count": count,
+            "mean_ms": total / count if count else 0.0,
+            "p50_ms": percentile(samples, 50.0),
+            "p95_ms": percentile(samples, 95.0),
         }
 
 
@@ -101,13 +108,14 @@ class ServiceCounters:
             setattr(self, field_name, getattr(self, field_name) + amount)
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            "requests": self.requests,
-            "model_served": self.model_served,
-            "fallback_served": self.fallback_served,
-            "failed": self.failed,
-            "hot_swaps": self.hot_swaps,
-        }
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "model_served": self.model_served,
+                "fallback_served": self.fallback_served,
+                "failed": self.failed,
+                "hot_swaps": self.hot_swaps,
+            }
 
 
 #: How a response's ``served_by`` maps onto a counter field.
@@ -189,13 +197,17 @@ class ShardMetrics:
             if entry is None:
                 entry = self._shards[shard] = {
                     "requests": 0, "cross_shard": 0,
-                    "model": 0, "fallback": 0, "error": 0,
+                    "model": 0, "fallback": 0, "error": 0, "other": 0,
                 }
             entry["requests"] += 1
             if cross_shard:
                 entry["cross_shard"] += 1
-            if served_by in ("model", "fallback", "error"):
-                entry[served_by] += 1
+            # An unknown outcome label still counts — under "other" — so
+            # a typo upstream can't silently vanish traffic from the
+            # books (requests always equals the outcome columns' sum).
+            key = served_by if served_by in ("model", "fallback", "error") \
+                else "other"
+            entry[key] += 1
 
     def requests_for(self, shard: int) -> int:
         with self._lock:
@@ -248,7 +260,8 @@ class OccupancyTracker:
 
     @property
     def flushes(self) -> int:
-        return self._flushes
+        with self._lock:
+            return self._flushes
 
     @property
     def mean_requests(self) -> float:

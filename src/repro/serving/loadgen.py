@@ -38,9 +38,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from contextlib import nullcontext
+
 from repro.errors import NoPathError
 from repro.graph.network import RoadNetwork
 from repro.graph.shortest_path import shortest_path_cost
+from repro.obs.export import SnapshotExporter
 from repro.rng import RngLike, make_rng
 from repro.serving.instrumentation import percentile
 from repro.serving.service import RankingService, RankRequest
@@ -334,12 +337,28 @@ def _summarise(latencies: list[float], outcomes: dict[str, int],
     }
 
 
+def _timeline_exporter(metrics, metrics_out,
+                       interval_s: float):
+    """A running :class:`SnapshotExporter` for the replay, or a no-op.
+
+    Every drive mode shares this hook: pass ``metrics_out`` and the
+    replay leaves a JSONL timeline of the service's metric registry
+    sampled at ``interval_s`` (plus a final flush) next to its summary.
+    """
+    if metrics_out is None:
+        return nullcontext(None)
+    return SnapshotExporter(metrics, metrics_out, interval_s=interval_s)
+
+
 def run_workload(service: RankingService, requests: Sequence[RankRequest],
-                 batch_size: int = 1) -> dict[str, object]:
+                 batch_size: int = 1, metrics_out=None,
+                 metrics_interval_s: float = 0.25) -> dict[str, object]:
     """Replay ``requests`` and summarise what the service did.
 
     ``batch_size`` > 1 feeds the service in coalesced chunks (one padded
     forward pass per chunk); 1 replays strictly sequentially.
+    ``metrics_out`` additionally writes a JSONL metrics timeline of the
+    run (see :class:`~repro.obs.export.SnapshotExporter`).
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -347,12 +366,14 @@ def run_workload(service: RankingService, requests: Sequence[RankRequest],
     outcomes = {"model": 0, "fallback": 0, "error": 0}
     candidate_hits = 0
     started = time.perf_counter()
-    for start in range(0, len(requests), batch_size):
-        chunk = list(requests[start:start + batch_size])
-        for response in service.rank_batch(chunk):
-            latencies.append(response.latency_ms)
-            outcomes[response.served_by] += 1
-            candidate_hits += int(response.candidate_cache_hit)
+    with _timeline_exporter(service.metrics, metrics_out,
+                            metrics_interval_s):
+        for start in range(0, len(requests), batch_size):
+            chunk = list(requests[start:start + batch_size])
+            for response in service.rank_batch(chunk):
+                latencies.append(response.latency_ms)
+                outcomes[response.served_by] += 1
+                candidate_hits += int(response.candidate_cache_hit)
     elapsed = time.perf_counter() - started
     summary = _summarise(latencies, outcomes, candidate_hits, len(requests),
                          elapsed)
@@ -362,7 +383,8 @@ def run_workload(service: RankingService, requests: Sequence[RankRequest],
 
 
 def run_engine_workload(engine, requests: Sequence[RankRequest],
-                        concurrency: int = 32) -> dict[str, object]:
+                        concurrency: int = 32, metrics_out=None,
+                        metrics_interval_s: float = 0.25) -> dict[str, object]:
     """Closed-loop drive: ``concurrency`` clients hammer the engine.
 
     Each client thread submits its next request as soon as its previous
@@ -398,10 +420,12 @@ def run_engine_workload(engine, requests: Sequence[RankRequest],
     threads = [threading.Thread(target=client, name=f"loadgen-client-{i}")
                for i in range(min(concurrency, len(queue)))]
     started = time.perf_counter()
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
+    with _timeline_exporter(engine.service.metrics, metrics_out,
+                            metrics_interval_s):
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
     elapsed = time.perf_counter() - started
     summary = _summarise(latencies, outcomes, candidate_hits, len(queue),
                          elapsed)
@@ -411,7 +435,8 @@ def run_engine_workload(engine, requests: Sequence[RankRequest],
 
 
 def replay_open_loop(engine, timed: Sequence[TimedRequest],
-                     time_scale: float = 1.0) -> dict[str, object]:
+                     time_scale: float = 1.0, metrics_out=None,
+                     metrics_interval_s: float = 0.25) -> dict[str, object]:
     """Open-loop drive: submit each request at its arrival timestamp.
 
     Submissions never wait for completions, so when the engine falls
@@ -423,21 +448,23 @@ def replay_open_loop(engine, timed: Sequence[TimedRequest],
         raise ValueError(f"time_scale must be > 0, got {time_scale}")
     ordered = sorted(timed, key=lambda item: item.arrival_s)
     tickets = []
-    started = time.perf_counter()
-    for item in ordered:
-        due = started + item.arrival_s / time_scale
-        delay = due - time.perf_counter()
-        if delay > 0:
-            time.sleep(delay)
-        tickets.append(engine.submit(item.request))
     latencies: list[float] = []
     outcomes = {"model": 0, "fallback": 0, "error": 0}
     candidate_hits = 0
-    for ticket in tickets:
-        response = ticket.wait()
-        latencies.append(response.latency_ms)
-        outcomes[response.served_by] += 1
-        candidate_hits += int(response.candidate_cache_hit)
+    started = time.perf_counter()
+    with _timeline_exporter(engine.service.metrics, metrics_out,
+                            metrics_interval_s):
+        for item in ordered:
+            due = started + item.arrival_s / time_scale
+            delay = due - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            tickets.append(engine.submit(item.request))
+        for ticket in tickets:
+            response = ticket.wait()
+            latencies.append(response.latency_ms)
+            outcomes[response.served_by] += 1
+            candidate_hits += int(response.candidate_cache_hit)
     elapsed = time.perf_counter() - started
     summary = _summarise(latencies, outcomes, candidate_hits, len(ordered),
                          elapsed)

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import ServingError
 from repro.graph.path import Path
+from repro.obs.trace import Trace
 from repro.ranking.training_data import TrainingDataConfig
 from repro.serving.registry import ActiveModel
 
@@ -84,6 +85,13 @@ class QueryState:
     #: Scoring-level failure: the request degrades to the fallback.
     degraded: str | None = None
     response: "RankResponse | None" = None
+    #: Per-request span recorder when this request was sampled for
+    #: tracing; ``None`` (the default) keeps the whole telemetry plane
+    #: a single attribute check on the hot path.
+    trace: Trace | None = None
+    #: ``perf_counter`` when candidate preparation finished — the start
+    #: of the flush-queue wait the scoring stage closes off.
+    prepared_at: float | None = None
 
     @property
     def scorable(self) -> bool:

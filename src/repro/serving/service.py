@@ -48,10 +48,13 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.ranker import generate_candidates, rank_paths
 from repro.errors import NoPathError, ReproError, ServingError
+from repro.graph.csr import csr_if_built
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.graph.shortest_path import shortest_path
-from repro.nn.fused import resolve_scoring_backend
+from repro.nn.fused import compiled_if_cached, resolve_scoring_backend
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.ranking.training_data import TrainingDataConfig
 from repro.serving.batching import BatchingScorer
 from repro.serving.cache import CacheStats, CandidateCache, ScoreCache
@@ -128,6 +131,14 @@ class ServingConfig:
     flush_deadline_ms: float = 2.0
     cross_shard_policy: str = "corridor"
     local_candidates: bool = False
+    #: Fraction of requests carrying a per-stage trace (0 disables
+    #: tracing entirely; 1.0 traces every request).  Sampled traces feed
+    #: the ``serving.stage.*`` histograms and the slow-request exemplar
+    #: buffer in ``stats()["trace"]``.
+    trace_sample: float = 0.0
+    #: Slow-request exemplars retained (top-K by latency, full span
+    #: breakdown each).
+    trace_exemplars: int = 16
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -145,6 +156,14 @@ class ServingConfig:
         if self.flush_deadline_ms < 0.0:
             raise ValueError(
                 f"flush_deadline_ms must be >= 0, got {self.flush_deadline_ms}"
+            )
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError(
+                f"trace_sample must be in [0, 1], got {self.trace_sample}"
+            )
+        if self.trace_exemplars < 0:
+            raise ValueError(
+                f"trace_exemplars must be >= 0, got {self.trace_exemplars}"
             )
         if self.cross_shard_policy not in CROSS_SHARD_POLICIES:
             raise ValueError(
@@ -298,6 +317,87 @@ class RankingService:
         self.counters = ServiceCounters()
         self.split_metrics = SplitMetrics(self.config.latency_window)
         self.shard_metrics = ShardMetrics()
+        # The unified telemetry plane: every tracker above registers
+        # into this registry under its canonical dotted name, and the
+        # tracer feeds per-stage histograms + slow-request exemplars
+        # into the same namespace.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(sample=self.config.trace_sample,
+                             max_exemplars=self.config.trace_exemplars,
+                             metrics=self.metrics)
+        self._latency_hist = self.metrics.histogram("serving.latency")
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Publish every tracker under its canonical metric name.
+
+        Existing trackers keep their own locked state; the registry
+        pulls them through callbacks at export time, so recording stays
+        exactly as cheap as before this plane existed.
+        """
+        metrics = self.metrics
+        # Flattens to serving.requests / serving.model_served / ... next
+        # to the serving.latency histogram observed at assembly.
+        metrics.register_callback("serving", self.counters.as_dict)
+        metrics.register_callback("split", self.split_metrics.as_dict)
+        metrics.register_callback("shard", self.shard_metrics.as_dict)
+        metrics.register_callback(
+            "cache.candidate",
+            lambda: CacheStats.merged(
+                [lane.candidate_cache.stats for lane in self.lanes()]
+            ).as_dict())
+        metrics.register_callback("cache.score", self._score_cache_view)
+        metrics.register_callback("scoring", self._scoring_view)
+        metrics.register_callback("kernel.routing", self._routing_kernel_view)
+        metrics.register_callback("kernel.scoring", self._scoring_kernel_view)
+        if self.sharded is not None:
+            for lane in self.lanes():
+                lane.register_into(metrics)
+
+    def _score_cache_view(self) -> dict[str, object]:
+        stats = [lane.score_cache.stats for lane in self.lanes()
+                 if lane.score_cache is not None]
+        if not stats:
+            return {"disabled": True}
+        return CacheStats.merged(stats).as_dict()
+
+    def _scoring_view(self) -> dict[str, int]:
+        totals = {"batches_run": 0, "paths_scored": 0, "cache_hits": 0}
+        for lane in self.lanes():
+            for key, value in lane.scorer.as_dict().items():
+                totals[key] += value
+        return totals
+
+    def _routing_kernel_view(self) -> dict[str, int]:
+        """``kernel.routing.*``: the network's CSR search-effort counters.
+
+        Empty (contributing nothing to the export) until something
+        actually routed through the CSR kernel — the view must never
+        *build* a kernel.
+        """
+        kernel = csr_if_built(self.network)
+        return kernel.profile_counters() if kernel is not None else {}
+
+    def _scoring_kernel_view(self) -> dict[str, object]:
+        """``kernel.scoring.*``: fused forward profiles of live snapshots.
+
+        Sums the compiled-kernel profile over every distinct resident
+        snapshot (shards can share one); empty when nothing is compiled
+        (e.g. the module backend is active).
+        """
+        totals: dict[str, float] = {}
+        seen: set[int] = set()
+        for lane in self.lanes():
+            active = lane.registry.snapshot()
+            if active is None:
+                continue
+            compiled = compiled_if_cached(active.model)
+            if compiled is None or id(compiled) in seen:
+                continue
+            seen.add(id(compiled))
+            for key, value in compiled.profile_counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     # ------------------------------------------------------------------
     # Stage 1: admission
@@ -315,12 +415,14 @@ class RankingService:
         snapshot regardless.
         """
         state = QueryState(request=request)
+        trace = state.trace = self.tracer.maybe_start()
         try:
             state.config = self._candidate_config(request)
         except ValueError as exc:  # hostile per-request k override
             state.error = str(exc)
             return state
         if self.router is not None:
+            route_began = time.perf_counter() if trace is not None else 0.0
             try:
                 state.route = self.router.route(request.source,
                                                 request.target)
@@ -328,10 +430,14 @@ class RankingService:
                 state.error = str(exc)
                 return state
             state.shard = state.route.shard
+            if trace is not None:
+                trace.add("shard_route", route_began, time.perf_counter(),
+                          shard=state.shard, cross=state.route.cross)
         lane = self._lanes[state.shard]
         version = request.model_version
         if version is None and self.config.traffic_split is not None:
             version = assign_split(request, self.config.traffic_split)
+        split_began = time.perf_counter() if trace is not None else 0.0
         try:
             if version is not None:
                 state.active = lane.registry.resolve(version)
@@ -346,6 +452,10 @@ class RankingService:
                 state.active = default
         except ServingError as exc:  # unpublished pin / stale split target
             state.error = str(exc)
+        if trace is not None:
+            end = time.perf_counter()
+            trace.add("split_assign", split_began, end, split=state.split)
+            trace.add("admit", trace.started, end)
         return state
 
     def _candidate_config(self, request: RankRequest) -> TrainingDataConfig:
@@ -366,10 +476,16 @@ class RankingService:
         """
         if state.error is not None or state.active is None:
             return state
+        trace = state.trace
+        began = time.perf_counter() if trace is not None else 0.0
         try:
             state.paths, state.cache_hit = self._candidates(state)
         except ReproError as exc:
             state.error = str(exc)
+        if trace is not None:
+            state.prepared_at = time.perf_counter()
+            trace.add("candidates", began, state.prepared_at,
+                      cache_hit=state.cache_hit, paths=len(state.paths))
         return state
 
     def _candidates(self, state: QueryState) -> tuple[list[Path], bool]:
@@ -418,6 +534,8 @@ class RankingService:
         for (shard_id, _), members in groups.items():
             lane = self._lanes[shard_id]
             active = members[0].active
+            traced = [state for state in members if state.trace is not None]
+            began = time.perf_counter() if traced else 0.0
             try:
                 scored = lane.scorer.score_many(
                     active.model, [state.paths for state in members],
@@ -427,6 +545,18 @@ class RankingService:
             else:
                 for state, scores in zip(members, scored):
                     state.scores = scores.tolist()
+            if traced:
+                end = time.perf_counter()
+                group_paths = sum(len(state.paths) for state in members)
+                for state in traced:
+                    if state.prepared_at is not None:
+                        # Time parked between candidate generation and
+                        # this group's scoring pass (deadline batching).
+                        state.trace.add("flush_wait", state.prepared_at,
+                                        began)
+                    state.trace.add("score", began, end,
+                                    group_requests=len(members),
+                                    group_paths=group_paths)
 
     def _score_individually(self, lane: ShardLane,
                             states: Sequence[QueryState]) -> None:
@@ -461,6 +591,8 @@ class RankingService:
         """
         end = completed if completed is not None else time.perf_counter()
         elapsed_ms = (end - state.started) * 1000.0
+        trace = state.trace
+        assemble_began = time.perf_counter() if trace is not None else 0.0
         if state.error is not None:
             response = self._error_response(state, state.error, elapsed_ms,
                                             record)
@@ -470,6 +602,7 @@ class RankingService:
             response = self._model_response(state, elapsed_ms, record)
         if record:
             self.latency.record(response.latency_ms)
+            self._latency_hist.observe(response.latency_ms)
             self.counters.bump("requests")
             self.split_metrics.record(state.split, response.served_by,
                                       response.latency_ms)
@@ -479,6 +612,17 @@ class RankingService:
                 # shard 0's accounting.
                 self.shard_metrics.record(state.shard, state.cross_shard,
                                           response.served_by)
+        if trace is not None:
+            trace.add("assemble", assemble_began, time.perf_counter())
+            if record:
+                request = state.request
+                self.tracer.finish(
+                    trace, response.latency_ms,
+                    request=f"{request.source}->{request.target}",
+                    request_id=request.request_id,
+                    served_by=response.served_by,
+                    cache_hit=response.candidate_cache_hit,
+                    shard=state.shard, split=state.split)
         state.response = response
         return response
 
@@ -619,6 +763,9 @@ class RankingService:
         lanes = self.lanes()
         score_stats = [lane.score_cache.stats for lane in lanes
                        if lane.score_cache is not None]
+        scoring = self._scoring_view()
+        scoring["max_batch_size"] = self.config.max_batch_size
+        scoring["backend"] = resolve_scoring_backend()
         result: dict[str, object] = {
             "active_version": self._active_version_view(),
             "counters": self.counters.as_dict(),
@@ -628,14 +775,13 @@ class RankingService:
                 [lane.candidate_cache.stats for lane in lanes]).as_dict(),
             "score_cache": (CacheStats.merged(score_stats).as_dict()
                             if score_stats else {"disabled": True}),
-            "scoring": {
-                "batches_run": sum(lane.scorer.batches_run for lane in lanes),
-                "paths_scored": sum(lane.scorer.paths_scored
-                                    for lane in lanes),
-                "max_batch_size": self.config.max_batch_size,
-                "backend": resolve_scoring_backend(),
-            },
+            "scoring": scoring,
         }
+        if self.tracer.enabled:
+            # Only when tracing is on: the section is meaningless (all
+            # zeros) otherwise, and existing consumers pin the shape of
+            # the default stats payload.
+            result["trace"] = self.tracer.as_dict()
         quota_views = {}
         for lane in lanes:
             if lane.score_cache is None:
@@ -656,10 +802,7 @@ class RankingService:
             for lane in lanes:
                 label = shard_label(lane.shard_id)
                 entry = per_shard.setdefault(label, {})
-                entry["scoring"] = {
-                    "batches_run": lane.scorer.batches_run,
-                    "paths_scored": lane.scorer.paths_scored,
-                }
+                entry["scoring"] = lane.scorer.as_dict()
                 # The lane's view wins over the registry's: the lane may
                 # run a quota-segmented rebuild (or no cache at all)
                 # while the registry still holds the unsegmented budget.

@@ -380,3 +380,20 @@ class ShardLane:
     candidate_cache: CandidateCache
     score_cache: ScoreCache | None
     scorer: BatchingScorer
+
+    def register_into(self, metrics) -> None:
+        """Publish this lane's trackers into a metrics registry.
+
+        Canonical names are keyed by the lane's shard label —
+        ``cache.candidate.shard-00.hits``, ``cache.score.shard-00.*``,
+        ``scoring.shard-00.batches_run`` — so a sharded service's export
+        breaks every cache and scorer down per shard; the service layer
+        adds the unsuffixed aggregate names on top.
+        """
+        label = shard_label(self.shard_id)
+        metrics.register_callback(f"cache.candidate.{label}",
+                                  self.candidate_cache.stats.as_dict)
+        if self.score_cache is not None:
+            metrics.register_callback(f"cache.score.{label}",
+                                      self.score_cache.stats.as_dict)
+        metrics.register_callback(f"scoring.{label}", self.scorer.as_dict)

@@ -1,0 +1,271 @@
+"""The telemetry plane wired into serving: traces, canonical metric
+names, kernel counters, and JSON-clean payloads end to end."""
+
+import json
+
+import pytest
+
+from repro.graph import GraphPartition
+from repro.obs.export import prometheus_lines
+from repro.serving import (
+    ModelRegistry,
+    RankingService,
+    RankRequest,
+    ServingConfig,
+    ServingEngine,
+    ShardedRegistry,
+)
+from repro.serving.instrumentation import ShardMetrics
+
+ALL_PAIRS = [(s, t) for s in range(6) for t in range(6) if s != t]
+
+#: Stages the synchronous facade stamps on every traced request.
+SYNC_STAGES = {"admit", "split_assign", "candidates", "flush_wait",
+               "score", "assemble"}
+
+
+@pytest.fixture
+def traced_service(tiny_network, registry, make_ranker,
+                   candidates_config) -> RankingService:
+    registry.publish(make_ranker(tiny_network, seed=1), activate=True)
+    return RankingService(tiny_network, registry,
+                          ServingConfig(candidates=candidates_config,
+                                        trace_sample=1.0,
+                                        trace_exemplars=4))
+
+
+class TestServiceTracing:
+    def test_default_config_keeps_tracing_off(self, service):
+        service.rank(RankRequest(source=0, target=5))
+        assert not service.tracer.enabled
+        assert "trace" not in service.stats()
+
+    def test_traced_request_carries_all_sync_stages(self, traced_service):
+        traced_service.rank(RankRequest(source=0, target=5))
+        trace = traced_service.stats()["trace"]
+        assert trace["finished"] == 1
+        assert set(trace["stages"]) == SYNC_STAGES
+        for summary in trace["stages"].values():
+            assert summary["count"] == 1
+
+    def test_candidate_span_reports_cache_hit(self, traced_service):
+        request = RankRequest(source=0, target=5)
+        traced_service.rank(request)
+        traced_service.rank(request)
+        exemplars = traced_service.tracer.exemplars.snapshot()
+        hits = []
+        for record in exemplars:
+            for span in record["spans"]:
+                if span["name"] == "candidates":
+                    hits.append(span["cache_hit"])
+        assert sorted(hits) == [False, True]
+
+    def test_exemplar_buffer_bounded_by_config(self, traced_service):
+        for index, (s, t) in enumerate(ALL_PAIRS):
+            traced_service.rank(RankRequest(source=s, target=t,
+                                            request_id=index))
+        trace = traced_service.stats()["trace"]
+        assert trace["finished"] == len(ALL_PAIRS)
+        exemplars = trace["slow_requests"]
+        assert len(exemplars) == 4  # trace_exemplars
+        latencies = [record["latency_ms"] for record in exemplars]
+        assert latencies == sorted(latencies, reverse=True)
+        assert {"request", "served_by", "cache_hit", "spans"} \
+            <= set(exemplars[0])
+
+    def test_sampling_traces_a_fraction(self, tiny_network, registry,
+                                        make_ranker, candidates_config):
+        registry.publish(make_ranker(tiny_network, seed=1), activate=True)
+        service = RankingService(
+            tiny_network, registry,
+            ServingConfig(candidates=candidates_config, trace_sample=0.5))
+        for index, (s, t) in enumerate(ALL_PAIRS[:10]):
+            service.rank(RankRequest(source=s, target=t, request_id=index))
+        assert service.tracer.finished == 5
+
+    def test_config_rejects_bad_trace_knobs(self, candidates_config):
+        with pytest.raises(Exception):
+            ServingConfig(candidates=candidates_config, trace_sample=2.0)
+        with pytest.raises(Exception):
+            ServingConfig(candidates=candidates_config, trace_exemplars=-1)
+
+
+class TestEngineTracing:
+    def test_engine_adds_queue_wait_and_rebases_offsets(
+            self, tiny_network, registry, make_ranker, candidates_config):
+        registry.publish(make_ranker(tiny_network, seed=1), activate=True)
+        service = RankingService(
+            tiny_network, registry,
+            ServingConfig(candidates=candidates_config, trace_sample=1.0))
+        requests = [RankRequest(source=s, target=t, request_id=i)
+                    for i, (s, t) in enumerate(ALL_PAIRS)]
+        with ServingEngine(service, concurrency=4,
+                           flush_deadline_ms=2.0) as engine:
+            engine.rank_batch(requests)
+            stats = engine.stats()
+        trace = stats["trace"]
+        assert trace["finished"] == len(requests)
+        assert "queue_wait" in trace["stages"]
+        assert trace["stages"]["queue_wait"]["count"] == len(requests)
+        # Offsets are rebased to submit time: every span of every
+        # exemplar starts at or after the origin.
+        for record in trace["slow_requests"]:
+            for span in record["spans"]:
+                assert span["offset_ms"] >= -1e-6
+
+
+class TestCanonicalMetricNames:
+    def test_service_registers_canonical_families(self, traced_service):
+        traced_service.rank(RankRequest(source=0, target=5))
+        exported = traced_service.metrics.export()
+        assert exported["serving.requests"] == 1
+        assert exported["serving.model_served"] == 1
+        assert exported["serving.latency.count"] == 1
+        assert exported["cache.candidate.misses"] == 1
+        assert exported["scoring.batches_run"] >= 1
+        assert exported["cache.score.misses"] >= 1
+        assert exported["serving.stage.score.count"] == 1
+
+    def test_kernel_counters_flow_after_serving(self, traced_service):
+        # After a served request the candidate generator has built the
+        # CSR kernel and the registry has compiled the fused scorer;
+        # both kernels' counters surface under ``kernel.*``.
+        traced_service.rank(RankRequest(source=0, target=5))
+        after = traced_service.metrics.export()
+        assert after["kernel.routing.yen_runs"] >= 1
+        assert after["kernel.routing.heap_pops"] >= 1
+        assert after["kernel.scoring.forwards"] >= 1
+        assert after["kernel.scoring.paths_scored"] >= 1
+
+    def test_kernel_views_never_build_kernels(self, tiny_network):
+        # Telemetry readers must never build what serving hasn't: a
+        # network no service has routed on yields no cached CSR, and an
+        # uncompiled model yields no scoring profile.
+        from repro.graph import RoadNetwork, csr_if_built
+        from repro.nn import compiled_if_cached
+
+        fresh = RoadNetwork(name="untouched")
+        fresh.add_vertex(0, 0.0, 0.0)
+        assert csr_if_built(fresh) is None
+
+        class NeverCompiled:
+            pass
+
+        assert compiled_if_cached(NeverCompiled()) is None
+
+    def test_score_cache_disabled_view(self, tiny_network, registry,
+                                       make_ranker, candidates_config):
+        registry.publish(make_ranker(tiny_network, seed=1), activate=True)
+        service = RankingService(
+            tiny_network, registry,
+            ServingConfig(candidates=candidates_config,
+                          score_cache_size=0))
+        exported = service.metrics.export()
+        assert exported["cache.score.disabled"] is True
+
+
+class TestShardedTelemetry:
+    @pytest.fixture
+    def sharded_service(self, tmp_path, tiny_network, make_ranker,
+                        candidates_config) -> RankingService:
+        assignment = {vid: (0 if vid in {0, 1, 2} else 1)
+                      for vid in tiny_network.vertex_ids()}
+        partition = GraphPartition(tiny_network, assignment)
+        registry = ShardedRegistry(tmp_path / "shards", tiny_network,
+                                   partition, candidate_cache_size=64,
+                                   score_cache_size=256)
+        registry.publish(make_ranker(tiny_network, seed=1),
+                         version="v0001", activate=True)
+        return RankingService(
+            tiny_network, registry,
+            ServingConfig(candidates=candidates_config, trace_sample=1.0))
+
+    def test_per_shard_lane_metrics_registered(self, sharded_service):
+        sharded_service.rank(RankRequest(source=0, target=2))  # shard 0
+        sharded_service.rank(RankRequest(source=3, target=5))  # shard 1
+        exported = sharded_service.metrics.export()
+        assert exported["shard.shard-00.requests"] == 1
+        assert exported["shard.shard-01.requests"] == 1
+        assert exported["cache.candidate.shard-00.misses"] == 1
+        assert exported["cache.candidate.shard-01.misses"] == 1
+        assert exported["scoring.shard-00.batches_run"] >= 1
+        assert exported["cache.score.shard-00.misses"] >= 1
+
+    def test_trace_spans_carry_shard_attribution(self, sharded_service):
+        sharded_service.rank(RankRequest(source=0, target=5))  # cross
+        record = sharded_service.tracer.exemplars.snapshot()[0]
+        assert record["shard"] == 0
+        route_spans = [span for span in record["spans"]
+                       if span["name"] == "shard_route"]
+        assert route_spans and route_spans[0]["cross"] is True
+
+
+class TestShardMetricsOther:
+    def test_unknown_outcome_counts_under_other(self):
+        metrics = ShardMetrics()
+        metrics.record(0, cross_shard=False, served_by="model")
+        metrics.record(0, cross_shard=True, served_by="shadow")
+        entry = metrics.as_dict()["shard-00"]
+        assert entry["requests"] == 2
+        assert entry["model"] == 1
+        assert entry["other"] == 1
+        assert entry["model"] + entry["fallback"] + entry["error"] \
+            + entry["other"] == entry["requests"]
+
+    def test_known_outcomes_do_not_touch_other(self):
+        metrics = ShardMetrics()
+        for outcome in ("model", "fallback", "error"):
+            metrics.record(1, cross_shard=False, served_by=outcome)
+        entry = metrics.as_dict()["shard-01"]
+        assert entry["other"] == 0
+
+
+class TestPayloadsAreJsonClean:
+    """Satellite lint: every stats()/export() surface the serving and
+    obs layers expose must survive ``json.dumps`` untouched."""
+
+    def _assert_json_clean(self, payload):
+        assert payload == json.loads(json.dumps(payload))
+
+    def test_unsharded_service_surfaces(self, traced_service):
+        traced_service.rank(RankRequest(source=0, target=5))
+        self._assert_json_clean(traced_service.stats())
+        self._assert_json_clean(traced_service.metrics.export())
+        self._assert_json_clean(traced_service.tracer.as_dict())
+        self._assert_json_clean(traced_service.counters.as_dict())
+        self._assert_json_clean(traced_service.latency.as_dict())
+        self._assert_json_clean(traced_service.split_metrics.as_dict())
+        self._assert_json_clean(traced_service.shard_metrics.as_dict())
+        for line in prometheus_lines(traced_service.metrics):
+            assert isinstance(line, str)
+
+    def test_engine_surfaces(self, tiny_network, registry, make_ranker,
+                             candidates_config):
+        registry.publish(make_ranker(tiny_network, seed=1), activate=True)
+        service = RankingService(
+            tiny_network, registry,
+            ServingConfig(candidates=candidates_config, trace_sample=1.0))
+        requests = [RankRequest(source=s, target=t, request_id=i)
+                    for i, (s, t) in enumerate(ALL_PAIRS[:8])]
+        with ServingEngine(service, concurrency=2,
+                           flush_deadline_ms=2.0) as engine:
+            engine.rank_batch(requests)
+            self._assert_json_clean(engine.stats())
+            self._assert_json_clean(engine.occupancy.as_dict())
+
+    def test_sharded_service_surfaces(self, tmp_path, tiny_network,
+                                      make_ranker, candidates_config):
+        assignment = {vid: (0 if vid in {0, 1, 2} else 1)
+                      for vid in tiny_network.vertex_ids()}
+        partition = GraphPartition(tiny_network, assignment)
+        registry = ShardedRegistry(tmp_path / "shards", tiny_network,
+                                   partition, candidate_cache_size=64,
+                                   score_cache_size=256)
+        registry.publish(make_ranker(tiny_network, seed=1),
+                         version="v0001", activate=True)
+        service = RankingService(
+            tiny_network, registry,
+            ServingConfig(candidates=candidates_config, trace_sample=1.0))
+        service.rank(RankRequest(source=0, target=5))
+        self._assert_json_clean(service.stats())
+        self._assert_json_clean(service.metrics.export())
