@@ -1,0 +1,159 @@
+"""Benchmark E14 — the resilience plane under injected failures.
+
+Drives the PR-7 resilience plane through
+``repro.serving.robustness_bench``: a dormant overhead/parity check (no
+faults: armed resilience must be free and response-identical), a killed
+shard lane (breaker trip, fallback routing, post-disarm recovery), a
+slow scorer against a request deadline, and an open-loop 2x overload
+against a bounded admission queue.  The result is written as
+``BENCH_robustness.json``.
+
+Target (asserted standalone at full scale): zero dormant mismatches and
+throughput within 3% of the control arm, killed-lane availability >=
+99% with zero hung requests, breaker trip *and* recovery visible, and
+overload shedding engaged with non-shed availability >= 99%.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_robustness.py``,
+add ``--smoke`` for the tiny preset) or under pytest, where the smoke
+preset keeps the tier-1 suite fast while still asserting the
+availability, breaker, and parity invariants.
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro.serving.robustness_bench import (
+    AVAILABILITY_FLOOR,
+    apply_overrides,
+    full_config,
+    run_robustness_benchmark,
+    smoke_config,
+    validate_report,
+    write_report,
+)
+
+#: Full-scale acceptance floor: resilience disarmed must cost <= 3%.
+DORMANT_RATIO_TARGET = 0.97
+#: Smoke-scale floor: generous, because CI timing jitter on a
+#: sub-second run is real — the full-scale standalone run enforces the
+#: honest 0.97.
+SMOKE_RATIO_FLOOR = 0.5
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke scale — see conftest.robustness_smoke_report)
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="robustness")
+def test_smoke_dormant_parity_is_exact(robustness_smoke_report):
+    """With no faults injected, an armed resilience plane must not
+    change a single response."""
+    dormant = robustness_smoke_report["dormant"]
+    assert dormant["requests"] > 0
+    assert dormant["mismatches"] == 0
+    assert dormant["max_abs_score_diff"] <= 1e-6
+    # Nothing may have fired: the armed arm saw a healthy service.
+    counters = dormant["armed_counters"]
+    assert counters["deadline_exceeded"] == 0
+    assert counters["shed_rejected"] == 0 and counters["shed_degraded"] == 0
+    assert counters["breaker_degraded"] == 0
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_smoke_dormant_overhead_is_bounded(robustness_smoke_report):
+    ratio = robustness_smoke_report["headline"]["dormant_throughput_ratio"]
+    assert ratio >= SMOKE_RATIO_FLOOR, (
+        f"armed resilience fell to {ratio:.2f}x of the control engine "
+        f"with no faults injected")
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_smoke_killed_lane_stays_available(robustness_smoke_report):
+    """A dead shard lane must degrade, never hang or error out."""
+    killed = robustness_smoke_report["killed_lane"]
+    assert killed["availability"] >= AVAILABILITY_FLOOR
+    assert killed["hung"] == 0
+    served = killed["run"]["served_by"]
+    assert served["fallback"] > 0, (
+        "the tripped lane never routed to the fallback")
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_smoke_breaker_trips_and_recovers(robustness_smoke_report):
+    killed = robustness_smoke_report["killed_lane"]
+    assert killed["breaker_after_fault"]["trips"] >= 1
+    recovery = killed["recovery"]
+    assert recovery["recoveries"] >= 1
+    assert recovery["state"] == "closed"
+    assert recovery["model_served"] > 0, (
+        "the recovered lane never model-served a probe request")
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_smoke_slow_scorer_expires_deadlines(robustness_smoke_report):
+    """A stalled lane must expire requests with structured errors at
+    bounded latency instead of hanging clients."""
+    slow = robustness_smoke_report["slow_scorer"]
+    assert slow["hung"] == 0
+    assert slow["deadline_exceeded"] >= 1
+    bound_ms = (slow["deadline_ms"] + slow["injected_delay_ms"] + 500.0)
+    assert slow["p95_ms"] <= bound_ms, (
+        f"slow-scorer p95 {slow['p95_ms']:.1f} ms exceeds the "
+        f"{bound_ms:.0f} ms deadline+stall bound")
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_smoke_overload_sheds_by_policy(robustness_smoke_report):
+    overload = robustness_smoke_report["overload"]
+    assert overload["shed_total"] >= 1
+    assert overload["hung"] == 0
+    assert overload["non_shed_availability"] >= AVAILABILITY_FLOOR
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_smoke_report_is_valid_bench_robustness_json(robustness_smoke_report):
+    """The emitted document must round-trip as valid BENCH_robustness.json."""
+    validate_report(robustness_smoke_report)  # raises DataError on violation
+    assert robustness_smoke_report["preset"] == "smoke"
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the resilience plane under injected "
+                    "failures")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny preset (two regions, a few seconds)")
+    parser.add_argument("--out", default="BENCH_robustness.json",
+                        help="report path (default: BENCH_robustness.json)")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--concurrency", type=int, default=None)
+    parser.add_argument("--k", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    config = apply_overrides(
+        smoke_config() if args.smoke else full_config(),
+        requests=args.requests, shards=args.shards,
+        concurrency=args.concurrency, k=args.k, seed=args.seed)
+    report = run_robustness_benchmark(config)
+    write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+
+    if not args.smoke:
+        headline = report["headline"]
+        assert headline["dormant_mismatches"] == 0
+        assert headline["dormant_throughput_ratio"] >= DORMANT_RATIO_TARGET, (
+            f"dormant throughput ratio "
+            f"{headline['dormant_throughput_ratio']:.3f} below the "
+            f"{DORMANT_RATIO_TARGET} floor")
+        assert headline["killed_lane_availability"] >= AVAILABILITY_FLOOR
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

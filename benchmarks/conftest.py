@@ -44,21 +44,21 @@ def pipeline(bench_config) -> ExperimentPipeline:
 
 
 def pytest_collect_file(file_path, parent):
-    """Wire the routing/scoring/serving/sharding/observability
-    benchmarks' smoke assertions into tier-1.
+    """Wire the routing/scoring/serving/sharding/observability/
+    robustness benchmarks' smoke assertions into tier-1.
 
     Benchmark modules are named ``bench_*.py`` and therefore invisible
     to the default ``test_*.py`` collection — the heavyweight table /
     figure benches must stay opt-in.  The routing, scoring, serving,
-    sharding, and observability benches' smoke modes run in a few
-    seconds combined and guard the CSR kernel, the fused-scoring
-    backend, the concurrent serving engine, the shard plane, and the
-    telemetry plane (not-slower + parity + valid ``BENCH_*.json``), so
-    they alone are collected explicitly.
+    sharding, observability, and robustness benches' smoke modes run in
+    a few seconds combined and guard the CSR kernel, the fused-scoring
+    backend, the concurrent serving engine, the shard plane, the
+    telemetry plane, and the resilience plane (not-slower + parity +
+    valid ``BENCH_*.json``), so they alone are collected explicitly.
     """
     if file_path.name in ("bench_routing.py", "bench_scoring.py",
                           "bench_serving.py", "bench_sharding.py",
-                          "bench_observability.py"):
+                          "bench_observability.py", "bench_robustness.py"):
         return pytest.Module.from_parent(parent, path=file_path)
 
 
@@ -129,6 +129,22 @@ def observability_smoke_report(tmp_path_factory):
         observability_bench.smoke_config())
     out = tmp_path_factory.mktemp("obs") / "BENCH_observability.json"
     observability_bench.write_report(report, out)
+    return json.loads(out.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="session")
+def robustness_smoke_report(tmp_path_factory):
+    """The robustness benchmark at smoke scale, round-tripped through
+    its JSON report so the schema tests exercise what
+    ``bench-robustness`` actually writes.  This wrapper is what wires
+    ``bench_robustness.py`` into the tier-1 test run at a tiny,
+    stable-cost preset."""
+    from repro.serving import robustness_bench
+
+    report = robustness_bench.run_robustness_benchmark(
+        robustness_bench.smoke_config())
+    out = tmp_path_factory.mktemp("robustness") / "BENCH_robustness.json"
+    robustness_bench.write_report(report, out)
     return json.loads(out.read_text(encoding="utf-8"))
 
 

@@ -19,10 +19,14 @@ without writing Python::
     python -m repro.cli bench-serve --network /tmp/net.json \
         --model /tmp/model.npz --requests 200 --hotspots 20 \
         --concurrency 32 --qps 500
+    python -m repro.cli bench-serve --network /tmp/net.json \
+        --model /tmp/model.npz --concurrency 16 --deadline-ms 50 \
+        --max-queue 64 --shed-policy degrade --fault-spec 'score@1:error'
     python -m repro.cli bench-routing --out BENCH_routing.json
     python -m repro.cli bench-scoring --out BENCH_scoring.json
     python -m repro.cli bench-sharding --out BENCH_sharding.json
     python -m repro.cli bench-observability --out BENCH_observability.json
+    python -m repro.cli bench-robustness --out BENCH_robustness.json
     python -m repro.cli metrics-dump --timeline /tmp/run.jsonl --format summary
 """
 
@@ -57,6 +61,7 @@ from repro.serving import (
     ModelRegistry,
     RankingService,
     RankRequest,
+    ResilienceConfig,
     ServingConfig,
     ServingEngine,
     ShardedRegistry,
@@ -67,6 +72,7 @@ from repro.serving import (
     run_engine_workload,
     run_workload,
 )
+from repro.serving.resilience import SHED_POLICIES
 from repro.obs import observability_bench
 from repro.obs.export import (
     SnapshotExporter,
@@ -74,7 +80,7 @@ from repro.obs.export import (
     prometheus_snapshot_lines,
     summarise_timeline,
 )
-from repro.serving import sharding_bench
+from repro.serving import robustness_bench, sharding_bench
 from repro.trajectories.dataset import TrajectoryDataset
 from repro.trajectories.drivers import sample_population
 from repro.trajectories.generator import FleetConfig, TrajectoryGenerator
@@ -175,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="print responses and stats as JSON")
     _add_trace_flags(serve)
+    _add_resilience_flags(serve)
 
     bench = commands.add_parser(
         "bench-serve", help="replay a Zipf-skewed hotspot workload, report JSON")
@@ -209,7 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--cross-fraction", type=float, default=0.25,
                        help="with --shards: fraction of requests spanning "
                             "two shards (multi-region workload)")
+    bench.add_argument("--wait-timeout-s", type=float, default=None,
+                       help="bound each client's response wait; unanswered "
+                            "requests count as hung instead of blocking "
+                            "(always set this with --fault-spec)")
     _add_trace_flags(bench)
+    _add_resilience_flags(bench)
 
     routing = commands.add_parser(
         "bench-routing",
@@ -267,6 +279,22 @@ def build_parser() -> argparse.ArgumentParser:
     observability.add_argument("--out", default=None,
                                help="also write the report to this path")
 
+    robustness = commands.add_parser(
+        "bench-robustness",
+        help="measure availability and latency under injected faults "
+             "(killed lane, slow scorer, overload), report JSON")
+    robustness.add_argument("--smoke", action="store_true",
+                            help="tiny sub-second preset")
+    robustness.add_argument("--requests", type=int, default=None)
+    robustness.add_argument("--shards", type=int, default=None,
+                            help="number of region shards (one lane is "
+                                 "killed in the chaos scenario)")
+    robustness.add_argument("--concurrency", type=int, default=None)
+    robustness.add_argument("--k", type=int, default=None)
+    robustness.add_argument("--seed", type=int, default=None)
+    robustness.add_argument("--out", default=None,
+                            help="also write the report to this path")
+
     dump = commands.add_parser(
         "metrics-dump",
         help="read a SnapshotExporter JSONL timeline back out")
@@ -280,6 +308,31 @@ def build_parser() -> argparse.ArgumentParser:
                            "text format")
 
     return parser
+
+
+def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
+    """Resilience-plane flags shared by ``serve`` and ``bench-serve``."""
+    subparser.add_argument("--deadline-ms", type=float, default=None,
+                           help="per-request deadline budget; expired "
+                                "requests get a structured "
+                                "deadline_exceeded error (default: no "
+                                "deadline)")
+    subparser.add_argument("--max-queue", type=int, default=0,
+                           help="bound the engine admission queue; requests "
+                                "beyond it are shed per --shed-policy "
+                                "(0 = unbounded)")
+    subparser.add_argument("--shed-policy", choices=SHED_POLICIES,
+                           default="reject",
+                           help="what happens to requests the full queue "
+                                "cannot admit: reject with a retry-after "
+                                "hint, or degrade to the shortest path")
+    subparser.add_argument("--fault-spec", default=None,
+                           help="arm deterministic fault injection for the "
+                                "replay, e.g. 'score@1:error;"
+                                "prepare:delay=20' (see docs/robustness.md)")
+    subparser.add_argument("--fault-seed", type=int, default=0,
+                           help="determinism seed for --fault-spec firing "
+                                "draws")
 
 
 def _add_trace_flags(subparser: argparse.ArgumentParser) -> None:
@@ -434,6 +487,11 @@ def _build_service(args: argparse.Namespace):
                 raise ServingError(
                     f"--split names unpublished version {version!r} "
                     f"(published: {known})")
+    resilience = ResilienceConfig(
+        deadline_ms=getattr(args, "deadline_ms", None),
+        max_queue=getattr(args, "max_queue", 0),
+        shed_policy=getattr(args, "shed_policy", "reject"),
+    )
     config = ServingConfig(
         candidates=TrainingDataConfig(
             strategy=Strategy.from_name(args.strategy), k=args.k),
@@ -445,6 +503,7 @@ def _build_service(args: argparse.Namespace):
         flush_deadline_ms=getattr(args, "flush_deadline_ms", 2.0),
         trace_sample=(1.0 if getattr(args, "trace", False)
                       else getattr(args, "trace_sample", 0.0)),
+        resilience=resilience,
     )
     shards = getattr(args, "shards", 0)
     if shards and shards > 1:
@@ -526,22 +585,29 @@ def _print_trace_breakdown(trace: dict) -> None:
 def _cmd_serve(args: argparse.Namespace) -> int:
     service = _build_service(args)
     requests = _load_queries(args.queries_file)
-    if args.concurrency > 0:
-        # Concurrent front door: the engine re-batches by its own
-        # deadline/size policy; responses stay in request order.
-        with ServingEngine(service, concurrency=args.concurrency,
-                           flush_deadline_ms=args.flush_deadline_ms) as engine:
+    if args.fault_spec is not None:
+        service.arm_faults(args.fault_spec, seed=args.fault_seed)
+    try:
+        if args.concurrency > 0:
+            # Concurrent front door: the engine re-batches by its own
+            # deadline/size policy; responses stay in request order.
+            with ServingEngine(
+                    service, concurrency=args.concurrency,
+                    flush_deadline_ms=args.flush_deadline_ms) as engine:
+                with _timeline(service, args):
+                    responses = engine.rank_batch(requests)
+                stats = engine.stats()
+        else:
+            responses = []
             with _timeline(service, args):
-                responses = engine.rank_batch(requests)
-            stats = engine.stats()
-    else:
-        responses = []
-        with _timeline(service, args):
-            for start in range(0, len(requests), args.batch_size):
-                responses.extend(
-                    service.rank_batch(
-                        requests[start:start + args.batch_size]))
-        stats = service.stats()
+                for start in range(0, len(requests), args.batch_size):
+                    responses.extend(
+                        service.rank_batch(
+                            requests[start:start + args.batch_size]))
+            stats = service.stats()
+    finally:
+        if args.fault_spec is not None:
+            service.disarm_faults()
     if args.json:
         print(json.dumps({
             "responses": [
@@ -603,7 +669,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
                                                 partition=partition)
                 summary = replay_open_loop(
                     engine, timed, metrics_out=args.metrics_out,
-                    metrics_interval_s=args.metrics_interval_s)
+                    metrics_interval_s=args.metrics_interval_s,
+                    fault_spec=args.fault_spec, fault_seed=args.fault_seed,
+                    wait_timeout_s=args.wait_timeout_s)
             else:
                 workload = generate_workload(service.network, workload_config,
                                              rng=args.seed,
@@ -611,14 +679,18 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
                 summary = run_engine_workload(
                     engine, workload, concurrency=args.concurrency,
                     metrics_out=args.metrics_out,
-                    metrics_interval_s=args.metrics_interval_s)
+                    metrics_interval_s=args.metrics_interval_s,
+                    fault_spec=args.fault_spec, fault_seed=args.fault_seed,
+                    wait_timeout_s=args.wait_timeout_s)
             summary["stats"] = engine.stats()
     else:
         workload = generate_workload(service.network, workload_config,
                                      rng=args.seed, partition=partition)
         summary = run_workload(service, workload, batch_size=args.batch_size,
                                metrics_out=args.metrics_out,
-                               metrics_interval_s=args.metrics_interval_s)
+                               metrics_interval_s=args.metrics_interval_s,
+                               fault_spec=args.fault_spec,
+                               fault_seed=args.fault_seed)
         if service.tracer.enabled:
             summary["trace"] = service.tracer.as_dict()
     print(json.dumps(summary, indent=2))
@@ -674,6 +746,19 @@ def _cmd_bench_observability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_robustness(args: argparse.Namespace) -> int:
+    config = robustness_bench.apply_overrides(
+        robustness_bench.smoke_config() if args.smoke
+        else robustness_bench.full_config(),
+        requests=args.requests, shards=args.shards,
+        concurrency=args.concurrency, k=args.k, seed=args.seed)
+    report = robustness_bench.run_robustness_benchmark(config)
+    if args.out:
+        robustness_bench.write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 def _cmd_metrics_dump(args: argparse.Namespace) -> int:
     snapshots = load_timeline(args.timeline)
     if not snapshots:
@@ -702,6 +787,7 @@ _COMMANDS = {
     "bench-scoring": _cmd_bench_scoring,
     "bench-sharding": _cmd_bench_sharding,
     "bench-observability": _cmd_bench_observability,
+    "bench-robustness": _cmd_bench_robustness,
     "metrics-dump": _cmd_metrics_dump,
 }
 

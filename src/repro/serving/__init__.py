@@ -61,6 +61,16 @@ deployment needs around it:
   stream JSONL metric timelines during a run.  Full tracing stays
   under 5% throughput overhead with exact response parity
   (``BENCH_observability.json``; see ``docs/observability.md``).
+* **Resilience plane** (:mod:`repro.serving.resilience` /
+  :mod:`repro.serving.faults`) — per-request deadline budgets checked
+  at every pipeline stage, bounded admission queues with an explicit
+  shed policy (reject-with-retry-after or degrade-to-shortest-path),
+  per-shard-lane circuit breakers that route tripped lanes to the
+  global fallback, deterministic jittered retry for transient scoring
+  failures, and a seedable fault-injection layer (latency spikes,
+  errors, hangs at named points) for reproducible chaos testing — all
+  dormant by default with exact response parity
+  (``BENCH_robustness.json``; see ``docs/robustness.md``).
 
 Usage::
 
@@ -123,6 +133,12 @@ speedup; ``BENCH_scoring.json`` holds the committed numbers).
 from repro.serving.batching import BatchingScorer, ScoreTicket
 from repro.serving.cache import CacheStats, CandidateCache, LRUCache, ScoreCache
 from repro.serving.engine import EngineTicket, ServingEngine
+from repro.serving.faults import (
+    FaultInjector,
+    FaultRule,
+    format_fault_spec,
+    parse_fault_spec,
+)
 from repro.serving.instrumentation import (
     LatencyTracker,
     OccupancyTracker,
@@ -144,6 +160,12 @@ from repro.serving.loadgen import (
 )
 from repro.serving.pipeline import QueryState, assign_split, normalise_split
 from repro.serving.registry import ActiveModel, ModelRegistry
+from repro.serving.resilience import (
+    CircuitBreaker,
+    ResilienceConfig,
+    ResilienceCounters,
+    retry_backoff,
+)
 from repro.serving.sharding import (
     ShardedRegistry,
     ShardLane,
@@ -163,7 +185,10 @@ __all__ = [
     "BatchingScorer",
     "CacheStats",
     "CandidateCache",
+    "CircuitBreaker",
     "EngineTicket",
+    "FaultInjector",
+    "FaultRule",
     "LatencyTracker",
     "LRUCache",
     "ModelRegistry",
@@ -174,6 +199,8 @@ __all__ = [
     "RankingService",
     "RankRequest",
     "RankResponse",
+    "ResilienceConfig",
+    "ResilienceCounters",
     "ScoreCache",
     "ScoreTicket",
     "ServiceCounters",
@@ -188,11 +215,14 @@ __all__ = [
     "TimedRequest",
     "WorkloadConfig",
     "assign_split",
+    "format_fault_spec",
     "generate_timed_workload",
     "generate_workload",
     "normalise_split",
+    "parse_fault_spec",
     "poisson_arrivals",
     "replay_open_loop",
+    "retry_backoff",
     "run_engine_workload",
     "run_workload",
     "zipf_weights",

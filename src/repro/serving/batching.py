@@ -77,6 +77,10 @@ class BatchingScorer:
         self.batches_run = 0
         self.paths_scored = 0
         self.cache_hits = 0
+        #: Chaos seam (``scorer.flush`` injection point): armed by
+        #: :meth:`RankingService.arm_faults`, ``None`` keeps the flush
+        #: hot path at a single attribute check.
+        self.faults = None
 
     def as_dict(self) -> dict[str, int]:
         """Forward-pass counters as one consistent snapshot.
@@ -122,6 +126,8 @@ class BatchingScorer:
             tickets, self._pending = self._pending, []
         if not tickets:
             return 0
+        if self.faults is not None:
+            self.faults.fire("scorer.flush")
 
         # The score cache is keyed by model version; with no version to
         # key on, two different models would silently share entries, so

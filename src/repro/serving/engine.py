@@ -43,12 +43,19 @@ import time
 from collections import deque
 from collections.abc import Sequence
 
-from repro.errors import ServingError
+from repro.errors import DeadlineExceeded, ServingError
 from repro.serving.instrumentation import OccupancyTracker, shard_label
 from repro.serving.pipeline import QueryState
 from repro.serving.service import RankingService, RankRequest, RankResponse
 
 __all__ = ["EngineTicket", "ServingEngine"]
+
+#: Slack added on top of a request's deadline budget when
+#: :meth:`EngineTicket.result` derives its wait timeout: the pipeline's
+#: own assembly-time expiry check needs a moment to produce the
+#: structured deadline response, and the waiter should collect *that*
+#: rather than racing it.
+RESULT_GRACE_S = 0.5
 
 
 class EngineTicket:
@@ -86,6 +93,36 @@ class EngineTicket:
                 f"request {self.request.source}->{self.request.target} "
                 f"not answered within {timeout}s"
             )
+        return self._collect()
+
+    def result(self, timeout: float | None = None) -> RankResponse:
+        """Deadline-aware :meth:`wait`: never blocks past the budget.
+
+        With no explicit ``timeout`` the wait is derived from the
+        request's deadline (``request.deadline_ms``, falling back to the
+        service's ``resilience.deadline_ms``) plus a small grace so the
+        pipeline's own structured deadline response wins the race when
+        it can.  Raises :class:`~repro.errors.DeadlineExceeded` —
+        carrying the service's ``retry_after_ms`` hint — if the response
+        is still not ready; a request with no deadline anywhere blocks
+        like :meth:`wait`.
+        """
+        if timeout is None:
+            budget_ms = self.request.deadline_ms
+            if budget_ms is None:
+                budget_ms = self._service.resilience.deadline_ms
+            if budget_ms is not None:
+                elapsed = time.perf_counter() - self.submitted
+                timeout = max(0.0, budget_ms / 1000.0 - elapsed) \
+                    + RESULT_GRACE_S
+        if not self._event.wait(timeout):
+            raise DeadlineExceeded(
+                f"request {self.request.source}->{self.request.target} "
+                f"not answered within {timeout:g}s",
+                retry_after_ms=self._service.resilience.retry_after_ms)
+        return self._collect()
+
+    def _collect(self) -> RankResponse:
         state = self.state
         if state.response is None:
             with self._finalize:
@@ -140,6 +177,9 @@ class ServingEngine:
         self._work = threading.Condition(self._lock)   # inbox activity
         self._flush = threading.Condition(self._lock)  # pending activity
         self._inbox: deque[EngineTicket] = deque()
+        #: Every accepted-but-unanswered ticket: close() fails whatever
+        #: is left here rather than abandoning its waiters.
+        self._outstanding: set[EngineTicket] = set()
         self._pending: list[EngineTicket] = []
         self._pending_paths = 0
         self._pending_since: float | None = None
@@ -180,32 +220,59 @@ class ServingEngine:
     def wait_ready(self, timeout: float | None = None) -> bool:
         return self._ready.wait(timeout)
 
-    def close(self) -> None:
+    def close(self, timeout: float | None = None) -> None:
         """Stop accepting requests, drain in-flight ones, join threads.
 
         Everything submitted before the close is still answered: the
         workers finish the inbox first, then whatever they parked for
-        scoring is flushed here before the flusher is released.
+        scoring is flushed here before the flusher is released.  Any
+        ticket that is *still* unanswered at the end — a thread stuck in
+        a hung scorer, a straggler the ``timeout``-bounded joins gave up
+        on — is failed with a structured ``engine_closed`` error instead
+        of being abandoned, so no waiter ever blocks on a closed engine.
+        ``timeout`` bounds the total time spent joining threads
+        (``None`` = wait for a clean drain).
         """
         with self._lock:
             if self._stopping:
                 return
             self._stopping = True
             self._work.notify_all()
+        give_up_at = None if timeout is None \
+            else time.perf_counter() + timeout
+        joined = True
         for thread in self._workers:
-            thread.join()
+            thread.join(self._join_budget(give_up_at))
+            joined = joined and not thread.is_alive()
         # Workers are gone; anything they left pending is flushed now so
         # no ticket can be stranded between worker exit and flusher exit.
         with self._lock:
             batch = self._take_pending_locked()
             self._flush.notify_all()
-        if batch:
+        if batch and joined:
             self._score_batch(batch)
         if self._flusher_thread is not None:
-            self._flusher_thread.join()
-            self._flusher_thread = None
+            self._flusher_thread.join(self._join_budget(give_up_at))
+            if not self._flusher_thread.is_alive():
+                self._flusher_thread = None
+        # Fail whatever is still unanswered: inbox stragglers behind a
+        # stuck worker, claims a hung thread never released, and (when
+        # the joins timed out) the batch we chose not to score above.
+        with self._lock:
+            leftovers = [ticket for ticket in self._outstanding
+                         if not ticket.done]
+        for ticket in leftovers:
+            self._fail_ticket(
+                ticket, "engine closed before the request was answered",
+                "engine_closed")
         self._workers.clear()
         self._ready.clear()
+
+    @staticmethod
+    def _join_budget(give_up_at: float | None) -> float | None:
+        if give_up_at is None:
+            return None
+        return max(0.0, give_up_at - time.perf_counter())
 
     def __enter__(self) -> "ServingEngine":
         return self.start()
@@ -217,16 +284,56 @@ class ServingEngine:
     # Front door
     # ------------------------------------------------------------------
     def submit(self, request: RankRequest) -> EngineTicket:
-        """Enqueue one request; returns immediately with its ticket."""
-        ticket = EngineTicket(request, self.service)
+        """Enqueue one request; returns immediately with its ticket.
+
+        When the service's ``resilience.max_queue`` bound is set and the
+        inbox is full, the request is *shed* instead of enqueued:
+        ``shed_policy="reject"`` answers the ticket immediately with a
+        structured ``shed`` error (plus a ``retry_after_ms`` hint),
+        ``"degrade"`` answers it with the shortest-path fallback
+        computed in the caller's thread — bounded work either way, and
+        the queue never grows past its bound.
+        """
+        service = self.service
+        if service.faults is not None:
+            # Before any bookkeeping: an injected ingress error must not
+            # leave a half-submitted ticket behind.
+            service.faults.fire("engine.submit")
+        ticket = EngineTicket(request, service)
+        shed = False
         with self._lock:
             if self._stopping:
                 raise ServingError("engine is closed; no new requests")
             if not self._workers:
                 raise ServingError("engine not started; call start() first")
-            self._inbox.append(ticket)
-            self._work.notify()
+            max_queue = service.resilience.max_queue
+            if max_queue > 0 and len(self._inbox) >= max_queue:
+                shed = True
+            else:
+                self._inbox.append(ticket)
+                self._outstanding.add(ticket)
+                self._work.notify()
+        if shed:
+            self._shed_ticket(ticket)
         return ticket
+
+    def _shed_ticket(self, ticket: EngineTicket) -> None:
+        """Answer a shed request immediately under the configured policy."""
+        service = self.service
+        state = QueryState(request=ticket.request)
+        state.started = ticket.submitted
+        state.error_code = "shed"
+        if service.resilience.shed_policy == "degrade":
+            # Degrade-to-shortest-path: no model work is queued, the
+            # fallback runs in the caller's thread at assembly.
+            state.degraded = "admission queue full; degraded to fallback"
+            service.res_counters.bump("shed_degraded")
+        else:
+            state.error = ("admission queue full; request shed "
+                           "(retry after backoff)")
+            service.res_counters.bump("shed_rejected")
+        ticket.state = state
+        ticket._resolve()
 
     def rank(self, request: RankRequest,
              timeout: float | None = None) -> RankResponse:
@@ -276,7 +383,7 @@ class ServingEngine:
                     # Nothing to score (error, no model, or an empty
                     # candidate set): answer immediately.
                     service.assemble(state)
-                    ticket._resolve()
+                    self._resolve_ticket(ticket)
             if not prepared:
                 continue
             batch: list[EngineTicket] = []
@@ -352,9 +459,31 @@ class ServingEngine:
         self._pending_since = None
         return batch
 
+    def _resolve_ticket(self, ticket: EngineTicket) -> None:
+        with self._lock:
+            self._outstanding.discard(ticket)
+        ticket._resolve()
+
+    def _fail_ticket(self, ticket: EngineTicket, message: str,
+                     code: str) -> None:
+        """Force-terminate an unanswered ticket with a structured error."""
+        state = ticket.state
+        if state is None:
+            state = QueryState(request=ticket.request)
+            state.started = ticket.submitted
+            ticket.state = state
+        if state.response is None:
+            state.error = message
+            state.error_code = code
+            state.active = None
+            state.scores = None
+        self._resolve_ticket(ticket)
+
     def _score_batch(self, batch: list[EngineTicket]) -> None:
         states = [ticket.state for ticket in batch]
         try:
+            if self.service.faults is not None:
+                self.service.faults.fire("engine.flush")
             self.service.score_states(states)
         except Exception as exc:  # noqa: BLE001 - deliberate backstop
             # score_states degrades ReproError per request already (and
@@ -384,7 +513,7 @@ class ServingEngine:
         # critical path at "score + wake", so the next flush can start
         # while the woken clients build their responses.
         for ticket in batch:
-            ticket._resolve()
+            self._resolve_ticket(ticket)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -392,12 +521,17 @@ class ServingEngine:
     def stats(self) -> dict[str, object]:
         """The underlying service's stats plus the engine's own gauges."""
         stats = self.service.stats()
+        with self._lock:
+            queue_depth = len(self._inbox)
+            outstanding = len(self._outstanding)
         stats["engine"] = {
             "concurrency": self.concurrency,
             "flush_deadline_ms": self.flush_deadline_ms,
             "max_batch_size": self.max_batch_size,
             "ready": self.ready,
             "warmed_up": self.warmed_up,
+            "queue_depth": queue_depth,
+            "outstanding": outstanding,
             "occupancy": self.occupancy.as_dict(),
         }
         return stats

@@ -185,13 +185,21 @@ class ShardMetrics:
     numbers that tell an operator whether the partition matches the
     workload.  Entries appear lazily on first sight of a shard, so an
     unsharded service (which never records) costs nothing.
+
+    ``resilience`` labels responses the resilience plane shaped
+    (``deadline_exceeded``, ``breaker_open``, ``shed``, …).  They are
+    recorded as *orthogonal* ``degraded.<label>`` counters next to the
+    outcome columns — every such response still lands in its
+    model/fallback/error column, preserving the invariant that
+    ``requests`` equals the outcome columns' sum.
     """
 
     def __init__(self) -> None:
         self._shards: dict[int, dict[str, int]] = {}
         self._lock = threading.Lock()
 
-    def record(self, shard: int, cross_shard: bool, served_by: str) -> None:
+    def record(self, shard: int, cross_shard: bool, served_by: str,
+               resilience: str | None = None) -> None:
         with self._lock:
             entry = self._shards.get(shard)
             if entry is None:
@@ -208,6 +216,9 @@ class ShardMetrics:
             key = served_by if served_by in ("model", "fallback", "error") \
                 else "other"
             entry[key] += 1
+            if resilience is not None:
+                label = f"degraded.{resilience}"
+                entry[label] = entry.get(label, 0) + 1
 
     def requests_for(self, shard: int) -> int:
         with self._lock:

@@ -38,9 +38,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 
-from repro.errors import NoPathError
+from repro.errors import NoPathError, ServingError
 from repro.graph.network import RoadNetwork
 from repro.graph.shortest_path import shortest_path_cost
 from repro.obs.export import SnapshotExporter
@@ -337,6 +337,36 @@ def _summarise(latencies: list[float], outcomes: dict[str, int],
     }
 
 
+@contextmanager
+def _armed_faults(service: RankingService, fault_spec, fault_seed: int):
+    """Arm a fault spec for the duration of one replay, then disarm.
+
+    The ``fault_spec=`` hook every drive mode shares: chaos scenarios
+    (``bench-serve --fault-spec``, ``bench_robustness``) replay a
+    workload against a deliberately broken service, and the ``finally``
+    guarantees hanging threads are released and the stack returns to
+    dormancy even when the replay itself fails.
+    """
+    if fault_spec is None:
+        yield None
+        return
+    injector = service.arm_faults(fault_spec, seed=fault_seed)
+    try:
+        yield injector
+    finally:
+        service.disarm_faults()
+
+
+def _resilience_summary(service: RankingService,
+                        summary: dict[str, object]) -> None:
+    """Attach shed/deadline/breaker counts when any mechanism fired."""
+    counts = {key: value
+              for key, value in service.res_counters.as_dict().items()
+              if value}
+    if counts:
+        summary["resilience"] = counts
+
+
 def _timeline_exporter(metrics, metrics_out,
                        interval_s: float):
     """A running :class:`SnapshotExporter` for the replay, or a no-op.
@@ -352,13 +382,17 @@ def _timeline_exporter(metrics, metrics_out,
 
 def run_workload(service: RankingService, requests: Sequence[RankRequest],
                  batch_size: int = 1, metrics_out=None,
-                 metrics_interval_s: float = 0.25) -> dict[str, object]:
+                 metrics_interval_s: float = 0.25, fault_spec=None,
+                 fault_seed: int = 0) -> dict[str, object]:
     """Replay ``requests`` and summarise what the service did.
 
     ``batch_size`` > 1 feeds the service in coalesced chunks (one padded
     forward pass per chunk); 1 replays strictly sequentially.
     ``metrics_out`` additionally writes a JSONL metrics timeline of the
     run (see :class:`~repro.obs.export.SnapshotExporter`).
+    ``fault_spec`` (a spec string or rules, see
+    :func:`~repro.serving.faults.parse_fault_spec`) arms deterministic
+    fault injection for the duration of the replay.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -366,8 +400,9 @@ def run_workload(service: RankingService, requests: Sequence[RankRequest],
     outcomes = {"model": 0, "fallback": 0, "error": 0}
     candidate_hits = 0
     started = time.perf_counter()
-    with _timeline_exporter(service.metrics, metrics_out,
-                            metrics_interval_s):
+    with _armed_faults(service, fault_spec, fault_seed), \
+            _timeline_exporter(service.metrics, metrics_out,
+                               metrics_interval_s):
         for start in range(0, len(requests), batch_size):
             chunk = list(requests[start:start + batch_size])
             for response in service.rank_batch(chunk):
@@ -378,20 +413,28 @@ def run_workload(service: RankingService, requests: Sequence[RankRequest],
     summary = _summarise(latencies, outcomes, candidate_hits, len(requests),
                          elapsed)
     summary["batch_size"] = batch_size
+    _resilience_summary(service, summary)
     summary["stats"] = service.stats()
     return summary
 
 
 def run_engine_workload(engine, requests: Sequence[RankRequest],
                         concurrency: int = 32, metrics_out=None,
-                        metrics_interval_s: float = 0.25) -> dict[str, object]:
+                        metrics_interval_s: float = 0.25, fault_spec=None,
+                        fault_seed: int = 0,
+                        wait_timeout_s: float | None = None
+                        ) -> dict[str, object]:
     """Closed-loop drive: ``concurrency`` clients hammer the engine.
 
     Each client thread submits its next request as soon as its previous
     one is answered, so the engine always sees about ``concurrency``
     requests in flight — the regime deadline-batched coalescing is
     built for.  Returns the same summary shape as :func:`run_workload`
-    plus the engine's batch-occupancy gauges.
+    plus the engine's batch-occupancy gauges.  ``fault_spec`` arms
+    deterministic fault injection for the replay; ``wait_timeout_s``
+    bounds each client's wait (a request still unanswered then is
+    counted under ``"hung"`` instead of blocking the client forever —
+    chaos replays should always set it).
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -400,6 +443,8 @@ def run_engine_workload(engine, requests: Sequence[RankRequest],
     position = [0]
     latencies: list[float] = []
     outcomes = {"model": 0, "fallback": 0, "error": 0}
+    hung = [0]
+    refused = [0]
     candidate_hits = 0
     results_lock = threading.Lock()
 
@@ -411,7 +456,18 @@ def run_engine_workload(engine, requests: Sequence[RankRequest],
                     return
                 request = queue[position[0]]
                 position[0] += 1
-            response = engine.rank(request)
+            try:
+                ticket = engine.submit(request)
+            except ServingError:  # injected ingress fault / closed engine
+                with results_lock:
+                    refused[0] += 1
+                continue
+            try:
+                response = ticket.wait(wait_timeout_s)
+            except ServingError:
+                with results_lock:
+                    hung[0] += 1
+                continue
             with results_lock:
                 latencies.append(response.latency_ms)
                 outcomes[response.served_by] += 1
@@ -420,8 +476,9 @@ def run_engine_workload(engine, requests: Sequence[RankRequest],
     threads = [threading.Thread(target=client, name=f"loadgen-client-{i}")
                for i in range(min(concurrency, len(queue)))]
     started = time.perf_counter()
-    with _timeline_exporter(engine.service.metrics, metrics_out,
-                            metrics_interval_s):
+    with _armed_faults(engine.service, fault_spec, fault_seed), \
+            _timeline_exporter(engine.service.metrics, metrics_out,
+                               metrics_interval_s):
         for thread in threads:
             thread.start()
         for thread in threads:
@@ -430,19 +487,28 @@ def run_engine_workload(engine, requests: Sequence[RankRequest],
     summary = _summarise(latencies, outcomes, candidate_hits, len(queue),
                          elapsed)
     summary["concurrency"] = concurrency
+    summary["hung"] = hung[0]
+    summary["refused"] = refused[0]
+    _resilience_summary(engine.service, summary)
     summary["occupancy"] = engine.occupancy.as_dict()
     return summary
 
 
 def replay_open_loop(engine, timed: Sequence[TimedRequest],
                      time_scale: float = 1.0, metrics_out=None,
-                     metrics_interval_s: float = 0.25) -> dict[str, object]:
+                     metrics_interval_s: float = 0.25, fault_spec=None,
+                     fault_seed: int = 0,
+                     wait_timeout_s: float | None = None
+                     ) -> dict[str, object]:
     """Open-loop drive: submit each request at its arrival timestamp.
 
     Submissions never wait for completions, so when the engine falls
     behind the offered rate the backlog surfaces as latency rather than
     as a silently reduced request rate.  ``time_scale`` > 1 compresses
     the recorded timeline (e.g. 2.0 replays at twice the recorded QPS).
+    ``fault_spec`` arms deterministic fault injection for the replay;
+    ``wait_timeout_s`` bounds each ticket's collection wait (still-
+    unanswered requests count under ``"hung"``).
     """
     if time_scale <= 0.0:
         raise ValueError(f"time_scale must be > 0, got {time_scale}")
@@ -450,18 +516,28 @@ def replay_open_loop(engine, timed: Sequence[TimedRequest],
     tickets = []
     latencies: list[float] = []
     outcomes = {"model": 0, "fallback": 0, "error": 0}
+    hung = 0
+    refused = 0
     candidate_hits = 0
     started = time.perf_counter()
-    with _timeline_exporter(engine.service.metrics, metrics_out,
-                            metrics_interval_s):
+    with _armed_faults(engine.service, fault_spec, fault_seed), \
+            _timeline_exporter(engine.service.metrics, metrics_out,
+                               metrics_interval_s):
         for item in ordered:
             due = started + item.arrival_s / time_scale
             delay = due - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
-            tickets.append(engine.submit(item.request))
+            try:
+                tickets.append(engine.submit(item.request))
+            except ServingError:  # injected ingress fault
+                refused += 1
         for ticket in tickets:
-            response = ticket.wait()
+            try:
+                response = ticket.wait(wait_timeout_s)
+            except ServingError:
+                hung += 1
+                continue
             latencies.append(response.latency_ms)
             outcomes[response.served_by] += 1
             candidate_hits += int(response.candidate_cache_hit)
@@ -472,5 +548,8 @@ def replay_open_loop(engine, timed: Sequence[TimedRequest],
                if ordered and ordered[-1].arrival_s > 0 else 0.0)
     summary["offered_qps"] = offered
     summary["time_scale"] = time_scale
+    summary["hung"] = hung
+    summary["refused"] = refused
+    _resilience_summary(engine.service, summary)
     summary["occupancy"] = engine.occupancy.as_dict()
     return summary

@@ -82,6 +82,10 @@ class QueryState:
     scores: list[float] | None = None
     #: Request-level failure (candidate generation, bad pin): terminal.
     error: str | None = None
+    #: Machine-readable failure class for structured error responses
+    #: (``invalid_request``, ``deadline_exceeded``, ``shed``,
+    #: ``breaker_open``, ``engine_closed``); ``None`` for legacy errors.
+    error_code: str | None = None
     #: Scoring-level failure: the request degrades to the fallback.
     degraded: str | None = None
     response: "RankResponse | None" = None
@@ -92,12 +96,30 @@ class QueryState:
     #: ``perf_counter`` when candidate preparation finished — the start
     #: of the flush-queue wait the scoring stage closes off.
     prepared_at: float | None = None
+    #: Deadline *budget* in milliseconds measured from ``started``
+    #: (``None`` = no deadline).  A budget rather than an absolute
+    #: instant so the engine's rebase of ``started`` to the submit time
+    #: automatically charges queueing delay against the deadline.
+    deadline_ms: float | None = None
 
     @property
     def scorable(self) -> bool:
         """Whether the scoring stage has work to do for this request."""
         return (self.error is None and self.active is not None
                 and bool(self.paths))
+
+    def remaining_ms(self, now: float | None = None) -> float | None:
+        """Milliseconds left in the deadline budget (``None`` = no limit)."""
+        if self.deadline_ms is None:
+            return None
+        if now is None:
+            now = time.perf_counter()
+        return self.deadline_ms - (now - self.started) * 1000.0
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the deadline budget has run out."""
+        remaining = self.remaining_ms(now)
+        return remaining is not None and remaining <= 0.0
 
     @property
     def cross_shard(self) -> bool:

@@ -1,0 +1,719 @@
+"""Robustness benchmark: the resilience plane under injected failures.
+
+Drives the PR-7 resilience plane (deadline budgets, bounded admission
+with shedding, per-lane circuit breakers, deterministic retry) through
+the seedable fault layer of :mod:`repro.serving.faults` and writes the
+result as ``BENCH_robustness.json``:
+
+* **dormant overhead + parity** — the same workload closed-loop through
+  a control service (breakers off, no deadline) and a fully armed one
+  (generous deadline, bounded queue, breakers, retry) with **no faults
+  injected**: responses must be element-wise identical and throughput
+  within a few percent — resilience must be free until something fails;
+* **killed lane** — one region shard's scorer fails every call
+  (``score@N:error``): the lane's breaker must trip, tripped traffic
+  must route to the global shortest-path fallback, availability
+  (model- or fallback-served) must stay >= 99% with **zero hung
+  requests**, and after the fault is disarmed the breaker must recover
+  through half-open probes;
+* **slow scorer** — the hottest lane's scoring pass stalls past the
+  request deadline (``score@N:delay``): affected requests terminate
+  with structured ``deadline_exceeded`` errors at bounded latency
+  instead of hanging clients, and the latency-SLO breaker trips on the
+  slow-but-successful groups;
+* **overload shedding** — an open-loop replay at ``overload_factor``
+  times the measured sustainable rate against a bounded admission
+  queue (capacity pinned by a deterministic ``prepare:delay`` stall
+  armed in both the measurement and the replay): excess load is shed
+  by policy (reject-with-retry-after or degrade-to-fallback) while
+  admitted requests keep answering.
+
+Consumed by ``benchmarks/bench_robustness.py`` (standalone + pytest
+smoke mode) and the ``bench-robustness`` CLI subcommand, mirroring
+``sharding_bench`` / ``serving_bench`` / ``core.scoring_bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import tempfile
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path as FilePath
+
+from repro.errors import DataError
+from repro.graph.builders import north_jutland_like
+from repro.graph.partition import partition_network
+from repro.ranking.training_data import Strategy, TrainingDataConfig
+from repro.serving.engine import ServingEngine
+from repro.serving.loadgen import (
+    WorkloadConfig,
+    generate_timed_workload,
+    generate_workload,
+    replay_open_loop,
+    run_engine_workload,
+)
+from repro.serving.registry import ModelRegistry
+from repro.serving.resilience import ResilienceConfig
+from repro.serving.service import RankingService, ServingConfig
+from repro.serving.serving_bench import PARITY_LIMIT, build_random_ranker
+from repro.serving.sharding import ShardedRegistry
+
+__all__ = [
+    "RobustnessBenchConfig",
+    "smoke_config",
+    "full_config",
+    "apply_overrides",
+    "run_robustness_benchmark",
+    "validate_report",
+    "write_report",
+]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RobustnessBenchConfig:
+    """Knobs of one robustness benchmark run."""
+
+    num_towns: int = 6
+    seed: int = 11
+    num_shards: int = 4
+    partition_method: str = "voronoi"
+    embedding_dim: int = 64
+    hidden_size: int = 64
+    fc_hidden: int = 32
+    k: int = 8
+    diversity_threshold: float = 0.8
+    examine_limit: int = 100
+    num_requests: int = 400
+    num_hotspots: int = 40
+    zipf_exponent: float = 1.1
+    region_zipf_exponent: float = 1.0
+    cross_shard_fraction: float = 0.3
+    min_hop_distance: float = 500.0
+    candidate_cache_size: int = 2048
+    score_cache_size: int = 8192
+    concurrency: int = 16
+    flush_deadline_ms: float = 4.0
+    max_batch_size: int = 128
+    repeats: int = 3
+    #: Armed-but-dormant arm: every mechanism live, none triggerable.
+    dormant_deadline_ms: float = 120_000.0
+    dormant_max_queue: int = 4096
+    #: Chaos-arm breaker tuning: small windows so the trip/recover cycle
+    #: fits in a benchmark run, not a production hour.
+    breaker_window: int = 16
+    breaker_min_samples: int = 4
+    breaker_failure_rate: float = 0.5
+    breaker_cooldown_ms: float = 300.0
+    retry_attempts: int = 1
+    retry_base_ms: float = 1.0
+    #: Slow-scorer scenario: the injected stall must overshoot the
+    #: deadline (so expiry is deterministic) and the latency SLO (so the
+    #: breaker sees the slowness even though scoring succeeds).
+    slow_deadline_ms: float = 60.0
+    slow_delay_ms: float = 100.0
+    breaker_latency_ms: float = 50.0
+    #: Overload scenario: offered rate as a multiple of the measured
+    #: closed-loop sustainable rate, against a bounded admission queue.
+    #: The same per-request prepare stall is armed while measuring
+    #: capacity and while replaying, so "2x sustainable" is
+    #: deterministic instead of riding on cache warmth and CI machine
+    #: speed.  The stall sits at *prepare* — what the admission-side
+    #: worker pool does — so offered > capacity genuinely backs up the
+    #: bounded inbox instead of an internal flush queue.
+    overload_factor: float = 2.0
+    overload_stall_ms: float = 25.0
+    overload_max_queue: int = 32
+    shed_policy: str = "reject"
+    #: Client-side wait bound: chaos replays must never block forever.
+    wait_timeout_s: float = 30.0
+    #: Post-disarm recovery replay (victim-shard requests, small chunks
+    #: so the half-open breaker sees several probe groups).
+    recovery_requests: int = 24
+    recovery_batch: int = 2
+    preset: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.num_towns < 2:
+            raise ValueError(f"num_towns must be >= 2, got {self.num_towns}")
+        if self.num_shards < 2:
+            raise ValueError(
+                f"num_shards must be >= 2 (the killed-lane scenario needs "
+                f"a healthy lane to survive on), got {self.num_shards}")
+        if self.num_requests < 1 or self.num_hotspots < 1:
+            raise ValueError("num_requests and num_hotspots must be >= 1")
+        if self.concurrency < 1 or self.repeats < 1:
+            raise ValueError("concurrency and repeats must be >= 1")
+        if self.overload_factor <= 1.0:
+            raise ValueError(
+                f"overload_factor must be > 1 (the point is overload), "
+                f"got {self.overload_factor}")
+        if self.slow_delay_ms <= self.slow_deadline_ms:
+            raise ValueError(
+                "slow_delay_ms must exceed slow_deadline_ms so the "
+                "slow-scorer scenario deterministically expires requests")
+        if self.wait_timeout_s <= 0.0:
+            raise ValueError(
+                f"wait_timeout_s must be > 0, got {self.wait_timeout_s}")
+        if self.recovery_requests < 1 or self.recovery_batch < 1:
+            raise ValueError(
+                "recovery_requests and recovery_batch must be >= 1")
+
+
+def smoke_config() -> RobustnessBenchConfig:
+    """Tiny preset for the tier-1 pytest wrapper: two regions, a small
+    model, short stalls and cooldowns — a few seconds end to end."""
+    return RobustnessBenchConfig(
+        num_towns=2, seed=7, num_shards=2, embedding_dim=32, hidden_size=32,
+        fc_hidden=16, k=3, examine_limit=30, num_requests=80, num_hotspots=12,
+        cross_shard_fraction=0.25, min_hop_distance=300.0,
+        candidate_cache_size=512, score_cache_size=2048, concurrency=8,
+        flush_deadline_ms=1.0, max_batch_size=24, repeats=2,
+        breaker_window=8, breaker_min_samples=3, breaker_cooldown_ms=150.0,
+        slow_deadline_ms=40.0, slow_delay_ms=80.0, breaker_latency_ms=30.0,
+        overload_stall_ms=20.0, overload_max_queue=8, wait_timeout_s=15.0,
+        recovery_requests=12, preset="smoke")
+
+
+def full_config() -> RobustnessBenchConfig:
+    """The headline preset behind the committed ``BENCH_robustness.json``."""
+    return RobustnessBenchConfig()
+
+
+def apply_overrides(
+    config: RobustnessBenchConfig,
+    requests: int | None = None,
+    shards: int | None = None,
+    concurrency: int | None = None,
+    k: int | None = None,
+    seed: int | None = None,
+) -> RobustnessBenchConfig:
+    """Apply the command-line overrides shared by the ``bench-robustness``
+    CLI subcommand and the standalone benchmark entry point."""
+    overrides: dict[str, object] = {}
+    if requests is not None:
+        overrides["num_requests"] = requests
+    if shards is not None:
+        overrides["num_shards"] = shards
+    if concurrency is not None:
+        overrides["concurrency"] = concurrency
+    if k is not None:
+        overrides["k"] = k
+    if seed is not None:
+        overrides["seed"] = seed
+    return replace(config, **overrides) if overrides else config
+
+
+# ----------------------------------------------------------------------
+# Fixture assembly
+# ----------------------------------------------------------------------
+def _candidates(config: RobustnessBenchConfig) -> TrainingDataConfig:
+    return TrainingDataConfig(strategy=Strategy.D_TKDI, k=config.k,
+                              diversity_threshold=config.diversity_threshold,
+                              examine_limit=config.examine_limit)
+
+
+def _serving_config(config: RobustnessBenchConfig,
+                    resilience: ResilienceConfig) -> ServingConfig:
+    return ServingConfig(
+        candidates=_candidates(config),
+        candidate_cache_size=config.candidate_cache_size,
+        score_cache_size=config.score_cache_size,
+        max_batch_size=config.max_batch_size,
+        concurrency=config.concurrency,
+        flush_deadline_ms=config.flush_deadline_ms,
+        resilience=resilience,
+    )
+
+
+def _control_resilience() -> ResilienceConfig:
+    """The PR-6 arrangement: no deadline, no bound, no breakers."""
+    return ResilienceConfig(breaker_enabled=False)
+
+
+def _armed_resilience(config: RobustnessBenchConfig) -> ResilienceConfig:
+    """Every mechanism live but untriggerable: the overhead being paid
+    is exactly what a cautious production deployment would pay."""
+    return ResilienceConfig(
+        deadline_ms=config.dormant_deadline_ms,
+        max_queue=config.dormant_max_queue,
+        shed_policy=config.shed_policy,
+        breaker_window=config.breaker_window,
+        breaker_min_samples=config.breaker_min_samples,
+        breaker_failure_rate=config.breaker_failure_rate,
+        breaker_cooldown_ms=config.breaker_cooldown_ms,
+        retry_attempts=config.retry_attempts,
+        retry_base_ms=config.retry_base_ms,
+    )
+
+
+def _chaos_resilience(config: RobustnessBenchConfig,
+                      deadline_ms: float | None = None,
+                      latency_slo_ms: float | None = None,
+                      max_queue: int = 0) -> ResilienceConfig:
+    return ResilienceConfig(
+        deadline_ms=deadline_ms,
+        max_queue=max_queue,
+        shed_policy=config.shed_policy,
+        breaker_window=config.breaker_window,
+        breaker_min_samples=config.breaker_min_samples,
+        breaker_failure_rate=config.breaker_failure_rate,
+        breaker_latency_ms=latency_slo_ms,
+        breaker_cooldown_ms=config.breaker_cooldown_ms,
+        retry_attempts=config.retry_attempts,
+        retry_base_ms=config.retry_base_ms,
+    )
+
+
+def _unsharded_service(config: RobustnessBenchConfig, network, ranker,
+                       root: FilePath,
+                       resilience: ResilienceConfig) -> RankingService:
+    registry = ModelRegistry(root, network)
+    registry.publish(ranker, version="bench-a")
+    service = RankingService(network, registry,
+                             _serving_config(config, resilience))
+    service.activate("bench-a")
+    return service
+
+
+def _sharded_service(config: RobustnessBenchConfig, network, partition,
+                     root: FilePath, ranker,
+                     resilience: ResilienceConfig) -> RankingService:
+    sharded = ShardedRegistry(
+        root, network, partition,
+        candidate_cache_size=config.candidate_cache_size,
+        score_cache_size=config.score_cache_size)
+    sharded.publish(ranker, version="bench-a", activate=True)
+    return RankingService(network, sharded,
+                          _serving_config(config, resilience))
+
+
+def _engine(config: RobustnessBenchConfig, service) -> ServingEngine:
+    return ServingEngine(service, concurrency=config.concurrency,
+                         flush_deadline_ms=config.flush_deadline_ms,
+                         max_batch_size=config.max_batch_size)
+
+
+def _best_engine_run(config: RobustnessBenchConfig, service,
+                     workload) -> dict:
+    """Closed-loop drive, best elapsed over ``repeats`` (fresh engine
+    each repeat so close/drain costs are not carried across runs)."""
+    best: dict = {}
+    for _ in range(config.repeats):
+        engine = _engine(config, service)
+        summary = run_engine_workload(engine, workload,
+                                      concurrency=config.concurrency)
+        engine.close()
+        if not best or summary["elapsed_s"] < best["elapsed_s"]:
+            best = summary
+    return best
+
+
+def _availability(summary: dict) -> float:
+    """Fraction of requests answered exactly or degraded (never hung)."""
+    served = summary["served_by"]
+    answered = served.get("model", 0) + served.get("fallback", 0)
+    total = summary["requests"]
+    return answered / total if total else 1.0
+
+
+def _run_view(summary: dict) -> dict:
+    view = {
+        "requests": summary["requests"],
+        "elapsed_s": summary["elapsed_s"],
+        "throughput_qps": summary["throughput_qps"],
+        "latency_ms": summary["latency_ms"],
+        "served_by": summary["served_by"],
+        "availability": _availability(summary),
+    }
+    for key in ("hung", "refused", "resilience", "offered_qps",
+                "time_scale"):
+        if key in summary:
+            view[key] = summary[key]
+    return view
+
+
+def _compare(mine, theirs) -> tuple[int, float]:
+    """Element-wise response comparison: mismatches + max score drift."""
+    mismatches = 0
+    max_diff = 0.0
+    for a, b in zip(mine, theirs):
+        identical = (a.served_by == b.served_by
+                     and a.model_version == b.model_version
+                     and [r.path.vertices for r in a.results]
+                     == [r.path.vertices for r in b.results])
+        if not identical:
+            mismatches += 1
+            continue
+        for mine_r, theirs_r in zip(a.results, b.results):
+            max_diff = max(max_diff, abs(mine_r.score - theirs_r.score))
+    return mismatches, max_diff
+
+
+def _victim_shard(service: RankingService, workload) -> int:
+    """The shard owning the most requests: kill the hottest lane, so the
+    scenario stresses the availability guarantee, not a corner."""
+    counts: dict[int, int] = {}
+    for request in workload:
+        shard = service.router.route(request.source, request.target).shard
+        counts[shard] = counts.get(shard, 0) + 1
+    return max(counts, key=counts.get)
+
+
+def _victim_requests(service: RankingService, workload, victim: int,
+                     limit: int) -> list:
+    picked = []
+    for request in workload:
+        if service.router.route(request.source,
+                                request.target).shard == victim:
+            picked.append(request)
+            if len(picked) >= limit:
+                break
+    return picked
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def _dormant_scenario(config: RobustnessBenchConfig, network, workload,
+                      ranker, root: FilePath) -> dict:
+    """No faults: an armed resilience plane must cost ~nothing and must
+    not change a single response."""
+    control = _unsharded_service(config, network, ranker, root / "control",
+                                 _control_resilience())
+    armed = _unsharded_service(config, network, ranker, root / "armed",
+                               _armed_resilience(config))
+    control.warm_up(workload)
+    armed.warm_up(workload)
+    control_run = _best_engine_run(config, control, workload)
+    armed_run = _best_engine_run(config, armed, workload)
+    mismatches, max_diff = _compare(armed.rank_batch(workload),
+                                    control.rank_batch(workload))
+    ratio = (armed_run["throughput_qps"] / control_run["throughput_qps"]
+             if control_run["throughput_qps"] > 0 else math.inf)
+    return {
+        "requests": len(workload),
+        "control": _run_view(control_run),
+        "armed": _run_view(armed_run),
+        "throughput_ratio": ratio,
+        "mismatches": mismatches,
+        "max_abs_score_diff": max_diff,
+        "armed_counters": armed.res_counters.as_dict(),
+    }
+
+
+def _killed_lane_scenario(config: RobustnessBenchConfig, network, partition,
+                          workload, ranker, root: FilePath) -> dict:
+    """One lane's scorer fails every call: the breaker must trip, traffic
+    must keep answering, and the lane must recover once the fault clears."""
+    service = _sharded_service(config, network, partition, root / "killed",
+                               ranker, _chaos_resilience(config))
+    service.warm_up(workload)
+    victim = _victim_shard(service, workload)
+    engine = _engine(config, service)
+    summary = run_engine_workload(engine, workload,
+                                  concurrency=config.concurrency,
+                                  fault_spec=f"score@{victim}:error",
+                                  fault_seed=config.seed,
+                                  wait_timeout_s=config.wait_timeout_s)
+    engine.close()
+    tripped = service.breakers[victim].as_dict()
+
+    # Fault disarmed (the replay's context manager did it): wait out the
+    # cooldown, then probe the lane back to health with small sync
+    # chunks — each chunk is one scoring group, i.e. one half-open probe.
+    time.sleep(config.breaker_cooldown_ms / 1000.0 + 0.05)
+    probes = _victim_requests(service, workload, victim,
+                              config.recovery_requests)
+    recovery_ok = 0
+    for start in range(0, len(probes), config.recovery_batch):
+        chunk = probes[start:start + config.recovery_batch]
+        recovery_ok += sum(response.served_by == "model"
+                           for response in service.rank_batch(chunk))
+    recovered = service.breakers[victim].as_dict()
+    return {
+        "victim_shard": victim,
+        "fault_spec": f"score@{victim}:error",
+        "run": _run_view(summary),
+        "availability": _availability(summary),
+        "hung": summary["hung"],
+        "breaker_after_fault": tripped,
+        "breaker_after_recovery": recovered,
+        "recovery": {
+            "requests": len(probes),
+            "model_served": recovery_ok,
+            "state": recovered["state"],
+            "recoveries": recovered["recoveries"],
+        },
+    }
+
+
+def _slow_scorer_scenario(config: RobustnessBenchConfig, network, partition,
+                          workload, ranker, root: FilePath) -> dict:
+    """The hottest lane stalls past the deadline: requests must expire
+    with structured errors at bounded latency, and the latency SLO must
+    trip the breaker even though scoring keeps succeeding."""
+    resilience = _chaos_resilience(config,
+                                   deadline_ms=config.slow_deadline_ms,
+                                   latency_slo_ms=config.breaker_latency_ms)
+    service = _sharded_service(config, network, partition, root / "slow",
+                               ranker, resilience)
+    service.warm_up(workload)
+    victim = _victim_shard(service, workload)
+    spec = f"score@{victim}:delay={config.slow_delay_ms:g}"
+    engine = _engine(config, service)
+    summary = run_engine_workload(engine, workload,
+                                  concurrency=config.concurrency,
+                                  fault_spec=spec, fault_seed=config.seed,
+                                  wait_timeout_s=config.wait_timeout_s)
+    engine.close()
+    resilience_counts = summary.get("resilience", {})
+    return {
+        "victim_shard": victim,
+        "fault_spec": spec,
+        "deadline_ms": config.slow_deadline_ms,
+        "injected_delay_ms": config.slow_delay_ms,
+        "run": _run_view(summary),
+        "hung": summary["hung"],
+        "deadline_exceeded": resilience_counts.get("deadline_exceeded", 0),
+        "p95_ms": summary["latency_ms"]["p95"],
+        "breaker": service.breakers[victim].as_dict(),
+    }
+
+
+def _overload_scenario(config: RobustnessBenchConfig, network, partition,
+                       workload_config: WorkloadConfig, workload, ranker,
+                       root: FilePath) -> dict:
+    """Open-loop at ``overload_factor`` times the sustainable rate: the
+    bounded queue must shed the excess by policy, never hang it.
+
+    The same ``prepare:delay`` stall is armed while measuring capacity
+    (on an *unbounded* twin — shed rejections return instantly and
+    would inflate a bounded service's closed-loop "throughput") and
+    while replaying, so the worker pool's capacity is pinned by the
+    deterministic stall rather than by cache warmth: "2x sustainable"
+    is then actually an overload on any machine, and the backlog lands
+    on the bounded inbox the shed policy guards (a *scoring* stall
+    would back up the flush queue instead, past the admission bound).
+    """
+    stall = f"prepare:delay={config.overload_stall_ms:g}"
+    unbounded = _sharded_service(config, network, partition,
+                                 root / "overload-base", ranker,
+                                 _chaos_resilience(config))
+    unbounded.warm_up(workload)
+    engine = _engine(config, unbounded)
+    baseline = run_engine_workload(engine, workload,
+                                   concurrency=config.concurrency,
+                                   fault_spec=stall, fault_seed=config.seed,
+                                   wait_timeout_s=config.wait_timeout_s)
+    engine.close()
+    sustainable_qps = baseline["throughput_qps"]
+    # The stall bounds true capacity analytically: each of the engine's
+    # ``concurrency`` workers spends >= stall_ms preparing one request,
+    # so capacity <= concurrency / stall regardless of machine speed.
+    # Offering ``overload_factor`` times that ceiling (or the measured
+    # rate, whichever is higher) therefore guarantees a real overload —
+    # 2x a closed-loop measurement alone would not, because closed-loop
+    # clients idle while waiting and under-measure pool capacity.
+    capacity_qps = config.concurrency * 1000.0 / config.overload_stall_ms
+    offered_qps = max(sustainable_qps, capacity_qps) * config.overload_factor
+
+    resilience = _chaos_resilience(config,
+                                   max_queue=config.overload_max_queue)
+    service = _sharded_service(config, network, partition, root / "overload",
+                               ranker, resilience)
+    service.warm_up(workload)
+    timed = generate_timed_workload(
+        network, replace(workload_config, arrival_rate_qps=offered_qps),
+        rng=config.seed, partition=partition)
+    engine = _engine(config, service)
+    summary = replay_open_loop(engine, timed, fault_spec=stall,
+                               fault_seed=config.seed,
+                               wait_timeout_s=config.wait_timeout_s)
+    engine.close()
+
+    counters = service.res_counters.as_dict()
+    shed_rejected = counters["shed_rejected"]
+    shed_degraded = counters["shed_degraded"]
+    served = summary["served_by"]
+    answered = served.get("model", 0) + served.get("fallback", 0)
+    non_shed = summary["requests"] - shed_rejected
+    return {
+        "sustainable_qps": sustainable_qps,
+        "capacity_ceiling_qps": capacity_qps,
+        "offered_qps": offered_qps,
+        "overload_factor": config.overload_factor,
+        "stall_ms": config.overload_stall_ms,
+        "max_queue": config.overload_max_queue,
+        "shed_policy": config.shed_policy,
+        "run": _run_view(summary),
+        "hung": summary["hung"],
+        "shed_rejected": shed_rejected,
+        "shed_degraded": shed_degraded,
+        "shed_total": shed_rejected + shed_degraded,
+        "non_shed_availability": (answered / non_shed if non_shed else 1.0),
+    }
+
+
+# ----------------------------------------------------------------------
+# The benchmark
+# ----------------------------------------------------------------------
+def run_robustness_benchmark(
+        config: RobustnessBenchConfig | None = None) -> dict:
+    """Benchmark the resilience plane at the configured scale."""
+    config = config or full_config()
+    network = north_jutland_like(num_towns=config.num_towns, seed=config.seed)
+    partition = partition_network(network, config.num_shards,
+                                  method=config.partition_method,
+                                  rng=config.seed)
+    workload_config = WorkloadConfig(
+        num_requests=config.num_requests, num_hotspots=config.num_hotspots,
+        zipf_exponent=config.zipf_exponent,
+        region_zipf_exponent=config.region_zipf_exponent,
+        cross_shard_fraction=config.cross_shard_fraction,
+        min_hop_distance=config.min_hop_distance)
+    workload = generate_workload(network, workload_config, rng=config.seed,
+                                 partition=partition)
+
+    # One set of weights behind every arm: parity compares like with like.
+    ranker = build_random_ranker(
+        network, embedding_dim=config.embedding_dim,
+        hidden_size=config.hidden_size, fc_hidden=config.fc_hidden,
+        candidates=_candidates(config), seed=0)
+
+    with tempfile.TemporaryDirectory() as tmp_root:
+        root = FilePath(tmp_root)
+        dormant = _dormant_scenario(config, network, workload, ranker, root)
+        killed = _killed_lane_scenario(config, network, partition, workload,
+                                       ranker, root)
+        slow = _slow_scorer_scenario(config, network, partition, workload,
+                                     ranker, root)
+        overload = _overload_scenario(config, network, partition,
+                                      workload_config, workload, ranker,
+                                      root)
+
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "preset": config.preset,
+        "config": asdict(config),
+        "network": {"vertices": network.num_vertices,
+                    "edges": network.num_edges},
+        "partition": partition.as_dict(),
+        "dormant": dormant,
+        "killed_lane": killed,
+        "slow_scorer": slow,
+        "overload": overload,
+    }
+    report["headline"] = {
+        "dormant_throughput_ratio": dormant["throughput_ratio"],
+        "dormant_mismatches": dormant["mismatches"],
+        "killed_lane_availability": killed["availability"],
+        "killed_lane_hung": killed["hung"],
+        "breaker_trips": killed["breaker_after_fault"]["trips"],
+        "breaker_recoveries": killed["recovery"]["recoveries"],
+        "deadline_exceeded": slow["deadline_exceeded"],
+        "slow_scorer_p95_ms": slow["p95_ms"],
+        "shed_total": overload["shed_total"],
+        "overload_non_shed_availability": overload["non_shed_availability"],
+    }
+    validate_report(report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Report schema
+# ----------------------------------------------------------------------
+_TOP_KEYS = ("schema_version", "preset", "config", "network", "partition",
+             "dormant", "killed_lane", "slow_scorer", "overload", "headline")
+_NUMERIC_BLOCKS = {
+    "dormant": ("requests", "throughput_ratio", "mismatches",
+                "max_abs_score_diff"),
+    "killed_lane": ("victim_shard", "availability", "hung"),
+    "slow_scorer": ("victim_shard", "hung", "deadline_exceeded", "p95_ms"),
+    "overload": ("sustainable_qps", "offered_qps", "shed_rejected",
+                 "shed_degraded", "shed_total", "non_shed_availability",
+                 "hung"),
+    "headline": ("dormant_throughput_ratio", "dormant_mismatches",
+                 "killed_lane_availability", "killed_lane_hung",
+                 "breaker_trips", "breaker_recoveries", "deadline_exceeded",
+                 "slow_scorer_p95_ms", "shed_total",
+                 "overload_non_shed_availability"),
+}
+
+#: The headline availability floor under a killed lane.
+AVAILABILITY_FLOOR = 0.99
+
+
+def validate_report(report: dict) -> None:
+    """Check a report parses as valid ``BENCH_robustness.json``.
+
+    Raises :class:`DataError` on a malformed document or a violated
+    resilience guarantee: a dormant-parity mismatch, a hung request
+    anywhere, sub-floor availability under the killed lane, a breaker
+    that never tripped or never recovered, a deadline that never fired,
+    or an overload run that never shed.  Used both when a report is
+    produced and by the smoke test against re-parsed JSON.
+    """
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise DataError(
+            f"unexpected schema_version {report.get('schema_version')!r}")
+    missing = [key for key in _TOP_KEYS if key not in report]
+    if missing:
+        raise DataError(f"report missing keys: {missing}")
+    for block, keys in _NUMERIC_BLOCKS.items():
+        for key in keys:
+            value = report[block].get(key)
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                raise DataError(
+                    f"{block}.{key} must be a finite number, got {value!r}")
+    headline = report["headline"]
+    if headline["dormant_mismatches"] != 0:
+        raise DataError(
+            f"dormant parity violation: {headline['dormant_mismatches']} "
+            f"responses differ between the armed and control services "
+            f"with no faults injected")
+    if not report["dormant"]["max_abs_score_diff"] <= PARITY_LIMIT:
+        raise DataError(
+            f"dormant parity violation: max_abs_score_diff="
+            f"{report['dormant']['max_abs_score_diff']!r}")
+    hung = (headline["killed_lane_hung"] + report["slow_scorer"]["hung"]
+            + report["overload"]["hung"])
+    if hung != 0:
+        raise DataError(
+            f"{hung} requests hung past the client wait bound; the "
+            f"resilience plane must never leave a caller blocked")
+    if headline["killed_lane_availability"] < AVAILABILITY_FLOOR:
+        raise DataError(
+            f"killed-lane availability "
+            f"{headline['killed_lane_availability']:.4f} below the "
+            f"{AVAILABILITY_FLOOR} floor")
+    if headline["breaker_trips"] < 1:
+        raise DataError(
+            "the killed lane's circuit breaker never tripped")
+    if headline["breaker_recoveries"] < 1:
+        raise DataError(
+            "the killed lane's circuit breaker never recovered after "
+            "the fault was disarmed")
+    if headline["deadline_exceeded"] < 1:
+        raise DataError(
+            "the slow-scorer scenario never expired a request deadline")
+    if headline["shed_total"] < 1:
+        raise DataError(
+            "the overload scenario never shed a request; the admission "
+            "bound did not engage")
+    if headline["overload_non_shed_availability"] < AVAILABILITY_FLOOR:
+        raise DataError(
+            f"overload non-shed availability "
+            f"{headline['overload_non_shed_availability']:.4f} below the "
+            f"{AVAILABILITY_FLOOR} floor")
+
+
+def write_report(report: dict, path: str | FilePath) -> FilePath:
+    """Validate and write the report; returns the output path."""
+    validate_report(report)
+    out = FilePath(path)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return out

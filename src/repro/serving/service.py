@@ -58,6 +58,7 @@ from repro.obs.trace import Tracer
 from repro.ranking.training_data import TrainingDataConfig
 from repro.serving.batching import BatchingScorer
 from repro.serving.cache import CacheStats, CandidateCache, ScoreCache
+from repro.serving.faults import FaultInjector, parse_fault_spec
 from repro.serving.instrumentation import (
     LatencyTracker,
     ServiceCounters,
@@ -72,6 +73,12 @@ from repro.serving.pipeline import (
     normalise_split,
 )
 from repro.serving.registry import ActiveModel, ModelRegistry
+from repro.serving.resilience import (
+    CircuitBreaker,
+    ResilienceConfig,
+    ResilienceCounters,
+    retry_backoff,
+)
 from repro.serving.sharding import (
     CROSS_SHARD_POLICIES,
     ShardedRegistry,
@@ -139,6 +146,19 @@ class ServingConfig:
     #: Slow-request exemplars retained (top-K by latency, full span
     #: breakdown each).
     trace_exemplars: int = 16
+    #: Resilience plane: deadlines, admission bounds + shed policy,
+    #: per-lane circuit breakers, retry backoff.  The defaults keep
+    #: every mechanism dormant or free (see
+    #: :class:`~repro.serving.resilience.ResilienceConfig`).
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Chaos testing: a fault-spec string (see
+    #: :func:`~repro.serving.faults.parse_fault_spec`) or a tuple of
+    #: :class:`~repro.serving.faults.FaultRule` records armed at
+    #: construction.  ``None`` (the default) keeps the fault layer
+    #: dormant — a single attribute check per stage.
+    fault_spec: object = None
+    #: Determinism seed for the fault layer's firing draws.
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -179,6 +199,11 @@ class ServingConfig:
                 and self.score_cache_quotas != "auto":
             object.__setattr__(self, "score_cache_quotas",
                                normalise_split(self.score_cache_quotas))
+        if isinstance(self.fault_spec, str):
+            # Parse eagerly so a malformed --fault-spec fails at
+            # construction, not on the first request.
+            object.__setattr__(self, "fault_spec",
+                               parse_fault_spec(self.fault_spec))
 
     def resolved_score_quotas(self) -> TrafficSplit | None:
         """The per-split score-cache quotas this config asks for."""
@@ -195,6 +220,10 @@ class RankRequest:
     request only (it participates in the candidate-cache key).
     ``model_version`` pins the request to a specific published model
     version, overriding both the active model and any traffic split.
+    ``deadline_ms`` caps this request's end-to-end budget (overriding
+    ``ServingConfig.resilience.deadline_ms``); when it expires the
+    request terminates with a structured ``deadline_exceeded`` error
+    instead of occupying later pipeline stages.
     """
 
     source: int
@@ -202,6 +231,7 @@ class RankRequest:
     k: int | None = None
     request_id: int | None = None
     model_version: str | None = None
+    deadline_ms: float | None = None
 
 
 @dataclass(frozen=True)
@@ -226,6 +256,14 @@ class RankResponse:
     error: str | None = None
     #: Region shard that owned the request (0 on unsharded services).
     shard: int = 0
+    #: Machine-readable failure class when the resilience plane shaped
+    #: this response (``invalid_request``, ``deadline_exceeded``,
+    #: ``shed``, ``breaker_open``, ``engine_closed``); ``None`` for
+    #: healthy responses and legacy errors.
+    error_code: str | None = None
+    #: Backoff hint attached to shed/deadline rejections: how long the
+    #: caller should wait before resubmitting.
+    retry_after_ms: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -317,6 +355,19 @@ class RankingService:
         self.counters = ServiceCounters()
         self.split_metrics = SplitMetrics(self.config.latency_window)
         self.shard_metrics = ShardMetrics()
+        # Resilience plane: per-lane circuit breakers over scoring-group
+        # outcomes, shared shed/deadline/retry accounting, and the
+        # (dormant-by-default) fault-injection seam.
+        self.resilience = self.config.resilience
+        self.res_counters = ResilienceCounters()
+        self.breakers: dict[int, CircuitBreaker] = (
+            {shard_id: CircuitBreaker(self.resilience)
+             for shard_id in self._lanes}
+            if self.resilience.breaker_enabled else {})
+        self.faults: FaultInjector | None = None
+        if self.config.fault_spec is not None:
+            self.arm_faults(self.config.fault_spec,
+                            seed=self.config.fault_seed)
         # The unified telemetry plane: every tracker above registers
         # into this registry under its canonical dotted name, and the
         # tracer feeds per-stage histograms + slow-request exemplars
@@ -350,6 +401,7 @@ class RankingService:
         metrics.register_callback("scoring", self._scoring_view)
         metrics.register_callback("kernel.routing", self._routing_kernel_view)
         metrics.register_callback("kernel.scoring", self._scoring_kernel_view)
+        metrics.register_callback("resilience", self._resilience_view)
         if self.sharded is not None:
             for lane in self.lanes():
                 lane.register_into(metrics)
@@ -367,6 +419,64 @@ class RankingService:
             for key, value in lane.scorer.as_dict().items():
                 totals[key] += value
         return totals
+
+    def _resilience_view(self) -> dict[str, object]:
+        """``resilience.*``: shed/deadline/breaker/retry accounting.
+
+        Flattens to ``resilience.shed_rejected``,
+        ``resilience.deadline_exceeded``, …, plus per-lane breaker
+        state under ``resilience.breaker.shard-NN.*`` and fault-layer
+        counters under ``resilience.faults.*`` while armed.
+        """
+        view: dict[str, object] = dict(self.res_counters.as_dict())
+        if self.breakers:
+            view["breaker"] = {
+                shard_label(shard_id): breaker.as_dict()
+                for shard_id, breaker in sorted(self.breakers.items())
+            }
+        if self.faults is not None:
+            stats = self.faults.stats()
+            view["faults"] = {
+                "armed": stats["armed"],
+                "hanging": stats["hanging"],
+                "fired": sum(rule["fired"] for rule in stats["rules"]),
+            }
+        return view
+
+    # ------------------------------------------------------------------
+    # Fault injection (chaos testing)
+    # ------------------------------------------------------------------
+    def arm_faults(self, spec, seed: int = 0) -> FaultInjector:
+        """Arm a fault spec across the whole stack (service, lanes, router).
+
+        ``spec`` is a spec string, an iterable of
+        :class:`~repro.serving.faults.FaultRule` records, or an existing
+        injector (re-armed fresh).  Returns the live injector so tests
+        can inspect firing counts.  An engine built over this service
+        picks the injector up through ``service.faults``.
+        """
+        injector = FaultInjector.from_spec(spec, seed=seed)
+        self.faults = injector
+        for lane in self.lanes():
+            lane.scorer.faults = injector
+        if self.router is not None:
+            self.router.faults = injector
+        return injector
+
+    def disarm_faults(self) -> None:
+        """Release hanging threads and return the stack to dormancy."""
+        if self.faults is not None:
+            self.faults.disarm()
+        self.faults = None
+        for lane in self.lanes():
+            lane.scorer.faults = None
+        if self.router is not None:
+            self.router.faults = None
+
+    def _fire_fault(self, point: str, shard: int | None = None) -> None:
+        """Hot-path guard: one attribute check when no injector is armed."""
+        if self.faults is not None:
+            self.faults.fire(point, shard=shard)
 
     def _routing_kernel_view(self) -> dict[str, int]:
         """``kernel.routing.*``: the network's CSR search-effort counters.
@@ -415,7 +525,19 @@ class RankingService:
         snapshot regardless.
         """
         state = QueryState(request=request)
+        if request.deadline_ms is not None:
+            state.deadline_ms = request.deadline_ms
+        else:
+            state.deadline_ms = self.resilience.deadline_ms
         trace = state.trace = self.tracer.maybe_start()
+        if self.faults is not None:
+            try:
+                self.faults.fire("admit", shard=None)
+            except ReproError as exc:
+                state.error = str(exc)
+                return state
+        if not self._validate(state):
+            return state
         try:
             state.config = self._candidate_config(request)
         except ValueError as exc:  # hostile per-request k override
@@ -458,6 +580,42 @@ class RankingService:
             trace.add("admit", trace.started, end)
         return state
 
+    def _validate(self, state: QueryState) -> bool:
+        """Refuse malformed requests at the front door.
+
+        An unknown endpoint or a non-positive ``k`` can never be served
+        — not even by the shortest-path fallback — so it terminates
+        here with a structured ``invalid_request`` error instead of
+        tripping the fallback or leaking a ``KeyError`` from the CSR
+        kernel deeper in the stack.
+        """
+        request = state.request
+        problem = None
+        if not isinstance(request.source, int) \
+                or not self.network.has_vertex(request.source):
+            problem = f"unknown source vertex {request.source!r}"
+        elif not isinstance(request.target, int) \
+                or not self.network.has_vertex(request.target):
+            problem = f"unknown target vertex {request.target!r}"
+        elif request.k is not None and request.k < 1:
+            problem = f"k must be >= 1, got {request.k!r}"
+        elif request.deadline_ms is not None and request.deadline_ms <= 0.0:
+            problem = f"deadline_ms must be > 0, got {request.deadline_ms!r}"
+        if problem is None:
+            return True
+        state.error = problem
+        state.error_code = "invalid_request"
+        self.res_counters.bump("invalid_requests")
+        return False
+
+    def _expire(self, state: QueryState) -> None:
+        """Terminate a state whose deadline budget ran out."""
+        state.error = (f"deadline of {state.deadline_ms:g} ms exceeded "
+                       f"before a response was ready")
+        state.error_code = "deadline_exceeded"
+        state.active = None
+        self.res_counters.bump("deadline_exceeded")
+
     def _candidate_config(self, request: RankRequest) -> TrainingDataConfig:
         base = self.config.candidates
         if request.k is None or request.k == base.k:
@@ -476,9 +634,14 @@ class RankingService:
         """
         if state.error is not None or state.active is None:
             return state
+        if state.expired():
+            self._expire(state)
+            return state
         trace = state.trace
         began = time.perf_counter() if trace is not None else 0.0
         try:
+            if self.faults is not None:
+                self.faults.fire("prepare", shard=state.shard)
             state.paths, state.cache_hit = self._candidates(state)
         except ReproError as exc:
             state.error = str(exc)
@@ -528,21 +691,31 @@ class RankingService:
         """
         groups: dict[tuple[int, int], list[QueryState]] = {}
         for state in states:
+            if state.error is None and state.expired():
+                self._expire(state)
+                continue
             if state.scorable:
                 groups.setdefault((state.shard, state.active.generation),
                                   []).append(state)
         for (shard_id, _), members in groups.items():
             lane = self._lanes[shard_id]
+            breaker = self.breakers.get(shard_id)
+            if breaker is not None and not breaker.allow():
+                # The lane is tripped (or out of half-open probe slots):
+                # route its requests straight to the global fallback
+                # without touching the scorer.
+                for state in members:
+                    state.active = None
+                    state.degraded = (f"circuit breaker open on "
+                                      f"{shard_label(shard_id)}")
+                    state.error_code = "breaker_open"
+                self.res_counters.bump("breaker_degraded", len(members))
+                continue
             active = members[0].active
             traced = [state for state in members if state.trace is not None]
             began = time.perf_counter() if traced else 0.0
-            try:
-                scored = lane.scorer.score_many(
-                    active.model, [state.paths for state in members],
-                    active.version)
-            except ReproError:
-                self._score_individually(lane, members)
-            else:
+            scored = self._score_group(lane, breaker, members, active)
+            if scored is not None:
                 for state, scores in zip(members, scored):
                     state.scores = scores.tolist()
             if traced:
@@ -557,6 +730,53 @@ class RankingService:
                     state.trace.add("score", began, end,
                                     group_requests=len(members),
                                     group_paths=group_paths)
+
+    def _score_group(self, lane: ShardLane, breaker: CircuitBreaker | None,
+                     members: Sequence[QueryState], active: ActiveModel):
+        """One group's scoring attempt: retry, breaker accounting, faults.
+
+        Transient :class:`ReproError` failures (including injected ones)
+        are retried up to ``retry_attempts`` times with deterministic
+        jittered exponential backoff — but never past the tightest
+        member deadline.  The final outcome is recorded on the lane's
+        breaker (group latency included, so a latency SLO can trip it),
+        and a terminal failure falls back to per-request isolation via
+        :meth:`_score_individually`.
+        """
+        began = time.perf_counter()
+        attempt = 0
+        while True:
+            try:
+                if self.faults is not None:
+                    self.faults.fire("score", shard=lane.shard_id)
+                scored = lane.scorer.score_many(
+                    active.model, [state.paths for state in members],
+                    active.version)
+            except ReproError:
+                if attempt < self.resilience.retry_attempts:
+                    delay_s = retry_backoff(
+                        attempt + 1, self.resilience,
+                        key=(lane.shard_id, active.generation, attempt))
+                    budget = [state.remaining_ms() for state in members]
+                    tightest = min((ms for ms in budget if ms is not None),
+                                   default=None)
+                    if tightest is None or delay_s * 1000.0 < tightest:
+                        attempt += 1
+                        self.res_counters.bump("retries")
+                        if delay_s > 0.0:
+                            time.sleep(delay_s)
+                        continue
+                if breaker is not None:
+                    breaker.record_failure()
+                self._score_individually(lane, members)
+                return None
+            else:
+                if attempt:
+                    self.res_counters.bump("retry_successes")
+                if breaker is not None:
+                    breaker.record_success(
+                        (time.perf_counter() - began) * 1000.0)
+                return scored
 
     def _score_individually(self, lane: ShardLane,
                             states: Sequence[QueryState]) -> None:
@@ -593,6 +813,13 @@ class RankingService:
         elapsed_ms = (end - state.started) * 1000.0
         trace = state.trace
         assemble_began = time.perf_counter() if trace is not None else 0.0
+        if state.error is None and state.expired(end):
+            self._expire(state)
+        if self.faults is not None and state.error is None:
+            try:
+                self.faults.fire("assemble", shard=state.shard)
+            except ReproError as exc:
+                state.error = str(exc)
         if state.error is not None:
             response = self._error_response(state, state.error, elapsed_ms,
                                             record)
@@ -611,7 +838,8 @@ class RankingService:
                 # vertex): recording it would misattribute the error to
                 # shard 0's accounting.
                 self.shard_metrics.record(state.shard, state.cross_shard,
-                                          response.served_by)
+                                          response.served_by,
+                                          resilience=state.error_code)
         if trace is not None:
             trace.add("assemble", assemble_began, time.perf_counter())
             if record:
@@ -711,18 +939,22 @@ class RankingService:
                             served_by="fallback", model_version=None,
                             candidate_cache_hit=state.cache_hit,
                             latency_ms=elapsed_ms, error=cause,
-                            shard=state.shard)
+                            shard=state.shard, error_code=state.error_code)
 
     def _error_response(self, state: QueryState, error: str,
                         elapsed_ms: float,
                         record: bool = True) -> RankResponse:
         if record:
             self.counters.bump("failed")
+        retry_after = None
+        if state.error_code in ("deadline_exceeded", "shed"):
+            retry_after = self.resilience.retry_after_ms
         return RankResponse(request=state.request, results=(),
                             served_by="error", model_version=None,
                             candidate_cache_hit=state.cache_hit,
                             latency_ms=elapsed_ms, error=error,
-                            shard=state.shard)
+                            shard=state.shard, error_code=state.error_code,
+                            retry_after_ms=retry_after)
 
     # ------------------------------------------------------------------
     # Lifecycle / introspection
@@ -776,6 +1008,7 @@ class RankingService:
             "score_cache": (CacheStats.merged(score_stats).as_dict()
                             if score_stats else {"disabled": True}),
             "scoring": scoring,
+            "resilience": self._resilience_stats(),
         }
         if self.tracer.enabled:
             # Only when tracing is on: the section is meaningless (all
@@ -810,6 +1043,26 @@ class RankingService:
                     lane.score_cache.stats.as_dict()
                     if lane.score_cache is not None else {"disabled": True})
             result["sharding"] = sharding
+        return result
+
+    def _resilience_stats(self) -> dict[str, object]:
+        result: dict[str, object] = {
+            "config": {
+                "deadline_ms": self.resilience.deadline_ms,
+                "max_queue": self.resilience.max_queue,
+                "shed_policy": self.resilience.shed_policy,
+                "breaker_enabled": self.resilience.breaker_enabled,
+                "retry_attempts": self.resilience.retry_attempts,
+            },
+            "counters": self.res_counters.as_dict(),
+        }
+        if self.breakers:
+            result["breakers"] = {
+                shard_label(shard_id): breaker.as_dict()
+                for shard_id, breaker in sorted(self.breakers.items())
+            }
+        if self.faults is not None:
+            result["faults"] = self.faults.stats()
         return result
 
     def _active_version_view(self):

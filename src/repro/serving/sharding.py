@@ -115,6 +115,10 @@ class ShardRouter:
         #: it on the full network so same-shard rankings are exactly the
         #: unsharded service's.
         self.local_candidates = local_candidates
+        #: Chaos seam (``route`` injection point): armed by
+        #: :meth:`RankingService.arm_faults`, ``None`` keeps routing at
+        #: a single attribute check.
+        self.faults = None
 
     @property
     def num_shards(self) -> int:
@@ -139,6 +143,8 @@ class ShardRouter:
                 "shard partition is stale: the network changed since it "
                 "was built; re-partition before serving")
         shard = self.partition.shard_of(source)
+        if self.faults is not None:
+            self.faults.fire("route", shard=shard)
         target_shard = self.partition.shard_of(target)
         if shard == target_shard:
             if self.local_candidates:
