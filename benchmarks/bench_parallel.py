@@ -1,0 +1,151 @@
+"""Benchmark E13 — the process-pool execution plane vs inline serving.
+
+Drives the PR-8 execution plane through ``repro.exec.parallel_bench``:
+a closed-loop Zipf workload replayed through ``execution="inline"``
+(the oracle), ``execution="threads"`` (shard/snapshot group fan-out),
+and ``execution="processes"`` at a sweep of worker counts over
+shared-memory CSR + compiled-weight segments.  The result is written
+as ``BENCH_parallel.json``.
+
+Target (asserted standalone at full scale, *on a multi-core host*):
+>= 2x engine throughput at the largest worker count vs one worker.  On
+a single-core machine the sweep records honest numbers and the floor
+stays disarmed — the report's ``cores`` field says which regime it
+measured.  Parity is unconditional at every scale: processes and
+threads responses must be element-wise identical to inline serving,
+and no ``repro-exec-*`` shared-memory segment may outlive the run.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_parallel.py``,
+add ``--smoke`` for the tiny preset) or under pytest, where the smoke
+preset keeps the tier-1 suite fast while still asserting parity,
+dormant-inline neutrality, segment hygiene, and a valid report.
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro.exec.parallel_bench import (
+    apply_overrides,
+    full_config,
+    run_parallel_benchmark,
+    smoke_config,
+    validate_report,
+    write_report,
+)
+
+#: Dormant-seam tolerance: ``execution="inline"`` must serve within a
+#: factor of the field-free default config.  The two arms run the same
+#: code path, so this bounds CI timing jitter, not real overhead; the
+#: full-scale standalone run tightens it.
+SMOKE_DORMANT_FLOOR = 0.5
+FULL_DORMANT_FLOOR = 0.9
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke scale — see conftest.parallel_smoke_report)
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="parallel")
+def test_smoke_processes_parity_is_exact(parallel_smoke_report):
+    """Process-pool responses must be element-wise identical to inline
+    serving (same rankings; workers mirror the fused scoring branch)."""
+    parity = parallel_smoke_report["parity"]["processes"]
+    assert parity["requests"] > 0
+    assert parity["mismatches"] == 0
+    assert parity["max_abs_score_diff"] <= 1e-6
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_smoke_threads_parity_is_exact(parallel_smoke_report):
+    """Thread fan-out coalesces per (shard, snapshot) group but must
+    not change a single response."""
+    parity = parallel_smoke_report["parity"]["threads"]
+    assert parity["requests"] > 0
+    assert parity["mismatches"] == 0
+    assert parity["max_abs_score_diff"] <= 1e-6
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_smoke_dormant_inline_is_free(parallel_smoke_report):
+    """Naming ``execution="inline"`` explicitly must cost nothing next
+    to the field-free default config (the dormant-seam guarantee)."""
+    dormant = parallel_smoke_report["dormant_inline"]
+    assert dormant["throughput_ratio"] >= SMOKE_DORMANT_FLOOR, (
+        f"explicit inline fell to {dormant['throughput_ratio']:.2f}x of "
+        f"the default config")
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_smoke_no_shared_memory_leak(parallel_smoke_report):
+    """Every repro-exec segment must be unlinked when the arms close."""
+    assert parallel_smoke_report["shm"]["leaked_segments"] == []
+    assert parallel_smoke_report["headline"]["leaked_segments"] == 0
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_smoke_sweep_covers_worker_counts(parallel_smoke_report):
+    """The sweep must report one finite throughput entry per worker
+    count, and the pool microbench must have measured round-trips."""
+    sweep = parallel_smoke_report["scaling"]["sweep"]
+    counts = [entry["workers"] for entry in sweep]
+    assert counts == sorted(set(counts)) and len(counts) >= 2
+    assert all(entry["throughput_qps"] > 0 for entry in sweep)
+    assert parallel_smoke_report["pool"]["roundtrip_ms"]["p50"] > 0
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_smoke_report_is_valid_bench_parallel_json(parallel_smoke_report):
+    """The emitted document must round-trip as valid BENCH_parallel.json."""
+    validate_report(parallel_smoke_report)  # raises DataError on violation
+    assert parallel_smoke_report["preset"] == "smoke"
+    assert parallel_smoke_report["cores"] >= 1
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the process-pool execution plane vs "
+                    "inline serving")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny preset (two workers, a few seconds)")
+    parser.add_argument("--out", default="BENCH_parallel.json",
+                        help="report path (default: BENCH_parallel.json)")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--workers", default=None,
+                        help="comma-separated worker counts, e.g. 1,2,4")
+    parser.add_argument("--k", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    config = apply_overrides(
+        smoke_config() if args.smoke else full_config(),
+        requests=args.requests, workers=args.workers,
+        k=args.k, seed=args.seed)
+    report = run_parallel_benchmark(config)
+    write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+
+    if not args.smoke:
+        headline = report["headline"]
+        assert headline["processes_mismatches"] == 0
+        assert headline["threads_mismatches"] == 0
+        assert headline["leaked_segments"] == 0
+        assert headline["dormant_inline_ratio"] >= FULL_DORMANT_FLOOR, (
+            f"dormant inline ratio {headline['dormant_inline_ratio']:.2f} "
+            f"below the {FULL_DORMANT_FLOOR} floor")
+        assertion = report["scaling"]["speedup_assertion"]
+        if assertion["required"]:
+            assert assertion["achieved"] >= assertion["target"], (
+                f"speedup {assertion['achieved']:.2f}x below the "
+                f"{assertion['target']}x floor at "
+                f"{assertion['workers']} workers")
+        else:
+            print(f"speedup floor not armed — {assertion['note']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

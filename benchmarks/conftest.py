@@ -50,15 +50,17 @@ def pytest_collect_file(file_path, parent):
     Benchmark modules are named ``bench_*.py`` and therefore invisible
     to the default ``test_*.py`` collection — the heavyweight table /
     figure benches must stay opt-in.  The routing, scoring, serving,
-    sharding, observability, and robustness benches' smoke modes run in
-    a few seconds combined and guard the CSR kernel, the fused-scoring
-    backend, the concurrent serving engine, the shard plane, the
-    telemetry plane, and the resilience plane (not-slower + parity +
-    valid ``BENCH_*.json``), so they alone are collected explicitly.
+    sharding, observability, robustness, and parallel benches' smoke
+    modes run in a few seconds combined and guard the CSR kernel, the
+    fused-scoring backend, the concurrent serving engine, the shard
+    plane, the telemetry plane, the resilience plane, and the
+    process-pool execution plane (not-slower + parity + valid
+    ``BENCH_*.json``), so they alone are collected explicitly.
     """
     if file_path.name in ("bench_routing.py", "bench_scoring.py",
                           "bench_serving.py", "bench_sharding.py",
-                          "bench_observability.py", "bench_robustness.py"):
+                          "bench_observability.py", "bench_robustness.py",
+                          "bench_parallel.py"):
         return pytest.Module.from_parent(parent, path=file_path)
 
 
@@ -146,6 +148,34 @@ def robustness_smoke_report(tmp_path_factory):
     out = tmp_path_factory.mktemp("robustness") / "BENCH_robustness.json"
     robustness_bench.write_report(report, out)
     return json.loads(out.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="session")
+def parallel_smoke_report(tmp_path_factory):
+    """The execution-plane benchmark at smoke scale, round-tripped
+    through its JSON report so the schema tests exercise what
+    ``bench-parallel`` actually writes.  This wrapper is what wires
+    ``bench_parallel.py`` into the tier-1 test run at a tiny,
+    stable-cost preset."""
+    from repro.exec import parallel_bench
+
+    report = parallel_bench.run_parallel_benchmark(
+        parallel_bench.smoke_config())
+    out = tmp_path_factory.mktemp("parallel") / "BENCH_parallel.json"
+    parallel_bench.write_report(report, out)
+    return json.loads(out.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_shared_memory_leaks():
+    """Session-wide /dev/shm hygiene: whatever the suite spawned, no
+    ``repro-exec-*`` segment may survive the last test."""
+    yield
+    from repro.exec.shm import list_repro_segments
+
+    leaked = list_repro_segments()
+    assert leaked == [], (
+        f"benchmark suite leaked shared-memory segments: {leaked}")
 
 
 @pytest.fixture(scope="session")

@@ -27,6 +27,7 @@ without writing Python::
     python -m repro.cli bench-sharding --out BENCH_sharding.json
     python -m repro.cli bench-observability --out BENCH_observability.json
     python -m repro.cli bench-robustness --out BENCH_robustness.json
+    python -m repro.cli bench-parallel --out BENCH_parallel.json
     python -m repro.cli metrics-dump --timeline /tmp/run.jsonl --format summary
 """
 
@@ -80,12 +81,38 @@ from repro.obs.export import (
     prometheus_snapshot_lines,
     summarise_timeline,
 )
+from repro.exec import parallel_bench
 from repro.serving import robustness_bench, sharding_bench
 from repro.trajectories.dataset import TrajectoryDataset
 from repro.trajectories.drivers import sample_population
 from repro.trajectories.generator import FleetConfig, TrajectoryGenerator
 
 __all__ = ["main", "build_parser"]
+
+
+def _flush_deadline(text: str):
+    """``--flush-deadline-ms`` value: a number of ms, or ``auto``."""
+    if text == "auto":
+        return "auto"
+    try:
+        return float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of milliseconds or 'auto', got {text!r}"
+        ) from None
+
+
+def _add_execution_flags(subparser: argparse.ArgumentParser) -> None:
+    """Execution-plane flags shared by ``serve`` and ``bench-serve``."""
+    subparser.add_argument("--execution",
+                           choices=("inline", "threads", "processes"),
+                           default="inline",
+                           help="execution plane: inline (default), "
+                                "threads (parallel scoring groups), or "
+                                "processes (worker pool over shared-memory "
+                                "CSR + weights)")
+    subparser.add_argument("--workers", type=int, default=2,
+                           help="worker processes for --execution processes")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,8 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--concurrency", type=int, default=0,
                        help="serve through the concurrent engine with this "
                             "many workers (0 = synchronous facade)")
-    serve.add_argument("--flush-deadline-ms", type=float, default=2.0,
-                       help="engine scoring-batch flush deadline")
+    serve.add_argument("--flush-deadline-ms", type=_flush_deadline,
+                       default=2.0,
+                       help="engine scoring-batch flush deadline in ms, or "
+                            "'auto' to derive it from live traffic")
     serve.add_argument("--split", default=None,
                        help="A/B traffic split, e.g. 'v0001=3,v0002=1' "
                             "(weights are normalised)")
@@ -180,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="partitioner behind --shards")
     serve.add_argument("--json", action="store_true",
                        help="print responses and stats as JSON")
+    _add_execution_flags(serve)
     _add_trace_flags(serve)
     _add_resilience_flags(serve)
 
@@ -200,8 +230,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="drive the concurrent engine closed-loop with "
                             "this many clients (0 = batched synchronous "
                             "replay)")
-    bench.add_argument("--flush-deadline-ms", type=float, default=2.0,
-                       help="engine scoring-batch flush deadline")
+    bench.add_argument("--flush-deadline-ms", type=_flush_deadline,
+                       default=2.0,
+                       help="engine scoring-batch flush deadline in ms, or "
+                            "'auto' to derive it from live traffic")
     bench.add_argument("--split", default=None,
                        help="A/B traffic split, e.g. 'v0001=3,v0002=1'")
     bench.add_argument("--qps", type=float, default=None,
@@ -220,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bound each client's response wait; unanswered "
                             "requests count as hung instead of blocking "
                             "(always set this with --fault-spec)")
+    _add_execution_flags(bench)
     _add_trace_flags(bench)
     _add_resilience_flags(bench)
 
@@ -294,6 +327,22 @@ def build_parser() -> argparse.ArgumentParser:
     robustness.add_argument("--seed", type=int, default=None)
     robustness.add_argument("--out", default=None,
                             help="also write the report to this path")
+
+    parallel = commands.add_parser(
+        "bench-parallel",
+        help="measure the process-pool execution plane against inline "
+             "serving (throughput scaling, dispatch overhead, ranking "
+             "parity), report JSON")
+    parallel.add_argument("--smoke", action="store_true",
+                          help="tiny preset (seconds, not minutes)")
+    parallel.add_argument("--requests", type=int, default=None)
+    parallel.add_argument("--workers", default=None,
+                          help="comma-separated worker counts to sweep, "
+                               "e.g. 1,2,4")
+    parallel.add_argument("--k", type=int, default=None)
+    parallel.add_argument("--seed", type=int, default=None)
+    parallel.add_argument("--out", default=None,
+                          help="also write the report to this path")
 
     dump = commands.add_parser(
         "metrics-dump",
@@ -504,6 +553,8 @@ def _build_service(args: argparse.Namespace):
         trace_sample=(1.0 if getattr(args, "trace", False)
                       else getattr(args, "trace_sample", 0.0)),
         resilience=resilience,
+        execution=getattr(args, "execution", "inline"),
+        workers=getattr(args, "workers", 2),
     )
     shards = getattr(args, "shards", 0)
     if shards and shards > 1:
@@ -608,6 +659,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if args.fault_spec is not None:
             service.disarm_faults()
+        service.close()
     if args.json:
         print(json.dumps({
             "responses": [
@@ -659,40 +711,48 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     # pools, cross-shard corridor traffic); unsharded keeps the classic
     # single-pool stream.
     partition = service.sharded.partition if service.sharded else None
-    if args.concurrency > 0:
-        with ServingEngine(service, concurrency=args.concurrency,
-                           flush_deadline_ms=args.flush_deadline_ms) as engine:
-            if args.qps is not None:
-                timed = generate_timed_workload(service.network,
-                                                workload_config,
-                                                rng=args.seed,
-                                                partition=partition)
-                summary = replay_open_loop(
-                    engine, timed, metrics_out=args.metrics_out,
-                    metrics_interval_s=args.metrics_interval_s,
-                    fault_spec=args.fault_spec, fault_seed=args.fault_seed,
-                    wait_timeout_s=args.wait_timeout_s)
-            else:
-                workload = generate_workload(service.network, workload_config,
-                                             rng=args.seed,
-                                             partition=partition)
-                summary = run_engine_workload(
-                    engine, workload, concurrency=args.concurrency,
-                    metrics_out=args.metrics_out,
-                    metrics_interval_s=args.metrics_interval_s,
-                    fault_spec=args.fault_spec, fault_seed=args.fault_seed,
-                    wait_timeout_s=args.wait_timeout_s)
-            summary["stats"] = engine.stats()
-    else:
-        workload = generate_workload(service.network, workload_config,
-                                     rng=args.seed, partition=partition)
-        summary = run_workload(service, workload, batch_size=args.batch_size,
-                               metrics_out=args.metrics_out,
-                               metrics_interval_s=args.metrics_interval_s,
-                               fault_spec=args.fault_spec,
-                               fault_seed=args.fault_seed)
-        if service.tracer.enabled:
-            summary["trace"] = service.tracer.as_dict()
+    try:
+        if args.concurrency > 0:
+            with ServingEngine(
+                    service, concurrency=args.concurrency,
+                    flush_deadline_ms=args.flush_deadline_ms) as engine:
+                if args.qps is not None:
+                    timed = generate_timed_workload(service.network,
+                                                    workload_config,
+                                                    rng=args.seed,
+                                                    partition=partition)
+                    summary = replay_open_loop(
+                        engine, timed, metrics_out=args.metrics_out,
+                        metrics_interval_s=args.metrics_interval_s,
+                        fault_spec=args.fault_spec,
+                        fault_seed=args.fault_seed,
+                        wait_timeout_s=args.wait_timeout_s)
+                else:
+                    workload = generate_workload(service.network,
+                                                 workload_config,
+                                                 rng=args.seed,
+                                                 partition=partition)
+                    summary = run_engine_workload(
+                        engine, workload, concurrency=args.concurrency,
+                        metrics_out=args.metrics_out,
+                        metrics_interval_s=args.metrics_interval_s,
+                        fault_spec=args.fault_spec,
+                        fault_seed=args.fault_seed,
+                        wait_timeout_s=args.wait_timeout_s)
+                summary["stats"] = engine.stats()
+        else:
+            workload = generate_workload(service.network, workload_config,
+                                         rng=args.seed, partition=partition)
+            summary = run_workload(service, workload,
+                                   batch_size=args.batch_size,
+                                   metrics_out=args.metrics_out,
+                                   metrics_interval_s=args.metrics_interval_s,
+                                   fault_spec=args.fault_spec,
+                                   fault_seed=args.fault_seed)
+            if service.tracer.enabled:
+                summary["trace"] = service.tracer.as_dict()
+    finally:
+        service.close()
     print(json.dumps(summary, indent=2))
     return 0
 
@@ -759,6 +819,19 @@ def _cmd_bench_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_parallel(args: argparse.Namespace) -> int:
+    config = parallel_bench.apply_overrides(
+        parallel_bench.smoke_config() if args.smoke
+        else parallel_bench.full_config(),
+        requests=args.requests, workers=args.workers,
+        k=args.k, seed=args.seed)
+    report = parallel_bench.run_parallel_benchmark(config)
+    if args.out:
+        parallel_bench.write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 def _cmd_metrics_dump(args: argparse.Namespace) -> int:
     snapshots = load_timeline(args.timeline)
     if not snapshots:
@@ -788,6 +861,7 @@ _COMMANDS = {
     "bench-sharding": _cmd_bench_sharding,
     "bench-observability": _cmd_bench_observability,
     "bench-robustness": _cmd_bench_robustness,
+    "bench-parallel": _cmd_bench_parallel,
     "metrics-dump": _cmd_metrics_dump,
 }
 

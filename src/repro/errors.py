@@ -100,3 +100,20 @@ class FaultInjected(ServingError):
     retry, trip breakers, degrade — which is the property the
     fault-injection harness exists to prove.
     """
+
+
+class ExecError(ServingError):
+    """Raised for process-pool execution-plane failures.
+
+    Covers dead or unresponsive workers, lost pool tickets, and
+    dispatch on a closed pool.  A :class:`ServingError` on purpose:
+    a sick worker process must look to the serving stack exactly like
+    any other transient scoring failure — retried, breaker-counted,
+    and finally degraded per request — never a hang.
+    """
+
+
+class StaleSegmentError(ExecError):
+    """Raised when a shared-memory segment does not carry the expected
+    content key (graph fingerprint / weight version) — the attach-side
+    guard against scoring on stale hot-state after a swap."""

@@ -58,7 +58,12 @@ try:  # scipy ships with the environment but stays optional: the pure
 except ImportError:  # pragma: no cover - exercised only without scipy
     _HAVE_SCIPY = False
 
-from repro.errors import ConfigError, NoPathError, VertexNotFoundError
+from repro.errors import (
+    ConfigError,
+    GraphError,
+    NoPathError,
+    VertexNotFoundError,
+)
 from repro.graph.network import RoadNetwork
 from repro.graph.shortest_path import CostFunction, length_cost, travel_time_cost
 from repro.rng import RngLike, make_rng
@@ -67,6 +72,7 @@ __all__ = [
     "CSRGraph",
     "csr_for",
     "csr_if_built",
+    "install_csr",
     "get_routing_backend",
     "set_routing_backend",
     "use_routing_backend",
@@ -188,6 +194,12 @@ class CSRGraph:
         key = self._weight_key(cost)
         weights = self._weight_lists.get(key)
         if weights is None:
+            if self._edges is None:
+                raise GraphError(
+                    "custom cost functions are unavailable on a "
+                    "shared-memory CSR replica (edge objects stay in the "
+                    "owner process); precompute the weights there"
+                )
             weights = [float(cost(edge)) for edge in self._edges]
             if weights and min(weights) < 0:
                 raise ValueError(
@@ -850,6 +862,122 @@ class CSRGraph:
         with self._lock:
             return dict(self._profile)
 
+    # ------------------------------------------------------------------
+    # Shared-memory export / import (repro.exec)
+    # ------------------------------------------------------------------
+    def shared_key(self) -> str:
+        """Content key for shared-memory export: ``csr:<digest>``."""
+        return f"csr:{self.fingerprint[2]}"
+
+    def shared_payload(self) -> tuple[dict[str, np.ndarray], dict[str, object]]:
+        """The kernel's immutable hot-state as ``(arrays, meta)``.
+
+        Arrays are everything a worker process needs to route: CSR
+        topology, coordinates, vertex ids, the built-in weight arrays,
+        and any ALT landmark tables already built for the built-in
+        costs.  Exporting the *built* tables matters for parity:
+        landmark selection starts from a random vertex, so a replica
+        rebuilding its own tables could break ties differently from the
+        owner.  Custom cost functions are deliberately not exported —
+        they are closures over edge objects, which stay owner-side.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "x": self.x,
+            "y": self.y,
+            "ids": np.asarray(self.ids, dtype=np.int64),
+        }
+        weight_keys = [key for key in ("length", "travel_time")
+                       if key in self._weight_lists]
+        for key in weight_keys:
+            arrays[f"w:{key}"] = np.asarray(self._weight_lists[key],
+                                            dtype=np.float64)
+        alt_keys = []
+        with self._lock:
+            for key in ("length", "travel_time"):
+                cached = self._alt_tables.get(key)
+                if cached is None:
+                    continue
+                to_l, from_l, landmarks = cached[0], cached[1], cached[2]
+                arrays[f"alt:{key}:to"] = np.asarray(to_l, dtype=np.float64)
+                arrays[f"alt:{key}:from"] = np.asarray(from_l,
+                                                       dtype=np.float64)
+                arrays[f"alt:{key}:landmarks"] = np.asarray(landmarks,
+                                                            dtype=np.int64)
+                alt_keys.append(key)
+        meta: dict[str, object] = {
+            "network_name": self.network_name,
+            "fingerprint": list(self.fingerprint),
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "max_speed_mps": self._max_speed_mps,
+            "weight_keys": weight_keys,
+            "alt_keys": alt_keys,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_shared(cls, arrays: dict[str, np.ndarray],
+                    meta: dict[str, object]) -> "CSRGraph":
+        """Rebuild a routing kernel from a shared segment's payload.
+
+        Topology and coordinate arrays stay zero-copy views into the
+        segment; the pure-Python search loops want plain lists, so the
+        weight/indptr/indices lists are materialised once per process
+        (cheap relative to a spawn, and private to the worker).  The
+        replica has no edge objects: custom cost functions raise
+        :class:`~repro.errors.GraphError` (see :meth:`edge_weights`).
+        """
+        kernel = cls.__new__(cls)
+        kernel.network_name = meta["network_name"]
+        kernel.fingerprint = tuple(meta["fingerprint"])
+        n = int(meta["num_vertices"])
+        kernel.num_vertices = n
+        kernel.ids = [int(vid) for vid in arrays["ids"]]
+        kernel._index = {vid: i for i, vid in enumerate(kernel.ids)}
+        kernel.num_edges = int(meta["num_edges"])
+        kernel.x = arrays["x"]
+        kernel.y = arrays["y"]
+        kernel.indptr = arrays["indptr"]
+        kernel.indices = arrays["indices"]
+        kernel._indptr_list = arrays["indptr"].tolist()
+        kernel._indices_list = arrays["indices"].tolist()
+        kernel._edges = None
+        kernel._max_speed_mps = float(meta["max_speed_mps"])
+        kernel._weight_lists = {key: arrays[f"w:{key}"].tolist()
+                                for key in meta["weight_keys"]}
+        kernel._custom_order = OrderedDict()
+        kernel._forward_adj = {}
+        kernel._reverse_adj = {}
+        kernel._matrices = {}
+        kernel._alt_tables = {}
+        for key in meta["alt_keys"]:
+            kernel._alt_tables[key] = (
+                arrays[f"alt:{key}:to"],
+                arrays[f"alt:{key}:from"],
+                [int(i) for i in arrays[f"alt:{key}:landmarks"]],
+                OrderedDict(),
+            )
+        kernel._dist = [inf] * n
+        kernel._parent = [-1] * n
+        kernel._seen = [0] * n
+        kernel._done = [0] * n
+        kernel._ban = [0] * n
+        kernel._gen = 0
+        kernel._ban_gen = 0
+        kernel._dist_b = [inf] * n
+        kernel._parent_b = [-1] * n
+        kernel._seen_b = [0] * n
+        kernel._done_b = [0] * n
+        kernel._lock = threading.Lock()
+        kernel._profile = {
+            "sssp_runs": 0, "p2p_runs": 0, "astar_runs": 0,
+            "bidirectional_runs": 0, "yen_runs": 0, "yen_spur_searches": 0,
+            "heap_pops": 0, "settled": 0, "alt_pruned": 0,
+        }
+        return kernel
+
     def __repr__(self) -> str:
         return (f"CSRGraph(vertices={self.num_vertices}, "
                 f"edges={self.num_edges}, network={self.network_name!r})")
@@ -934,6 +1062,27 @@ def csr_for(network: RoadNetwork) -> CSRGraph:
             graph = CSRGraph(network)
             _csr_cache[network] = graph
         return graph
+
+
+def install_csr(network: RoadNetwork, kernel: CSRGraph) -> CSRGraph:
+    """Install a pre-built kernel as ``network``'s cached CSR graph.
+
+    The attach side of shared-memory routing: a worker process rebuilds
+    the kernel with :meth:`CSRGraph.from_shared` and installs it here,
+    so every existing consumer (`yen_path_generator`, the diversified
+    generator, serving) transparently routes on the shared arrays via
+    :func:`csr_for`.  The fingerprint must match the live network —
+    installing stale hot-state would silently corrupt results.
+    """
+    if kernel.fingerprint != network.fingerprint:
+        raise GraphError(
+            f"kernel fingerprint {kernel.fingerprint!r} does not match "
+            f"network fingerprint {network.fingerprint!r}; refusing to "
+            "install a stale CSR kernel"
+        )
+    with _csr_cache_lock:
+        _csr_cache[network] = kernel
+    return kernel
 
 
 def csr_if_built(network: RoadNetwork) -> CSRGraph | None:

@@ -344,6 +344,82 @@ class CompiledPathRank:
             profile[f"batch_le_{bucket}"] = batches[bucket]
         return profile
 
+    # ------------------------------------------------------------------
+    # Shared-memory export / import (repro.exec)
+    # ------------------------------------------------------------------
+    def shared_payload(self) -> tuple[dict[str, np.ndarray], dict[str, object]]:
+        """The snapshot's flat weight buffers as ``(arrays, meta)``.
+
+        Everything :meth:`forward` reads is already a contiguous array
+        on this object, so the export is a plain dict of those buffers;
+        :meth:`from_shared` rebuilds a kernel whose weights are
+        zero-copy views into a shared segment.
+        """
+        arrays: dict[str, np.ndarray] = {"embedding": self.embedding}
+        for index, (w_ih, w_hh, b_ih, b_hh) in enumerate(self.gru):
+            arrays[f"gru:{index}:w_ih"] = w_ih
+            arrays[f"gru:{index}:w_hh"] = w_hh
+            arrays[f"gru:{index}:b_ih"] = b_ih
+            arrays[f"gru:{index}:b_hh"] = b_hh
+        arrays["fc1_weight"] = self.fc1_weight
+        arrays["fc1_bias"] = self.fc1_bias
+        arrays["fc2_weight"] = self.fc2_weight
+        arrays["fc2_bias"] = self.fc2_bias
+        if self.pooling == "attention":
+            arrays["attn_proj_weight"] = self.attn_proj_weight
+            arrays["attn_proj_bias"] = self.attn_proj_bias
+            arrays["attn_score_weight"] = self.attn_score_weight
+        meta: dict[str, object] = {
+            "dtype": str(self.dtype),
+            "weight_version": self.weight_version,
+            "pooling": self.pooling,
+            "bidirectional": self.bidirectional,
+            "hidden_size": self.hidden_size,
+            "gru_cells": len(self.gru),
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_shared(cls, arrays: dict[str, np.ndarray],
+                    meta: dict[str, object]) -> "CompiledPathRank":
+        """Rebuild a scoring kernel over a shared segment's buffers.
+
+        The weight views stay zero-copy (the forward pass only reads
+        them); per-thread workspaces and profile counters are fresh and
+        private to the attaching process.
+        """
+        kernel = cls.__new__(cls)
+        kernel.dtype = np.dtype(meta["dtype"])
+        kernel.weight_version = int(meta["weight_version"])
+        kernel.embedding = arrays["embedding"]
+        kernel.pooling = str(meta["pooling"])
+        kernel.bidirectional = bool(meta["bidirectional"])
+        kernel.hidden_size = int(meta["hidden_size"])
+        kernel.gru = [
+            (arrays[f"gru:{index}:w_ih"], arrays[f"gru:{index}:w_hh"],
+             arrays[f"gru:{index}:b_ih"], arrays[f"gru:{index}:b_hh"])
+            for index in range(int(meta["gru_cells"]))
+        ]
+        kernel.fc1_weight = arrays["fc1_weight"]
+        kernel.fc1_bias = arrays["fc1_bias"]
+        kernel.fc2_weight = arrays["fc2_weight"]
+        kernel.fc2_bias = arrays["fc2_bias"]
+        if kernel.pooling == "attention":
+            kernel.attn_proj_weight = arrays["attn_proj_weight"]
+            kernel.attn_proj_bias = arrays["attn_proj_bias"]
+            kernel.attn_score_weight = arrays["attn_score_weight"]
+        kernel.num_vertices, kernel.embedding_dim = kernel.embedding.shape
+        kernel.summary_size = (2 if kernel.bidirectional else 1) \
+            * kernel.hidden_size
+        kernel._tls = threading.local()
+        kernel._profile_lock = threading.Lock()
+        kernel._profile = {
+            "forwards": 0, "paths_scored": 0, "steps_total": 0,
+            "wall_s": 0.0,
+        }
+        kernel._profile_batches = {}
+        return kernel
+
     def _attention_pool(self, outputs: np.ndarray, mask_float: np.ndarray,
                         summary: np.ndarray, workspace: _Workspace) -> None:
         """Masked additive attention, mirroring ``PathRank._attention_pool``."""

@@ -154,9 +154,18 @@ class BatchingScorer:
         # 120-vertex outlier then costs only its own batch.  Scores are
         # scattered back through `resolved`, so ordering is free.
         to_score = sorted(unique.values(), key=lambda path: path.num_vertices)
-        for start in range(0, len(to_score), self.max_batch_size):
-            chunk = to_score[start:start + self.max_batch_size]
-            scores = model.score_paths(chunk)
+        chunks = [to_score[start:start + self.max_batch_size]
+                  for start in range(0, len(to_score), self.max_batch_size)]
+        # Models that can score several chunks concurrently (the
+        # execution plane's pool proxy) expose ``score_paths_many``;
+        # everything upstream of the forward pass — dedup, the score
+        # cache, counters — is identical on both dispatch paths.
+        score_chunks = getattr(model, "score_paths_many", None)
+        if score_chunks is not None and chunks:
+            all_scores = score_chunks(chunks)
+        else:
+            all_scores = (model.score_paths(chunk) for chunk in chunks)
+        for chunk, scores in zip(chunks, all_scores):
             self.batches_run += 1
             self.paths_scored += len(chunk)
             scored = list(zip(chunk, scores.tolist()))

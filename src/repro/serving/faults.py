@@ -22,6 +22,10 @@ point                fires
 ``engine.flush``     per flush batch, in the engine's scoring step
 ``scorer.flush``     per batch, inside :class:`BatchingScorer.flush`
 ``route``            per request, in :class:`ShardRouter.route`
+``exec.worker``      per pool dispatch, in :class:`WorkerPool.submit` —
+                     an ``error`` firing is translated into a real
+                     ``SIGKILL`` of a live worker process, so the
+                     genuine death-detection/respawn path runs
 ===================  =====================================================
 
 Rules support three kinds: ``delay`` (latency spike of ``delay_ms``),
@@ -65,7 +69,8 @@ FAULT_KINDS = ("delay", "error", "hang")
 
 #: Named injection points wired through the serving stack.
 INJECTION_POINTS = ("admit", "prepare", "score", "assemble",
-                    "engine.submit", "engine.flush", "scorer.flush", "route")
+                    "engine.submit", "engine.flush", "scorer.flush", "route",
+                    "exec.worker")
 
 
 @dataclass(frozen=True)

@@ -41,7 +41,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serving.service import RankRequest, RankResponse
     from repro.serving.sharding import ShardRoute
 
-__all__ = ["QueryState", "TrafficSplit", "normalise_split", "assign_split"]
+__all__ = ["QueryState", "TrafficSplit", "normalise_split", "assign_split",
+           "tightest_remaining_ms"]
 
 #: A weighted A/B traffic split: ``((version, weight), ...)``.
 TrafficSplit = tuple[tuple[str, float], ...]
@@ -125,6 +126,24 @@ class QueryState:
     def cross_shard(self) -> bool:
         """Whether the request's endpoints live in different shards."""
         return self.route is not None and self.route.cross
+
+
+def tightest_remaining_ms(states) -> float | None:
+    """The smallest remaining deadline budget across ``states``.
+
+    ``None`` when no member carries a deadline — the bound a scoring
+    group's pool dispatch must respect so the most impatient waiter in
+    a coalesced batch is still answered in time.
+    """
+    tightest: float | None = None
+    now = time.perf_counter()
+    for state in states:
+        remaining = state.remaining_ms(now)
+        if remaining is None:
+            continue
+        if tightest is None or remaining < tightest:
+            tightest = remaining
+    return tightest
 
 
 def normalise_split(split) -> TrafficSplit:

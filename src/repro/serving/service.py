@@ -38,16 +38,27 @@ with its owning shard at admission, candidate generation runs on the
 request's routing graph (full network by default, shard subnetwork
 under ``local_candidates``, cross-shard corridor), and scoring batches
 coalesce per shard lane.
+
+**Execution plane.**  ``ServingConfig.execution`` selects how the
+CPU-bound stages run: ``"inline"`` (the default — behaviour identical
+to before the plane existed), ``"threads"`` (independent scoring
+groups fan out across threads), or ``"processes"`` (an
+:class:`~repro.exec.plane.ExecutionPlane` of worker processes attached
+zero-copy to shared-memory CSR and weight segments executes candidate
+generation and the padded forward passes, sidestepping the GIL).  Every
+offload degrades to its inline path on pool failure, so the plane never
+lowers availability.  See ``docs/parallelism.md``.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
 from repro.core.ranker import generate_candidates, rank_paths
-from repro.errors import NoPathError, ReproError, ServingError
+from repro.errors import ExecError, NoPathError, ReproError, ServingError
 from repro.graph.csr import csr_if_built
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
@@ -71,6 +82,7 @@ from repro.serving.pipeline import (
     TrafficSplit,
     assign_split,
     normalise_split,
+    tightest_remaining_ms,
 )
 from repro.serving.registry import ActiveModel, ModelRegistry
 from repro.serving.resilience import (
@@ -86,10 +98,18 @@ from repro.serving.sharding import (
     ShardRouter,
 )
 
-__all__ = ["ServingConfig", "RankRequest", "RankedPath", "RankResponse",
-           "RankingService"]
+__all__ = ["EXECUTION_MODES", "ServingConfig", "RankRequest", "RankedPath",
+           "RankResponse", "RankingService"]
 
 _UNRESOLVED = object()  # admit() sentinel: "look the snapshot up yourself"
+
+#: Execution-plane modes: ``"inline"`` scores groups sequentially in the
+#: calling thread (the historical behaviour, and the default);
+#: ``"threads"`` fans independent *(shard, snapshot)* groups across
+#: ad-hoc threads; ``"processes"`` additionally offloads candidate
+#: generation and the padded forward passes to a pool of worker
+#: processes over shared-memory hot-state (:mod:`repro.exec`).
+EXECUTION_MODES = ("inline", "threads", "processes")
 
 
 @dataclass(frozen=True)
@@ -135,7 +155,11 @@ class ServingConfig:
     traffic_split: TrafficSplit | None = None
     score_cache_quotas: object = "auto"
     concurrency: int = 4
-    flush_deadline_ms: float = 2.0
+    #: Engine flush deadline in milliseconds, or ``"auto"`` to let the
+    #: engine derive it continuously from the observed arrival rate and
+    #: per-path scoring cost (see
+    #: :class:`~repro.serving.engine.AdaptiveFlushPolicy`).
+    flush_deadline_ms: float | str = 2.0
     cross_shard_policy: str = "corridor"
     local_candidates: bool = False
     #: Fraction of requests carrying a per-stage trace (0 disables
@@ -159,6 +183,14 @@ class ServingConfig:
     fault_spec: object = None
     #: Determinism seed for the fault layer's firing draws.
     fault_seed: int = 0
+    #: Execution plane (see :data:`EXECUTION_MODES`).  The default
+    #: ``"inline"`` keeps the plane fully dormant: no worker processes,
+    #: no shared-memory segments, and stage behaviour bit-identical to
+    #: a service built before the plane existed.
+    execution: str = "inline"
+    #: Worker processes behind ``execution="processes"`` (ignored
+    #: otherwise).
+    workers: int = 2
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -173,10 +205,23 @@ class ServingConfig:
             raise ValueError(
                 f"concurrency must be >= 1, got {self.concurrency}"
             )
-        if self.flush_deadline_ms < 0.0:
+        if isinstance(self.flush_deadline_ms, str):
+            if self.flush_deadline_ms != "auto":
+                raise ValueError(
+                    f"flush_deadline_ms must be a number or 'auto', "
+                    f"got {self.flush_deadline_ms!r}"
+                )
+        elif self.flush_deadline_ms < 0.0:
             raise ValueError(
                 f"flush_deadline_ms must be >= 0, got {self.flush_deadline_ms}"
             )
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, "
+                f"got {self.execution!r}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
         if not 0.0 <= self.trace_sample <= 1.0:
             raise ValueError(
                 f"trace_sample must be in [0, 1], got {self.trace_sample}"
@@ -365,6 +410,9 @@ class RankingService:
              for shard_id in self._lanes}
             if self.resilience.breaker_enabled else {})
         self.faults: FaultInjector | None = None
+        # arm_faults below reaches for the execution plane, which is
+        # only stood up further down — dormant until then.
+        self.plane = None
         if self.config.fault_spec is not None:
             self.arm_faults(self.config.fault_spec,
                             seed=self.config.fault_seed)
@@ -377,6 +425,20 @@ class RankingService:
                              max_exemplars=self.config.trace_exemplars,
                              metrics=self.metrics)
         self._latency_hist = self.metrics.histogram("serving.latency")
+        # Execution plane: dormant unless asked for.  "threads" needs no
+        # machinery (score_states fans groups out with ad-hoc threads);
+        # "processes" stands up shared-memory hot-state plus a warm
+        # worker pool, and subscribes to registry lifecycle events so a
+        # deactivated version's weight segments are unlinked promptly.
+        if self.config.execution == "processes":
+            from repro.exec.plane import ExecutionPlane
+            self.plane = ExecutionPlane(network, workers=self.config.workers,
+                                        faults=self.faults,
+                                        metrics=self.metrics)
+            if self.sharded is not None:
+                self.sharded.subscribe(self._on_registry_event)
+            else:
+                registry.subscribe(self._on_registry_event)
         self._register_metrics()
 
     def _register_metrics(self) -> None:
@@ -402,6 +464,11 @@ class RankingService:
         metrics.register_callback("kernel.routing", self._routing_kernel_view)
         metrics.register_callback("kernel.scoring", self._scoring_kernel_view)
         metrics.register_callback("resilience", self._resilience_view)
+        if self.plane is not None:
+            # exec.pool.* / exec.arena.* next to the exec.roundtrip_ms /
+            # exec.overhead_ms / exec.occupancy histograms the pool
+            # records directly into this registry.
+            metrics.register_callback("exec", self.plane.stats)
         if self.sharded is not None:
             for lane in self.lanes():
                 lane.register_into(metrics)
@@ -461,6 +528,8 @@ class RankingService:
             lane.scorer.faults = injector
         if self.router is not None:
             self.router.faults = injector
+        if self.plane is not None:
+            self.plane.set_faults(injector)
         return injector
 
     def disarm_faults(self) -> None:
@@ -472,6 +541,13 @@ class RankingService:
             lane.scorer.faults = None
         if self.router is not None:
             self.router.faults = None
+        if self.plane is not None:
+            self.plane.set_faults(None)
+
+    def _on_registry_event(self, event: str, version: str) -> None:
+        """Registry lifecycle hook: prune a dead version's shared weights."""
+        if event == "deactivate" and self.plane is not None:
+            self.plane.on_deactivate(version)
 
     def _fire_fault(self, point: str, shard: int | None = None) -> None:
         """Hot-path guard: one attribute check when no injector is armed."""
@@ -660,8 +736,7 @@ class RankingService:
         if cached is not None:
             return cached, True
         try:
-            paths = generate_candidates(graph, request.source, request.target,
-                                        config)
+            paths = self._generate_candidates(state, graph)
         except NoPathError:
             if state.route is None or not state.route.local:
                 raise
@@ -673,6 +748,25 @@ class RankingService:
         lane.candidate_cache.store(request.source, request.target, config,
                                    paths, network=graph)
         return paths, False
+
+    def _generate_candidates(self, state: QueryState, graph) -> list[Path]:
+        """Cold candidate generation, offloaded to the pool when possible.
+
+        Only full-network queries dispatch (the workers attached the
+        full network's CSR; shard subnetworks and corridors stay
+        inline), and a pool failure falls back to inline generation —
+        the plane is a throughput optimisation, never an availability
+        risk.  :class:`~repro.errors.NoPathError` from a worker is the
+        *query's* answer and propagates exactly as inline.
+        """
+        request, config = state.request, state.config
+        if self.plane is not None and graph is self.network:
+            try:
+                return self.plane.candidates_for(state)
+            except ExecError:
+                pass
+        return generate_candidates(graph, request.source, request.target,
+                                   config)
 
     # ------------------------------------------------------------------
     # Stage 3: coalesced scoring
@@ -697,39 +791,62 @@ class RankingService:
             if state.scorable:
                 groups.setdefault((state.shard, state.active.generation),
                                   []).append(state)
-        for (shard_id, _), members in groups.items():
-            lane = self._lanes[shard_id]
-            breaker = self.breakers.get(shard_id)
-            if breaker is not None and not breaker.allow():
-                # The lane is tripped (or out of half-open probe slots):
-                # route its requests straight to the global fallback
-                # without touching the scorer.
-                for state in members:
-                    state.active = None
-                    state.degraded = (f"circuit breaker open on "
-                                      f"{shard_label(shard_id)}")
-                    state.error_code = "breaker_open"
-                self.res_counters.bump("breaker_degraded", len(members))
-                continue
-            active = members[0].active
-            traced = [state for state in members if state.trace is not None]
-            began = time.perf_counter() if traced else 0.0
-            scored = self._score_group(lane, breaker, members, active)
-            if scored is not None:
-                for state, scores in zip(members, scored):
-                    state.scores = scores.tolist()
-            if traced:
-                end = time.perf_counter()
-                group_paths = sum(len(state.paths) for state in members)
-                for state in traced:
-                    if state.prepared_at is not None:
-                        # Time parked between candidate generation and
-                        # this group's scoring pass (deadline batching).
-                        state.trace.add("flush_wait", state.prepared_at,
-                                        began)
-                    state.trace.add("score", began, end,
-                                    group_requests=len(members),
-                                    group_paths=group_paths)
+        if len(groups) > 1 and self.config.execution != "inline":
+            # Parallel group execution: the groups are independent by
+            # construction (disjoint states, per-shard scorers/caches/
+            # breakers), so a flush mixing shards or snapshots scores
+            # them concurrently instead of serialising behind the
+            # largest.  Under "processes" the threads merely wait on
+            # pool tickets, overlapping the workers' forward passes.
+            threads = [
+                threading.Thread(target=self._score_states_group,
+                                 args=(shard_id, members),
+                                 name=f"score-group-{shard_id}")
+                for (shard_id, _), members in groups.items()
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        else:
+            for (shard_id, _), members in groups.items():
+                self._score_states_group(shard_id, members)
+
+    def _score_states_group(self, shard_id: int,
+                            members: list[QueryState]) -> None:
+        """Score one *(shard, snapshot)* group end to end (thread-safe)."""
+        lane = self._lanes[shard_id]
+        breaker = self.breakers.get(shard_id)
+        if breaker is not None and not breaker.allow():
+            # The lane is tripped (or out of half-open probe slots):
+            # route its requests straight to the global fallback
+            # without touching the scorer.
+            for state in members:
+                state.active = None
+                state.degraded = (f"circuit breaker open on "
+                                  f"{shard_label(shard_id)}")
+                state.error_code = "breaker_open"
+            self.res_counters.bump("breaker_degraded", len(members))
+            return
+        active = members[0].active
+        traced = [state for state in members if state.trace is not None]
+        began = time.perf_counter() if traced else 0.0
+        scored = self._score_group(lane, breaker, members, active)
+        if scored is not None:
+            for state, scores in zip(members, scored):
+                state.scores = scores.tolist()
+        if traced:
+            end = time.perf_counter()
+            group_paths = sum(len(state.paths) for state in members)
+            for state in traced:
+                if state.prepared_at is not None:
+                    # Time parked between candidate generation and
+                    # this group's scoring pass (deadline batching).
+                    state.trace.add("flush_wait", state.prepared_at,
+                                    began)
+                state.trace.add("score", began, end,
+                                group_requests=len(members),
+                                group_paths=group_paths)
 
     def _score_group(self, lane: ShardLane, breaker: CircuitBreaker | None,
                      members: Sequence[QueryState], active: ActiveModel):
@@ -745,12 +862,24 @@ class RankingService:
         """
         began = time.perf_counter()
         attempt = 0
+        model = active.model
+        if self.plane is not None and self.plane.scoring_enabled:
+            # Swap in the pool-dispatching proxy: BatchingScorer still
+            # runs dedup/caching/chunking in this process, but each
+            # chunk's forward pass executes on a worker, bounded by the
+            # group's tightest member deadline.  A plane failure here
+            # (segment publish) just keeps the inline model.
+            try:
+                model = self.plane.scoring_proxy(
+                    active, deadline_ms=tightest_remaining_ms(members))
+            except ExecError:
+                model = active.model
         while True:
             try:
                 if self.faults is not None:
                     self.faults.fire("score", shard=lane.shard_id)
                 scored = lane.scorer.score_many(
-                    active.model, [state.paths for state in members],
+                    model, [state.paths for state in members],
                     active.version)
             except ReproError:
                 if attempt < self.resilience.retry_attempts:
@@ -959,6 +1088,24 @@ class RankingService:
     # ------------------------------------------------------------------
     # Lifecycle / introspection
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the execution plane (idempotent; inline no-op).
+
+        Stops the worker processes and unlinks every shared-memory
+        segment this service published.  The service itself keeps
+        answering afterwards — stages fall back to their inline paths —
+        so closing is safe mid-traffic.
+        """
+        plane, self.plane = self.plane, None
+        if plane is not None:
+            plane.close()
+
+    def __enter__(self) -> "RankingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def activate(self, version: str, shards: list[int] | None = None):
         """Hot-swap to ``version`` (in-flight batches keep their snapshot).
 
@@ -1010,6 +1157,14 @@ class RankingService:
             "scoring": scoring,
             "resilience": self._resilience_stats(),
         }
+        if self.config.execution != "inline":
+            # Only when the plane is non-dormant: existing consumers pin
+            # the shape of the default stats payload.
+            execution: dict[str, object] = {"mode": self.config.execution}
+            if self.plane is not None:
+                execution["workers"] = self.config.workers
+                execution.update(self.plane.stats())
+            result["execution"] = execution
         if self.tracer.enabled:
             # Only when tracing is on: the section is meaningless (all
             # zeros) otherwise, and existing consumers pin the shape of

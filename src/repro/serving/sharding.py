@@ -339,6 +339,21 @@ class ShardedRegistry:
         for shard_id in targets:
             self.registry(shard_id).deactivate()
 
+    def subscribe(self, listener) -> None:
+        """Register a lifecycle listener on every shard's registry.
+
+        Shards backed by one shared underlying registry subscribe it
+        once, so a fleet-wide deactivate fires the listener per distinct
+        registry rather than per shard alias.
+        """
+        seen: set[int] = set()
+        for shard_id in self.shard_ids():
+            registry = self.registry(shard_id)
+            if id(registry) in seen:
+                continue
+            seen.add(id(registry))
+            registry.subscribe(listener)
+
     def snapshot(self, shard_id: int) -> ActiveModel | None:
         return self.registry(shard_id).snapshot()
 

@@ -1,0 +1,170 @@
+"""The worker pool: dispatch, kernel parity, and chaos recovery."""
+
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.ranker import generate_candidates
+from repro.errors import ExecError
+from repro.exec.plane import ExecutionPlane
+from repro.exec.pool import WorkerPool
+from repro.exec.shm import SharedArena
+from repro.graph.csr import csr_for
+from repro.nn.fused import resolve_scoring_backend
+
+
+@pytest.fixture(scope="module")
+def plane(exec_network):
+    """One warm two-worker plane shared by the non-destructive tests."""
+    plane = ExecutionPlane(exec_network, workers=2)
+    yield plane
+    plane.close()
+
+
+def _ping_until_recovered(pool, deadline_s: float = 30.0) -> None:
+    """Ping until the respawned incarnation answers.
+
+    A ping dispatched in the short window between a kill and the
+    monitor's respawn is legitimately failed along with the dead
+    worker's other tickets, so recovery is observed by retrying, not by
+    racing the monitor.
+    """
+    deadline = time.monotonic() + deadline_s
+    while True:
+        try:
+            assert pool.run("ping", None, timeout_s=5.0) == "pong"
+            return
+        except ExecError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.05)
+
+
+def _od_pairs(network):
+    """A few well-separated OD pairs, deterministic per network."""
+    ids = sorted(network.vertex_ids())
+    return [(ids[0], ids[-1]), (ids[len(ids) // 3], ids[-2]),
+            (ids[1], ids[2 * len(ids) // 3])]
+
+
+# ----------------------------------------------------------------------
+# Dispatch and parity
+# ----------------------------------------------------------------------
+def test_ping_roundtrip(plane):
+    assert plane.pool.run("ping", None, timeout_s=30.0) == "pong"
+    stats = plane.pool.stats()
+    assert stats["workers"] == 2
+    assert stats["alive"] == 2
+    assert stats["completed"] >= 1
+
+
+def test_candidates_parity_with_inline_generation(plane, exec_network,
+                                                  exec_candidates):
+    """Workers run the identical kernel over the shared CSR arrays, so
+    candidate sets must match the parent's element-wise."""
+    for source, target in _od_pairs(exec_network):
+        inline = generate_candidates(exec_network, source, target,
+                                     exec_candidates)
+        remote = plane.pool.run(
+            "candidates", (source, target, exec_candidates), timeout_s=30.0)
+        assert [tuple(vertices) for vertices in remote] \
+            == [path.vertices for path in inline]
+
+
+def test_unknown_vertex_ships_back_as_exec_error(plane, exec_network,
+                                                 exec_candidates):
+    with pytest.raises(ExecError, match="failed 'candidates'"):
+        plane.pool.run("candidates", (10 ** 9, 0, exec_candidates),
+                       timeout_s=30.0)
+
+
+def test_unknown_job_kind_fails_cleanly(plane):
+    with pytest.raises(ExecError, match="unknown job kind"):
+        plane.pool.run("frobnicate", None, timeout_s=30.0)
+
+
+@pytest.mark.skipif(resolve_scoring_backend() != "fused",
+                    reason="process scoring requires the fused backend")
+def test_score_parity_is_bitwise(plane, exec_network, exec_ranker,
+                                 exec_candidates):
+    """The worker mirrors ``PathRank.score_paths``' fused branch over
+    shared weight buffers: same arithmetic, bitwise-equal scores."""
+    source, target = _od_pairs(exec_network)[0]
+    paths = generate_candidates(exec_network, source, target,
+                                exec_candidates)
+    active = SimpleNamespace(model=exec_ranker.model, version="v-parity")
+    proxy = plane.scoring_proxy(active)
+    remote = proxy.score_paths(paths)
+    inline = np.asarray(exec_ranker.model.score_paths(paths),
+                        dtype=np.float64)
+    assert remote.dtype == np.float64
+    np.testing.assert_array_equal(remote, inline)
+    # The weight segment is tracked for deactivation pruning.
+    assert any(key.startswith("weights:v-parity:")
+               for key in plane.arena.keys())
+    assert plane.on_deactivate("v-parity") == 1
+    assert not any(key.startswith("weights:v-parity:")
+                   for key in plane.arena.keys())
+
+
+# ----------------------------------------------------------------------
+# Chaos: death, hangs, staleness
+# ----------------------------------------------------------------------
+def test_worker_death_fails_inflight_and_respawns(exec_network):
+    plane = ExecutionPlane(exec_network, workers=1)
+    try:
+        pool = plane.pool
+        ticket = pool.submit("hang", None)
+        pool.kill_worker(0)
+        with pytest.raises(ExecError, match="died"):
+            ticket.wait(30.0)
+        # The monitor respawns the slot; the pool must serve again.
+        _ping_until_recovered(pool)
+        stats = pool.stats()
+        assert stats["respawns"] >= 1
+        assert stats["failed"] >= 1
+        assert stats["alive"] == 1
+    finally:
+        plane.close()
+
+
+def test_waiter_deadline_kills_hung_worker_and_recovers(exec_network):
+    plane = ExecutionPlane(exec_network, workers=1)
+    try:
+        pool = plane.pool
+        ticket = pool.submit("hang", None)
+        with pytest.raises(ExecError, match="timed out"):
+            ticket.wait(0.5)
+        assert pool.stats()["timeouts"] == 1
+        _ping_until_recovered(pool)
+    finally:
+        plane.close()
+
+
+def test_stale_csr_key_rejected_at_worker_warmup(exec_network):
+    """A worker handed a segment whose key does not match what it was
+    told to expect must refuse to install it — warmup fails loudly
+    instead of silently routing on stale hot-state."""
+    kernel = csr_for(exec_network)
+    arrays, meta = kernel.shared_payload()
+    arena = SharedArena()
+    pool = None
+    try:
+        segment = arena.publish("csr:stale-test", arrays, meta)
+        pool = WorkerPool(exec_network, workers=1, csr_name=segment.name,
+                          csr_key="csr:" + "0" * 32)
+        with pytest.raises(ExecError, match="StaleSegmentError"):
+            pool.wait_ready(3.0)
+    finally:
+        if pool is not None:
+            pool.close()
+        arena.close()
+
+
+def test_submit_after_close_raises(exec_network):
+    plane = ExecutionPlane(exec_network, workers=1)
+    plane.close()
+    with pytest.raises(ExecError, match="closed"):
+        plane.pool.submit("ping", None)

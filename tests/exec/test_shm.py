@@ -1,0 +1,159 @@
+"""Shared-memory segments: layout, refcounts, staleness, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecError, StaleSegmentError
+from repro.exec.shm import (
+    SEGMENT_PREFIX,
+    SharedArena,
+    attach_segment,
+    attached_refs,
+    create_segment,
+    list_repro_segments,
+)
+
+
+def _arrays() -> dict[str, np.ndarray]:
+    return {
+        "indptr": np.arange(7, dtype=np.int64),
+        "weights": np.linspace(0.0, 1.0, 12, dtype=np.float64),
+        "table": np.arange(6, dtype=np.float32).reshape(2, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# create / attach round trip
+# ----------------------------------------------------------------------
+def test_create_attach_roundtrip_preserves_arrays_and_meta():
+    arrays = _arrays()
+    segment = create_segment("csr:test-roundtrip", arrays,
+                             meta={"num_vertices": 6})
+    try:
+        assert segment.name.startswith(SEGMENT_PREFIX)
+        attached = attach_segment(segment.name,
+                                  expect_key="csr:test-roundtrip")
+        try:
+            assert attached.key == "csr:test-roundtrip"
+            assert attached.meta == {"num_vertices": 6}
+            assert set(attached.arrays) == set(arrays)
+            for name, original in arrays.items():
+                view = attached.arrays[name]
+                assert view.dtype == original.dtype
+                assert view.shape == original.shape
+                np.testing.assert_array_equal(view, original)
+        finally:
+            attached.detach()
+    finally:
+        segment.close()
+
+
+def test_attached_views_are_read_only():
+    segment = create_segment("csr:test-readonly", _arrays())
+    try:
+        attached = attach_segment(segment.name)
+        try:
+            with pytest.raises(ValueError):
+                attached.arrays["weights"][0] = 42.0
+        finally:
+            attached.detach()
+    finally:
+        segment.close()
+
+
+def test_attach_refcounts_per_process():
+    segment = create_segment("csr:test-refs", _arrays())
+    try:
+        assert attached_refs(segment.name) == 0
+        first = attach_segment(segment.name)
+        second = attach_segment(segment.name)
+        assert attached_refs(segment.name) == 2
+        # The two handles share one per-process mapping.
+        assert first.arrays["indptr"].base is not None
+        first.detach()
+        first.detach()  # idempotent per handle: still one reference out
+        assert attached_refs(segment.name) == 1
+        second.detach()
+        assert attached_refs(segment.name) == 0
+    finally:
+        segment.close()
+
+
+def test_attach_missing_segment_raises():
+    with pytest.raises(ExecError, match="does not exist"):
+        attach_segment(f"{SEGMENT_PREFIX}ffffffff-0000000000")
+
+
+# ----------------------------------------------------------------------
+# staleness guard
+# ----------------------------------------------------------------------
+def test_stale_key_rejected_without_leaking_a_reference():
+    segment = create_segment("weights:v1:1:float32", _arrays())
+    try:
+        with pytest.raises(StaleSegmentError, match="stale hot-state"):
+            attach_segment(segment.name, expect_key="weights:v2:7:float32")
+        # The rejected attach must not pin the mapping.
+        assert attached_refs(segment.name) == 0
+    finally:
+        segment.close()
+
+
+# ----------------------------------------------------------------------
+# owner lifecycle
+# ----------------------------------------------------------------------
+def test_owner_close_unlinks_from_dev_shm():
+    segment = create_segment("csr:test-unlink", _arrays())
+    assert segment.name in list_repro_segments()
+    segment.close()
+    assert segment.name not in list_repro_segments()
+    assert segment.closed
+    segment.close()  # idempotent
+    with pytest.raises(ExecError):
+        attach_segment(segment.name)
+
+
+# ----------------------------------------------------------------------
+# arena
+# ----------------------------------------------------------------------
+def test_arena_publish_is_idempotent_per_key():
+    arena = SharedArena()
+    try:
+        first = arena.publish("csr:a", _arrays())
+        again = arena.publish("csr:a", _arrays())
+        assert again is first
+        assert arena.keys() == ["csr:a"]
+        assert arena.get("csr:a") is first
+        assert arena.get("csr:missing") is None
+    finally:
+        arena.close()
+    assert arena.keys() == []
+
+
+def test_arena_drop_unlinks_one_key():
+    arena = SharedArena()
+    try:
+        segment = arena.publish("weights:v1:1:float32", _arrays())
+        arena.publish("csr:keep", _arrays())
+        assert arena.drop("weights:v1:1:float32") is True
+        assert arena.drop("weights:v1:1:float32") is False
+        assert segment.name not in list_repro_segments()
+        assert arena.keys() == ["csr:keep"]
+    finally:
+        arena.close()
+
+
+def test_arena_drop_where_prunes_by_predicate():
+    arena = SharedArena()
+    try:
+        arena.publish("weights:v1:1:float32", _arrays())
+        arena.publish("weights:v2:1:float32", _arrays())
+        arena.publish("csr:keep", _arrays())
+        dropped = arena.drop_where(lambda key: key.startswith("weights:v1"))
+        assert dropped == 1
+        assert arena.keys() == ["csr:keep", "weights:v2:1:float32"]
+        stats = arena.stats()
+        assert stats["segments"] == 2
+        assert stats["bytes"] > 0
+        assert stats["keys"] == arena.keys()
+    finally:
+        arena.close()
