@@ -1,0 +1,135 @@
+"""Benchmark E18 — contraction hierarchies: CH lane vs the CSR lanes.
+
+Compares the third routing lane (preprocessed contraction hierarchy,
+``backend="ch"``) against both states of the CSR kernel's
+point-to-point search — the cold early-exit Dijkstra lane and the
+ALT-warmed A* lane — plus Yen candidate generation, on generated grid
+networks, and writes the result as ``BENCH_ch.json``.  Every timed
+block is parity-checked on vertex sequences *and* costs: a lane that
+returns a different path fails the run instead of reporting a bogus
+speedup.
+
+Floors (asserted standalone at full scale, honest-gate convention of
+``bench_parallel.py``):
+
+* **search effort** — the CH query settles at least **5x** fewer
+  vertices than the cold Dijkstra lane on the largest grid; always
+  armed at full scale (settle counts are deterministic, no jitter).
+* **wall clock vs ALT** — armed only when the measured settle counts
+  leave 5x of room; on small planar grids ALT's goal direction already
+  settles barely more vertices than the path is long, so the report
+  records the measured ratio with the floor honestly disarmed.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_ch.py``, add
+``--smoke`` for the tiny preset) or under pytest, where the smoke
+preset keeps the tier-1 suite fast while still asserting exact parity
+between the lanes and that the report parses as valid
+``BENCH_ch.json``.
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro.graph.ch_bench import (
+    apply_overrides,
+    full_config,
+    run_ch_benchmark,
+    smoke_config,
+    validate_report,
+    write_report,
+)
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke scale — see conftest.ch_smoke_report)
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="ch")
+def test_smoke_ch_paths_match_csr_lanes_exactly(ch_smoke_report):
+    """The hierarchy must return byte-identical paths: zero mismatched
+    vertex sequences and costs equal up to float summation order."""
+    for entry in ch_smoke_report["networks"]:
+        parity = entry["parity"]
+        assert parity["path_mismatches"] == 0, (
+            f"{entry['name']}: {parity['path_mismatches']} CH paths "
+            f"differ from the CSR lanes")
+        assert parity["cost_max_abs_diff"] <= 1e-9, (
+            f"{entry['name']}: cost diff {parity['cost_max_abs_diff']}")
+
+
+@pytest.mark.benchmark(group="ch")
+def test_smoke_report_is_valid_bench_ch_json(ch_smoke_report):
+    """The emitted document must round-trip as valid BENCH_ch.json."""
+    validate_report(ch_smoke_report)  # raises DataError on violation
+    assert ch_smoke_report["preset"] == "smoke"
+    for name in ("effort_assertion", "speedup_assertion"):
+        assert not ch_smoke_report[name]["required"], (
+            f"{name} must stay disarmed at smoke scale")
+
+
+@pytest.mark.benchmark(group="ch")
+def test_smoke_hierarchy_actually_contracted(ch_smoke_report):
+    """A hierarchy with no shortcuts would be a plain bidirectional
+    Dijkstra in disguise; even the smoke grid must contract."""
+    for entry in ch_smoke_report["networks"]:
+        assert entry["ch_shortcuts"] > 0, (
+            f"{entry['name']}: contraction produced no shortcuts")
+        assert entry["ch_build_ms"] > 0.0
+
+
+@pytest.mark.benchmark(group="ch")
+def test_smoke_ch_cuts_search_effort(ch_smoke_report):
+    """Even at smoke scale the upward search must beat the cold lane's
+    settle count — the scalable claim behind the hierarchy."""
+    for entry in ch_smoke_report["networks"]:
+        effort = entry["query_effort"]
+        assert effort["settle_reduction_vs_dijkstra"] > 1.0, (
+            f"{entry['name']}: CH settled {effort['ch_settled_per_query']} "
+            f"vs cold Dijkstra {effort['dijkstra_settled_per_query']}")
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the contraction-hierarchy routing lane")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny preset (one small grid, sub-second)")
+    parser.add_argument("--out", default="BENCH_ch.json",
+                        help="report path (default: BENCH_ch.json)")
+    parser.add_argument("--sizes", default=None,
+                        help="comma-separated grid sizes, e.g. 12,24,40")
+    parser.add_argument("--k", type=int, default=None,
+                        help="paths per Yen query")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--backend", default=None, choices=("csr", "dict"),
+                        help="baseline lanes to time (default csr; dict "
+                             "adds the slow reference lane)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="also benchmark per-shard hierarchy builds "
+                             "and corridor certificates at this shard "
+                             "count")
+    args = parser.parse_args(argv)
+
+    config = apply_overrides(smoke_config() if args.smoke else full_config(),
+                             sizes=args.sizes, k=args.k, seed=args.seed,
+                             baseline=args.backend, shards=args.shards)
+    report = run_ch_benchmark(config)
+    write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+
+    for name in ("effort_assertion", "speedup_assertion"):
+        assertion = report[name]
+        if assertion["required"]:
+            assert assertion["achieved"] >= assertion["target"], (
+                f"{name}: {assertion['achieved']:.2f}x below the "
+                f"{assertion['target']}x floor on {assertion['network']}")
+        else:
+            print(f"{name} not armed — {assertion['note']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

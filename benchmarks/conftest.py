@@ -50,17 +50,18 @@ def pytest_collect_file(file_path, parent):
     Benchmark modules are named ``bench_*.py`` and therefore invisible
     to the default ``test_*.py`` collection — the heavyweight table /
     figure benches must stay opt-in.  The routing, scoring, serving,
-    sharding, observability, robustness, and parallel benches' smoke
-    modes run in a few seconds combined and guard the CSR kernel, the
-    fused-scoring backend, the concurrent serving engine, the shard
-    plane, the telemetry plane, the resilience plane, and the
-    process-pool execution plane (not-slower + parity + valid
-    ``BENCH_*.json``), so they alone are collected explicitly.
+    sharding, observability, robustness, parallel, and CH benches'
+    smoke modes run in a few seconds combined and guard the CSR kernel,
+    the fused-scoring backend, the concurrent serving engine, the shard
+    plane, the telemetry plane, the resilience plane, the process-pool
+    execution plane, and the contraction-hierarchy routing lane
+    (not-slower + parity + valid ``BENCH_*.json``), so they alone are
+    collected explicitly.
     """
     if file_path.name in ("bench_routing.py", "bench_scoring.py",
                           "bench_serving.py", "bench_sharding.py",
                           "bench_observability.py", "bench_robustness.py",
-                          "bench_parallel.py"):
+                          "bench_parallel.py", "bench_ch.py"):
         return pytest.Module.from_parent(parent, path=file_path)
 
 
@@ -73,6 +74,21 @@ def routing_smoke_report(tmp_path_factory):
     report = run_routing_benchmark(smoke_config())
     out = tmp_path_factory.mktemp("routing") / "BENCH_routing.json"
     write_report(report, out)
+    return json.loads(out.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="session")
+def ch_smoke_report(tmp_path_factory):
+    """The contraction-hierarchy benchmark at smoke scale, round-tripped
+    through its JSON report so the schema tests exercise what
+    ``bench-ch`` actually writes.  This wrapper is what wires
+    ``bench_ch.py`` into the tier-1 test run at a tiny, stable-cost
+    preset."""
+    from repro.graph import ch_bench
+
+    report = ch_bench.run_ch_benchmark(ch_bench.smoke_config())
+    out = tmp_path_factory.mktemp("ch") / "BENCH_ch.json"
+    ch_bench.write_report(report, out)
     return json.loads(out.read_text(encoding="utf-8"))
 
 

@@ -23,6 +23,7 @@ without writing Python::
         --model /tmp/model.npz --concurrency 16 --deadline-ms 50 \
         --max-queue 64 --shed-policy degrade --fault-spec 'score@1:error'
     python -m repro.cli bench-routing --out BENCH_routing.json
+    python -m repro.cli bench-ch --out BENCH_ch.json --shards 4
     python -m repro.cli bench-scoring --out BENCH_scoring.json
     python -m repro.cli bench-sharding --out BENCH_sharding.json
     python -m repro.cli bench-observability --out BENCH_observability.json
@@ -48,6 +49,7 @@ from repro.graph.builders import grid_network, north_jutland_like, ring_radial_n
 from repro.graph.io import load_network_json, save_network_json
 from repro.graph.osm import save_osm_xml
 from repro.core import scoring_bench
+from repro.graph import ch_bench
 from repro.graph.routing_bench import (
     apply_overrides,
     full_config,
@@ -268,6 +270,26 @@ def build_parser() -> argparse.ArgumentParser:
     routing.add_argument("--seed", type=int, default=None)
     routing.add_argument("--out", default=None,
                          help="also write the report to this path")
+
+    ch = commands.add_parser(
+        "bench-ch",
+        help="benchmark the contraction-hierarchy routing lane vs ALT, "
+             "report JSON")
+    ch.add_argument("--smoke", action="store_true",
+                    help="tiny sub-second preset")
+    ch.add_argument("--sizes", default=None,
+                    help="comma-separated grid sizes, e.g. 12,24,40")
+    ch.add_argument("--k", type=int, default=None,
+                    help="paths per Yen query")
+    ch.add_argument("--seed", type=int, default=None)
+    ch.add_argument("--backend", default=None, choices=("csr", "dict"),
+                    help="baseline lane to compare against "
+                         "(default csr = ALT A*)")
+    ch.add_argument("--shards", type=int, default=None,
+                    help="also benchmark per-shard hierarchy builds and "
+                         "corridor certificates at this shard count")
+    ch.add_argument("--out", default=None,
+                    help="also write the report to this path")
 
     scoring = commands.add_parser(
         "bench-scoring",
@@ -767,6 +789,18 @@ def _cmd_bench_routing(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_ch(args: argparse.Namespace) -> int:
+    config = ch_bench.apply_overrides(
+        ch_bench.smoke_config() if args.smoke else ch_bench.full_config(),
+        sizes=args.sizes, k=args.k, seed=args.seed,
+        baseline=args.backend, shards=args.shards)
+    report = ch_bench.run_ch_benchmark(config)
+    if args.out:
+        ch_bench.write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 def _cmd_bench_scoring(args: argparse.Namespace) -> int:
     config = scoring_bench.apply_overrides(
         scoring_bench.smoke_config() if args.smoke
@@ -857,6 +891,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
     "bench-routing": _cmd_bench_routing,
+    "bench-ch": _cmd_bench_ch,
     "bench-scoring": _cmd_bench_scoring,
     "bench-sharding": _cmd_bench_sharding,
     "bench-observability": _cmd_bench_observability,

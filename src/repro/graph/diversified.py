@@ -14,13 +14,35 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.graph import csr
 from repro.graph.ksp import yen_path_generator
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
-from repro.graph.shortest_path import CostFunction, length_cost
-from repro.graph.similarity import SimilarityFunction, weighted_jaccard
+from repro.graph.shortest_path import (
+    CostFunction,
+    length_cost,
+    travel_time_cost,
+)
+from repro.graph.similarity import (
+    SimilarityFunction,
+    jaccard,
+    time_weighted_jaccard,
+    vertex_jaccard,
+    weighted_jaccard,
+)
 
 __all__ = ["DiversifiedResult", "diversified_top_k"]
+
+#: Built-in similarity functions with a kernel-native equivalent; the
+#: value names the per-edge weighting the CSR-side filter applies.
+#: Custom similarity callables are absent and fall back to the
+#: Path-based filter.
+_KERNEL_SIMILARITY: dict[SimilarityFunction, str] = {
+    weighted_jaccard: "length",
+    time_weighted_jaccard: "travel_time",
+    jaccard: "count",
+    vertex_jaccard: "vertex",
+}
 
 #: Upper bound on Yen paths examined per query before giving up on
 #: filling all k diverse slots.  Guards against pathological queries
@@ -81,6 +103,12 @@ def diversified_top_k(
             f"examine_limit ({examine_limit}) must be at least k ({k})"
         )
 
+    resolved = csr.resolve_backend(backend)
+    mode = _KERNEL_SIMILARITY.get(similarity)
+    if resolved != "dict" and mode is not None:
+        return _kernel_diversified(network, source, target, k, threshold,
+                                   cost, mode, examine_limit, resolved)
+
     kept: list[Path] = []
     examined = 0
     exhausted = True
@@ -93,4 +121,81 @@ def diversified_top_k(
                 exhausted = False
                 break
     return DiversifiedResult(paths=tuple(kept), examined=examined,
+                             exhausted=exhausted)
+
+
+def _kernel_diversified(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    k: int,
+    threshold: float,
+    cost: CostFunction | None,
+    mode: str,
+    examine_limit: int,
+    resolved: str,
+) -> DiversifiedResult:
+    """Diversified selection with the similarity filter on CSR arrays.
+
+    Rejected candidates dominate diversified enumeration (a tight
+    threshold examines hundreds of Yen paths to keep a handful), and
+    building a :class:`Path` per examined candidate — vertex/edge
+    validation, length accumulation — costs more than the similarity
+    check itself.  Here candidates stay ``(vertex ids, edge positions)``
+    while being filtered, similarity runs over CSR edge-position sets
+    with the kernel's weight arrays, and only *accepted* paths are
+    materialised, in cost order, at the end.  Results match the
+    Path-based filter exactly up to float summation order.
+    """
+    kernel = csr.csr_for(network)
+    p2p = kernel.ch_p2p(cost) if resolved == "ch" else None
+    index = kernel._index
+    edge_index = kernel._edge_index
+    if mode == "length":
+        weights = kernel.edge_weights(length_cost)
+    elif mode == "travel_time":
+        weights = kernel.edge_weights(travel_time_cost)
+    else:  # "count" (unweighted edges) and "vertex" need no weights
+        weights = None
+
+    kept_ids: list[tuple[int, ...]] = []
+    kept_sigs: list[frozenset[int]] = []
+    examined = 0
+    exhausted = True
+    for vertex_ids, _ in kernel.yen_ids(source, target, cost,
+                                        max_paths=examine_limit, p2p=p2p):
+        examined += 1
+        if mode == "vertex":
+            sig = frozenset(vertex_ids)
+        else:
+            idxs = [index[v] for v in vertex_ids]
+            sig = frozenset(edge_index(u, v)
+                            for u, v in zip(idxs, idxs[1:]))
+        accept = True
+        for other in kept_sigs:
+            shared = sig & other
+            if weights is None:
+                union = len(sig) + len(other) - len(shared)
+                similarity_value = len(shared) / union if union else 0.0
+            else:
+                union_weight = 0.0
+                shared_weight = 0.0
+                for position in sig | other:
+                    weight = weights[position]
+                    union_weight += weight
+                    if position in shared:
+                        shared_weight += weight
+                similarity_value = (shared_weight / union_weight
+                                    if union_weight else 0.0)
+            if similarity_value > threshold:
+                accept = False
+                break
+        if accept:
+            kept_sigs.append(sig)
+            kept_ids.append(tuple(vertex_ids))
+            if len(kept_ids) == k:
+                exhausted = False
+                break
+    paths = tuple(Path(network, vertices) for vertices in kept_ids)
+    return DiversifiedResult(paths=paths, examined=examined,
                              exhausted=exhausted)

@@ -43,10 +43,15 @@ def yen_path_generator(
     Raises :class:`NoPathError` immediately when no path exists at all;
     otherwise yields until the path space or ``max_paths`` is exhausted.
     """
-    if csr.resolve_backend(backend) == "csr":
+    resolved = csr.resolve_backend(backend)
+    if resolved != "dict":
         kernel = csr.csr_for(network)
+        # Under the "ch" lane the initial (unbanned) search rides the
+        # contraction hierarchy; spur searches carry bans, so they stay
+        # on ALT A* inside yen_ids either way.
+        p2p = kernel.ch_p2p(cost) if resolved == "ch" else None
         for vertices, _ in kernel.yen_ids(source, target, cost,
-                                          max_paths=max_paths):
+                                          max_paths=max_paths, p2p=p2p):
             yield Path(network, vertices)
         return
 

@@ -40,14 +40,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigError, VertexNotFoundError
+from repro.errors import ConfigError, NoPathError, VertexNotFoundError
 from repro.graph.csr import csr_for
 from repro.graph.network import RoadNetwork
 from repro.rng import RngLike, make_rng
 
-__all__ = ["RegionShard", "GraphPartition", "grid_partition",
-           "bfs_partition", "voronoi_partition", "partition_network",
-           "PARTITION_METHODS"]
+__all__ = ["RegionShard", "GraphPartition", "CorridorCertificate",
+           "grid_partition", "bfs_partition", "voronoi_partition",
+           "partition_network", "PARTITION_METHODS"]
 
 
 @dataclass(frozen=True)
@@ -130,6 +130,7 @@ class GraphPartition:
         )
         self._subnetworks: dict[int, RoadNetwork] = {}
         self._corridors: dict[frozenset[int], RoadNetwork] = {}
+        self._certificates: dict[frozenset[int], CorridorCertificate] = {}
         # Serialises memo construction: the serving engine's admission
         # workers route concurrently, and racing first-requests must not
         # each build (and later CSR-compile) their own copy of the same
@@ -202,6 +203,44 @@ class GraphPartition:
                 self._corridors[key] = cached
             return cached
 
+    def corridor_certificate(self, shard_a: int,
+                             shard_b: int) -> "CorridorCertificate":
+        """The exactness certificate for one shard pair (memoised)."""
+        key = frozenset((shard_a, shard_b))
+        cached = self._certificates.get(key)
+        if cached is not None:
+            return cached
+        corridor = self.corridor(shard_a, shard_b)
+        with self._derive_lock:
+            cached = self._certificates.get(key)
+            if cached is None:
+                cached = CorridorCertificate(self.network, corridor)
+                self._certificates[key] = cached
+            return cached
+
+    def ensure_hierarchies(self, cost=None,
+                           include_corridors: bool = False,
+                           ) -> dict[str, float]:
+        """Prebuild contraction hierarchies for every shard subnetwork.
+
+        Under the ``"ch"`` routing backend each shard-restricted graph
+        lazily builds its own hierarchy on first use; this warm-up pays
+        those builds up front (e.g. before serving opens) and returns
+        ``{graph name: build ms}``.  Corridors are quadratic in the
+        shard count and memoised lazily, so prebuilding them is opt-in.
+        """
+        built: dict[str, float] = {}
+        for shard in self.shards:
+            subnetwork = self.subnetwork(shard.shard_id)
+            built[subnetwork.name] = csr_for(subnetwork).ensure_ch(cost).build_ms
+        if include_corridors:
+            for a in range(self.num_shards):
+                for b in range(a + 1, self.num_shards):
+                    corridor = self.corridor(a, b)
+                    built[corridor.name] = (
+                        csr_for(corridor).ensure_ch(cost).build_ms)
+        return built
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -225,6 +264,93 @@ class GraphPartition:
         sizes = ", ".join(str(shard.size) for shard in self.shards)
         return (f"GraphPartition(shards={self.num_shards}, sizes=[{sizes}], "
                 f"cut_edges={self.cut_edges})")
+
+
+class CorridorCertificate:
+    """Per-query exactness certificate for a cross-shard corridor.
+
+    A corridor (the union subgraph of the two endpoint shards) answers a
+    cross-shard query exactly *unless* the true shortest path detours
+    through a third shard.  Any such detour must pass through an
+    **exterior gateway** — a vertex outside the corridor with an edge
+    into it — so its cost is at least
+    ``min over gateways w of  euclid(s, w) + euclid(w, t)``
+    (an admissible bound for the length cost; divided by the network's
+    maximum speed it bounds travel time).  When the corridor's own
+    shortest-path cost does not exceed that bound, no exterior route can
+    beat it and the corridor result is certified globally exact;
+    otherwise the query must widen to the full network.
+
+    The gateway set and its coordinate arrays are computed once per
+    shard pair; certification is then one corridor point-to-point query
+    (near-free under the CH lane) plus a vectorised euclidean sweep.
+    """
+
+    #: Weight keys the euclidean gateway bound is admissible for.
+    _GEOMETRIC_KEYS = ("length", "travel_time")
+
+    def __init__(self, network: RoadNetwork, corridor: RoadNetwork) -> None:
+        self.corridor = corridor
+        kernel = csr_for(network)
+        inside = set(corridor.vertex_ids())
+        gateways: set[int] = set()
+        for edge in network.edges():
+            source_in = edge.source in inside
+            target_in = edge.target in inside
+            if source_in != target_in:
+                gateways.add(edge.target if source_in else edge.source)
+        self.num_gateways = len(gateways)
+        gateway_indices = [kernel.index_of(vid) for vid in sorted(gateways)]
+        self._gx = kernel.x[gateway_indices]
+        self._gy = kernel.y[gateway_indices]
+        self._x = kernel.x
+        self._y = kernel.y
+        self._index = kernel.index_of
+        self._max_speed_mps = kernel._max_speed_mps
+
+    def exterior_bound(self, source: int, target: int,
+                       cost=None) -> float:
+        """Lower bound on any ``source -> target`` path that leaves the
+        corridor (``inf`` when no exterior gateway exists); ``-inf`` for
+        custom costs, which the euclidean geometry cannot bound."""
+        from repro.graph.shortest_path import length_cost, travel_time_cost
+
+        if cost is None or cost is length_cost:
+            key = "length"
+        elif cost is travel_time_cost:
+            key = "travel_time"
+        else:
+            return -np.inf
+        if self.num_gateways == 0:
+            return np.inf
+        si = self._index(source)
+        ti = self._index(target)
+        via = (np.hypot(self._gx - self._x[si], self._gy - self._y[si])
+               + np.hypot(self._gx - self._x[ti], self._gy - self._y[ti]))
+        bound = float(via.min())
+        if key == "travel_time":
+            bound /= self._max_speed_mps
+        return bound
+
+    def decide(self, source: int, target: int, cost=None,
+               backend: str | None = None) -> str:
+        """Certify one query: ``"certified"`` (corridor is exact),
+        ``"widened"`` (an exterior route could be shorter — or the cost
+        is custom and unboundable), or ``"unreachable"`` (no corridor
+        path; the caller should search the full network).
+        """
+        from repro.graph.shortest_path import length_cost, shortest_path_cost
+
+        bound = self.exterior_bound(source, target, cost)
+        if bound == -np.inf:
+            return "widened"
+        try:
+            corridor_cost = shortest_path_cost(
+                self.corridor, source, target,
+                cost if cost is not None else length_cost, backend=backend)
+        except NoPathError:
+            return "unreachable"
+        return "certified" if corridor_cost <= bound else "widened"
 
 
 # ----------------------------------------------------------------------

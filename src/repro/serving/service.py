@@ -162,6 +162,12 @@ class ServingConfig:
     flush_deadline_ms: float | str = 2.0
     cross_shard_policy: str = "corridor"
     local_candidates: bool = False
+    #: Run each cross-shard corridor route through its
+    #: :class:`~repro.graph.partition.CorridorCertificate` first:
+    #: certified queries keep the small corridor graph, the rest widen
+    #: to the full network (exactness over speed).  Outcome counters
+    #: surface under ``stats()["sharding"]["routing"]``.
+    certify_corridors: bool = False
     #: Fraction of requests carrying a per-stage trace (0 disables
     #: tracing entirely; 1.0 traces every request).  Sampled traces feed
     #: the ``serving.stage.*`` histograms and the slow-request exemplar
@@ -345,7 +351,8 @@ class RankingService:
                 else ShardRouter(
                     network, registry.partition,
                     cross_policy=self.config.cross_shard_policy,
-                    local_candidates=self.config.local_candidates)
+                    local_candidates=self.config.local_candidates,
+                    certify_corridors=self.config.certify_corridors)
             quotas = self.config.resolved_score_quotas()
             self._lanes: dict[int, ShardLane] = {}
             for shard_id in registry.shard_ids():
@@ -462,6 +469,7 @@ class RankingService:
         metrics.register_callback("cache.score", self._score_cache_view)
         metrics.register_callback("scoring", self._scoring_view)
         metrics.register_callback("kernel.routing", self._routing_kernel_view)
+        metrics.register_callback("kernel.ch", self._ch_kernel_view)
         metrics.register_callback("kernel.scoring", self._scoring_kernel_view)
         metrics.register_callback("resilience", self._resilience_view)
         if self.plane is not None:
@@ -563,6 +571,18 @@ class RankingService:
         """
         kernel = csr_if_built(self.network)
         return kernel.profile_counters() if kernel is not None else {}
+
+    def _ch_kernel_view(self) -> dict[str, float]:
+        """``kernel.ch.*``: contraction-hierarchy build/query counters.
+
+        Empty until a hierarchy exists on the full network's kernel —
+        like the routing view, this must never build one.
+        """
+        kernel = csr_if_built(self.network)
+        if kernel is None:
+            return {}
+        totals = kernel.ch_profile_counters()
+        return totals if totals["hierarchies"] else {}
 
     def _scoring_kernel_view(self) -> dict[str, object]:
         """``kernel.scoring.*``: fused forward profiles of live snapshots.
@@ -1184,6 +1204,10 @@ class RankingService:
                 result["score_cache_splits"] = quota_views
         if self.sharded is not None:
             sharding = self.sharded.stats()
+            if self.router is not None:
+                sharding["routing"] = dict(self.router.route_counters)
+                sharding["routing"]["certify_corridors"] = \
+                    self.router.certify_corridors
             per_shard = sharding["per_shard"]
             for label, counts in self.shard_metrics.as_dict().items():
                 per_shard.setdefault(label, {})["requests"] = counts

@@ -95,7 +95,8 @@ class ShardRouter:
 
     def __init__(self, network: RoadNetwork, partition: GraphPartition, *,
                  cross_policy: str = "corridor",
-                 local_candidates: bool = False) -> None:
+                 local_candidates: bool = False,
+                 certify_corridors: bool = False) -> None:
         if cross_policy not in CROSS_SHARD_POLICIES:
             raise ConfigError(
                 f"cross_policy must be one of {CROSS_SHARD_POLICIES}, "
@@ -115,6 +116,20 @@ class ShardRouter:
         #: it on the full network so same-shard rankings are exactly the
         #: unsharded service's.
         self.local_candidates = local_candidates
+        #: When true, every corridor route first runs the shard pair's
+        #: :class:`~repro.graph.partition.CorridorCertificate`: queries
+        #: whose shortest path provably stays inside the corridor keep
+        #: the small graph, the rest widen to the full network — turning
+        #: the corridor policy from "approximate by construction" into
+        #: "exact, small where provably safe".  Costs one corridor
+        #: point-to-point query per cross-shard route (cheap under the
+        #: CH lane).
+        self.certify_corridors = certify_corridors
+        #: Cumulative certificate outcomes, surfaced through
+        #: ``RankingService.stats()["sharding"]["routing"]``.
+        self.route_counters = {"same_shard": 0, "corridor_routes": 0,
+                               "certified": 0, "widened": 0,
+                               "unreachable": 0}
         #: Chaos seam (``route`` injection point): armed by
         #: :meth:`RankingService.arm_faults`, ``None`` keeps routing at
         #: a single attribute check.
@@ -147,11 +162,25 @@ class ShardRouter:
             self.faults.fire("route", shard=shard)
         target_shard = self.partition.shard_of(target)
         if shard == target_shard:
+            self.route_counters["same_shard"] += 1
             if self.local_candidates:
                 return ShardRoute(shard, target_shard,
                                   self.partition.subnetwork(shard), True)
             return ShardRoute(shard, target_shard, self.network, False)
         if self.cross_policy == "corridor":
+            self.route_counters["corridor_routes"] += 1
+            if self.certify_corridors:
+                certificate = self.partition.corridor_certificate(
+                    shard, target_shard)
+                verdict = certificate.decide(source, target)
+                self.route_counters[verdict] += 1
+                if verdict != "certified":
+                    # The corridor either provably misses a cheaper
+                    # exterior path ("widened") or cannot connect the
+                    # endpoints at all ("unreachable"): serve from the
+                    # full network instead of a wrong small graph.
+                    return ShardRoute(shard, target_shard, self.network,
+                                      False)
             return ShardRoute(shard, target_shard,
                               self.partition.corridor(shard, target_shard),
                               True)

@@ -1,0 +1,74 @@
+"""The CH lane across process boundaries: spawn workers attach the
+owner's prebuilt hierarchy from shared memory and route on it.
+
+The execution plane builds the hierarchy owner-side *before* exporting
+the CSR payload (same owner-side-before-export rule as the ALT tables),
+so replicas never re-contract — they attach the exact shortcut graph
+the owner built, which is both the perf point (contraction is the
+expensive half of CH) and the parity point (an independently contracted
+hierarchy could break ties differently).
+"""
+
+import pytest
+
+from repro.core.ranker import generate_candidates
+from repro.exec.plane import ExecutionPlane
+from repro.graph.csr import csr_if_built, use_routing_backend
+
+
+@pytest.fixture(scope="module")
+def ch_plane(exec_network):
+    """A plane spawned under the ``ch`` backend: the parent selects it
+    process-wide, and the spawned workers inherit it through the
+    environment."""
+    import os
+
+    os.environ["REPRO_ROUTING_BACKEND"] = "ch"
+    try:
+        with use_routing_backend("ch"):
+            plane = ExecutionPlane(exec_network, workers=1)
+            try:
+                yield plane
+            finally:
+                plane.close()
+    finally:
+        del os.environ["REPRO_ROUTING_BACKEND"]
+
+
+def _od_pairs(network):
+    ids = network.vertex_ids()
+    return [(ids[0], ids[-1]), (ids[len(ids) // 3], ids[-2])]
+
+
+def test_owner_builds_hierarchy_before_export(ch_plane, exec_network):
+    kernel = csr_if_built(exec_network)
+    assert kernel is not None
+    hierarchy = kernel.ch_if_built()
+    assert hierarchy is not None
+    assert hierarchy.num_shortcuts > 0
+
+
+def test_spawn_worker_candidates_match_inline(ch_plane, exec_network,
+                                              exec_candidates):
+    """The worker routes on the attached hierarchy; its candidate sets
+    must match the parent's element-wise — same kernel, same shortcut
+    graph, same tie-breaks."""
+    with use_routing_backend("ch"):
+        for source, target in _od_pairs(exec_network):
+            inline = generate_candidates(exec_network, source, target,
+                                         exec_candidates)
+            remote = ch_plane.pool.run(
+                "candidates", (source, target, exec_candidates),
+                timeout_s=30.0)
+            assert [tuple(vertices) for vertices in remote] \
+                == [path.vertices for path in inline]
+
+
+def test_worker_queries_do_not_mutate_owner_counters(ch_plane,
+                                                     exec_network):
+    """Worker-side hierarchy queries run in the worker process; the
+    owner's cumulative counters only move for owner-side traffic."""
+    kernel = csr_if_built(exec_network)
+    before = kernel.ch_profile_counters()["queries"]
+    ch_plane.pool.run("ping", None, timeout_s=30.0)
+    assert kernel.ch_profile_counters()["queries"] == before

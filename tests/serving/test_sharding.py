@@ -5,7 +5,13 @@ import threading
 import pytest
 
 from repro.errors import ConfigError, ServingError
-from repro.graph import GraphPartition, voronoi_partition
+from repro.graph import (
+    GraphPartition,
+    grid_network,
+    partition_network,
+    use_routing_backend,
+    voronoi_partition,
+)
 from repro.serving import (
     ModelRegistry,
     RankingService,
@@ -464,3 +470,90 @@ class TestAccountingEdges:
                             score_cache_size=1)
         ShardedRegistry(tmp_path / "c", tiny_network, tiny_partition,
                         score_cache_size=0)  # disabled stays allowed
+
+
+class TestCorridorCertification:
+    def test_certified_route_keeps_corridor(self, tiny_network,
+                                            tiny_partition):
+        router = ShardRouter(tiny_network, tiny_partition,
+                             certify_corridors=True)
+        route = router.route(0, 5)
+        # tiny's two shards union to the whole network, so no exterior
+        # gateway exists and the certificate proves the corridor exact.
+        assert route.cross
+        assert router.route_counters == {
+            "same_shard": 0, "corridor_routes": 1, "certified": 1,
+            "widened": 0, "unreachable": 0}
+        router.route(0, 2)
+        assert router.route_counters["same_shard"] == 1
+
+    def test_widened_route_falls_back_to_full_network(self):
+        """The forced-widening path: a 3-shard grid has cross-shard
+        pairs whose optimum may legitimately leave the corridor; those
+        must be served from the full network, uncertified pairs from
+        the corridor, and the counters must record both verdicts."""
+        network = grid_network(12, 12, seed=19)
+        partition = partition_network(network, 3, method="bfs", rng=2)
+        router = ShardRouter(network, partition, certify_corridors=True)
+        widened = certified = None
+        for source in sorted(partition.shard(0).nodes):
+            for target in sorted(partition.shard(1).nodes):
+                before = dict(router.route_counters)
+                route = router.route(source, target)
+                if router.route_counters["widened"] > before["widened"]:
+                    widened = widened or route
+                elif router.route_counters["certified"] > \
+                        before["certified"]:
+                    certified = certified or route
+                if widened is not None and certified is not None:
+                    break
+            else:
+                continue
+            break
+        assert widened is not None, "sweep never widened a route"
+        assert certified is not None, "sweep never certified a route"
+        # Widened: exactness beats locality — the full graph serves,
+        # and ``local`` is False so no-path needs no second retry.
+        assert widened.graph is network
+        assert not widened.local
+        # Certified: the small corridor stays, provably exact.
+        assert certified.local
+        assert certified.graph is partition.corridor(0, 1)
+
+    def test_service_stats_surface_routing_verdicts(
+            self, tiny_network, sharded_registry, candidates_config):
+        service = RankingService(
+            tiny_network, sharded_registry,
+            ServingConfig(candidates=candidates_config,
+                          certify_corridors=True))
+        service.rank(RankRequest(source=0, target=5))
+        service.rank(RankRequest(source=0, target=2))
+        routing = service.stats()["sharding"]["routing"]
+        assert routing["certify_corridors"] is True
+        assert routing["corridor_routes"] == 1
+        assert routing["certified"] == 1
+        assert routing["same_shard"] == 1
+
+    def test_rankings_identical_across_csr_and_ch_backends(
+            self, tiny_network, tmp_path, make_ranker, candidates_config):
+        """The acceptance bar for the CH lane in serving: element-wise
+        identical rankings — same candidate paths, same scores — as the
+        CSR lane, for every pair."""
+        responses = {}
+        for backend in ("csr", "ch"):
+            registry = ModelRegistry(tmp_path / backend, tiny_network)
+            registry.publish(make_ranker(tiny_network, seed=1),
+                             version="v0001", activate=True)
+            service = RankingService(
+                tiny_network, registry,
+                ServingConfig(candidates=candidates_config))
+            with use_routing_backend(backend):
+                responses[backend] = service.rank_batch(
+                    [RankRequest(source=s, target=t, request_id=i)
+                     for i, (s, t) in enumerate(ALL_PAIRS)])
+        for a, b in zip(responses["csr"], responses["ch"]):
+            assert a.served_by == b.served_by == "model"
+            assert [r.path.vertices for r in a.results] == \
+                [r.path.vertices for r in b.results]
+            assert [r.score for r in a.results] == \
+                [r.score for r in b.results]
