@@ -1,0 +1,134 @@
+"""Benchmark E19 — batch analytics: kernel-batched products vs loops.
+
+Compares the ``repro.analytics`` products — OD cost matrices, service
+areas, route frequencies — against the per-query dict-backend loops
+they replace, exercises the pooled tile fan-out, and writes the result
+as ``BENCH_analytics.json``.  Every product is parity-checked
+element-wise against the reference loop: a batched sweep that returns
+a different cost, membership set, or edge count fails the run instead
+of reporting a bogus speedup.
+
+Floors (asserted standalone at full scale, honest-gate convention of
+``bench_parallel.py``):
+
+* **OD batched-vs-per-query** — the chunked multi-source sweep beats
+  one early-exit dict Dijkstra per pair by at least **5x**; always
+  armed at full scale (the sweep amortises per-call overhead across
+  the whole pair set, so the margin is wide).
+* **pool tile scaling** — armed only on a multi-core host; a
+  single-core box records the measured curve with the floor honestly
+  disarmed (the sweep then measures dispatch overhead, not
+  parallelism).
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_analytics.py``,
+add ``--smoke`` for the tiny preset) or under pytest, where the smoke
+preset keeps the tier-1 suite fast while still asserting exact parity
+for all three products, pooled-vs-inline equality, and that the report
+parses as valid ``BENCH_analytics.json``.
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro.analytics.analytics_bench import (
+    apply_overrides,
+    full_config,
+    run_analytics_benchmark,
+    smoke_config,
+    validate_report,
+    write_report,
+)
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke scale — see conftest.analytics_smoke_report)
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="analytics")
+def test_smoke_all_products_match_per_query_loops(analytics_smoke_report):
+    """Zero element-wise mismatches for every product: OD cells,
+    service-area membership, route-frequency counts."""
+    report = analytics_smoke_report
+    assert report["od"]["parity"]["mismatches"] == 0
+    assert report["od"]["parity"]["max_abs_diff"] <= 1e-9
+    assert report["service_area"]["parity"]["mismatches"] == 0
+    assert report["route_frequencies"]["parity"]["mismatches"] == 0
+    assert report["headline"]["parity_mismatches"] == 0
+
+
+@pytest.mark.benchmark(group="analytics")
+def test_smoke_pooled_tiles_equal_inline_sweep(analytics_smoke_report):
+    """The pooled fan-out must reproduce the inline OD matrix exactly —
+    workers run the identical kernel code on shared-memory arrays."""
+    scaling = analytics_smoke_report["tile_scaling"]
+    assert scaling["pooled_parity_mismatches"] == 0
+    assert scaling["sweep"], "tile scaling sweep ran no worker counts"
+
+
+@pytest.mark.benchmark(group="analytics")
+def test_smoke_report_is_valid_bench_analytics_json(analytics_smoke_report):
+    """The emitted document must round-trip as valid
+    BENCH_analytics.json, with every floor disarmed at smoke scale."""
+    validate_report(analytics_smoke_report)  # raises DataError on violation
+    assert analytics_smoke_report["preset"] == "smoke"
+    assert not analytics_smoke_report["od_speedup_assertion"]["required"], \
+        "OD speedup floor must stay disarmed at smoke scale"
+    scaling = analytics_smoke_report["tile_scaling"]["scaling_assertion"]
+    assert not scaling["required"], \
+        "pool scaling floor must stay disarmed at smoke scale"
+
+
+@pytest.mark.benchmark(group="analytics")
+def test_smoke_no_shared_memory_leaked(analytics_smoke_report):
+    """Tile fan-out must tear its arena down completely."""
+    assert analytics_smoke_report["shm"]["leaked_segments"] == []
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the batch-analytics plane")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny preset (small grid, sub-minute)")
+    parser.add_argument("--out", default="BENCH_analytics.json",
+                        help="report path (default: BENCH_analytics.json)")
+    parser.add_argument("--size", type=int, default=None,
+                        help="grid side length (vertices = size^2)")
+    parser.add_argument("--origins", type=int, default=None,
+                        help="OD matrix origin count")
+    parser.add_argument("--destinations", type=int, default=None,
+                        help="OD matrix destination count")
+    parser.add_argument("--pairs", type=int, default=None,
+                        help="route-frequency workload pair count")
+    parser.add_argument("--workers", default=None,
+                        help="comma-separated pool worker counts, e.g. 1,2,4")
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    config = apply_overrides(smoke_config() if args.smoke else full_config(),
+                             size=args.size, origins=args.origins,
+                             destinations=args.destinations,
+                             pairs=args.pairs, workers=args.workers,
+                             seed=args.seed)
+    report = run_analytics_benchmark(config)
+    write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+
+    assertions = [("od_speedup_assertion", report["od_speedup_assertion"]),
+                  ("tile_scaling.scaling_assertion",
+                   report["tile_scaling"]["scaling_assertion"])]
+    for name, assertion in assertions:
+        if assertion["required"]:
+            assert assertion["achieved"] >= assertion["target"], (
+                f"{name}: {assertion['achieved']:.2f}x below the "
+                f"{assertion['target']}x floor")
+        else:
+            print(f"{name} not armed — {assertion['note']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,18 +50,20 @@ def pytest_collect_file(file_path, parent):
     Benchmark modules are named ``bench_*.py`` and therefore invisible
     to the default ``test_*.py`` collection — the heavyweight table /
     figure benches must stay opt-in.  The routing, scoring, serving,
-    sharding, observability, robustness, parallel, and CH benches'
-    smoke modes run in a few seconds combined and guard the CSR kernel,
-    the fused-scoring backend, the concurrent serving engine, the shard
-    plane, the telemetry plane, the resilience plane, the process-pool
-    execution plane, and the contraction-hierarchy routing lane
+    sharding, observability, robustness, parallel, CH, and analytics
+    benches' smoke modes run in a few seconds combined and guard the
+    CSR kernel, the fused-scoring backend, the concurrent serving
+    engine, the shard plane, the telemetry plane, the resilience plane,
+    the process-pool execution plane, the contraction-hierarchy routing
+    lane, and the batch-analytics plane
     (not-slower + parity + valid ``BENCH_*.json``), so they alone are
     collected explicitly.
     """
     if file_path.name in ("bench_routing.py", "bench_scoring.py",
                           "bench_serving.py", "bench_sharding.py",
                           "bench_observability.py", "bench_robustness.py",
-                          "bench_parallel.py", "bench_ch.py"):
+                          "bench_parallel.py", "bench_ch.py",
+                          "bench_analytics.py"):
         return pytest.Module.from_parent(parent, path=file_path)
 
 
@@ -179,6 +181,22 @@ def parallel_smoke_report(tmp_path_factory):
         parallel_bench.smoke_config())
     out = tmp_path_factory.mktemp("parallel") / "BENCH_parallel.json"
     parallel_bench.write_report(report, out)
+    return json.loads(out.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="session")
+def analytics_smoke_report(tmp_path_factory):
+    """The batch-analytics benchmark at smoke scale, round-tripped
+    through its JSON report so the schema tests exercise what
+    ``bench-analytics`` actually writes.  This wrapper is what wires
+    ``bench_analytics.py`` into the tier-1 test run at a tiny,
+    stable-cost preset."""
+    from repro.analytics import analytics_bench
+
+    report = analytics_bench.run_analytics_benchmark(
+        analytics_bench.smoke_config())
+    out = tmp_path_factory.mktemp("analytics") / "BENCH_analytics.json"
+    analytics_bench.write_report(report, out)
     return json.loads(out.read_text(encoding="utf-8"))
 
 

@@ -1,0 +1,538 @@
+"""Batch-analytics benchmark: kernel-batched products vs per-query loops.
+
+Times the three ``repro.analytics`` products against the per-query
+dict-backend loops they replace, on a generated grid network, and
+writes the result as ``BENCH_analytics.json``:
+
+* **OD matrix** — :func:`od_cost_matrix`'s chunked multi-source sweep
+  vs one early-exit dict Dijkstra per pair.  Every cell is
+  parity-checked element-wise; the **>= 5x speedup floor** arms at the
+  full preset (the sweep amortises per-call overhead across the whole
+  pair set, so the margin is wide and stable).
+* **service areas** — vectorised per-budget membership vs per-source
+  dict Dijkstra + Python set comprehensions, with exact vertex- and
+  edge-set parity.
+* **route frequencies** — one parent tree per distinct origin vs one
+  dict ``shortest_path`` reconstruction per pair, with exact per-edge
+  count parity (the tree's tie-break matches the reference).
+* **tile scaling** — the pooled OD fan-out at each configured worker
+  count, pooled-vs-inline parity, and the speedup curve.  Following
+  the ``BENCH_parallel.json`` convention, the scaling floor only arms
+  on a multi-core host at full scale; a single-core box records the
+  measured curve with the floor honestly disarmed.
+* **shm hygiene** — no ``repro-exec-*`` segment may survive teardown.
+
+Consumed by ``benchmarks/bench_analytics.py`` (standalone + pytest
+smoke mode) and the ``bench-analytics`` CLI subcommand, mirroring
+``ch_bench`` / ``parallel_bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path as FilePath
+
+import numpy as np
+
+from repro.analytics.batch import (
+    od_cost_matrix,
+    route_frequencies,
+    service_area,
+)
+from repro.errors import DataError, NoPathError
+from repro.exec.plane import ExecutionPlane
+from repro.exec.shm import list_repro_segments
+from repro.graph.builders import grid_network
+from repro.graph.shortest_path import dijkstra, shortest_path
+from repro.rng import make_rng
+
+__all__ = [
+    "AnalyticsBenchConfig",
+    "smoke_config",
+    "full_config",
+    "apply_overrides",
+    "run_analytics_benchmark",
+    "validate_report",
+    "write_report",
+]
+
+SCHEMA_VERSION = 1
+
+#: Full-scale batched-vs-per-query OD floor.  The batched sweep answers
+#: ``origins x destinations`` pairs in ``min(origins, destinations)``
+#: kernel sweeps while the per-query loop pays one Python-heap Dijkstra
+#: per pair, so 5x is a deliberately conservative floor.
+OD_SPEEDUP_TARGET = 5.0
+
+#: Pool tile-scaling floor at the largest worker count — only armed on
+#: a multi-core host (``BENCH_parallel.json`` convention).
+POOL_SCALING_TARGET = 1.5
+
+#: Element-wise cost tolerance (float summation order differs between
+#: the scipy sweep and the dict reference).
+PARITY_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class AnalyticsBenchConfig:
+    """Knobs of one batch-analytics benchmark run."""
+
+    size: int = 40
+    seed: int = 17
+    num_origins: int = 24
+    num_destinations: int = 24
+    num_area_sources: int = 16
+    num_budgets: int = 3
+    num_route_pairs: int = 200
+    num_route_sources: int = 20
+    #: Worker counts for the pooled tile-scaling sweep.
+    worker_counts: tuple[int, ...] = (1, 2)
+    tile_size: int = 4
+    chunk_size: int | None = None
+    repeats: int = 3
+    preset: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.size < 3:
+            raise ValueError(f"grid size must be >= 3, got {self.size}")
+        if self.num_origins < 1 or self.num_destinations < 1:
+            raise ValueError("num_origins and num_destinations must be >= 1")
+        if self.num_area_sources < 1 or self.num_budgets < 1:
+            raise ValueError("num_area_sources and num_budgets must be >= 1")
+        if self.num_route_pairs < 1 or self.num_route_sources < 1:
+            raise ValueError(
+                "num_route_pairs and num_route_sources must be >= 1")
+        if not self.worker_counts or any(c < 1 for c in self.worker_counts):
+            raise ValueError(
+                f"worker counts must be >= 1, got {self.worker_counts}")
+        if self.tile_size < 1:
+            raise ValueError(f"tile_size must be >= 1, got {self.tile_size}")
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+
+
+def smoke_config() -> AnalyticsBenchConfig:
+    """Tiny preset for the tier-1 pytest wrapper: a small grid, few
+    pairs, a single-worker pool — seconds end to end, still asserting
+    exact parity for all three products and pooled-vs-inline equality."""
+    return AnalyticsBenchConfig(size=9, seed=7, num_origins=6,
+                                num_destinations=7, num_area_sources=4,
+                                num_budgets=2, num_route_pairs=18,
+                                num_route_sources=5, worker_counts=(1,),
+                                tile_size=2, repeats=1, preset="smoke")
+
+
+def full_config() -> AnalyticsBenchConfig:
+    """The headline preset behind the committed ``BENCH_analytics.json``."""
+    return AnalyticsBenchConfig()
+
+
+def _parse_worker_counts(workers) -> tuple[int, ...]:
+    if isinstance(workers, str):
+        try:
+            counts = tuple(int(part) for part in workers.split(",") if part)
+        except ValueError:
+            raise DataError(
+                f"--workers must be a comma-separated list of ints, "
+                f"got {workers!r}") from None
+    elif isinstance(workers, int):
+        counts = (workers,)
+    else:
+        counts = tuple(int(count) for count in workers)
+    if not counts:
+        raise DataError("--workers named no worker counts")
+    return tuple(sorted(set(counts)))
+
+
+def apply_overrides(
+    config: AnalyticsBenchConfig,
+    size: int | None = None,
+    origins: int | None = None,
+    destinations: int | None = None,
+    pairs: int | None = None,
+    workers=None,
+    seed: int | None = None,
+) -> AnalyticsBenchConfig:
+    """Apply the command-line overrides shared by the ``bench-analytics``
+    CLI subcommand and the standalone benchmark entry point."""
+    overrides: dict[str, object] = {}
+    if size is not None:
+        overrides["size"] = size
+    if origins is not None:
+        overrides["num_origins"] = origins
+    if destinations is not None:
+        overrides["num_destinations"] = destinations
+    if pairs is not None:
+        overrides["num_route_pairs"] = pairs
+    if workers is not None:
+        overrides["worker_counts"] = _parse_worker_counts(workers)
+    if seed is not None:
+        overrides["seed"] = seed
+    return replace(config, **overrides) if overrides else config
+
+
+def _best_of(repeats: int, fn):
+    """Best wall-clock over ``repeats`` runs; returns (seconds, result)."""
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        began = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - began)
+    return best, result
+
+
+def _sample_vertices(vids: list[int], count: int, rng,
+                     exclude: set[int] = frozenset()) -> list[int]:
+    pool = [vid for vid in vids if vid not in exclude]
+    if count > len(pool):
+        raise DataError(
+            f"network too small: need {count} distinct vertices, "
+            f"have {len(pool)}")
+    picks = rng.choice(len(pool), size=count, replace=False)
+    return [pool[int(i)] for i in picks]
+
+
+# ----------------------------------------------------------------------
+# Product sections
+# ----------------------------------------------------------------------
+def _od_section(network, origins, destinations, config) -> dict:
+    batched_s, matrix = _best_of(
+        config.repeats,
+        lambda: od_cost_matrix(network, origins, destinations,
+                               method="sweep",
+                               chunk_size=config.chunk_size))
+
+    def per_query() -> np.ndarray:
+        out = np.empty((len(origins), len(destinations)), dtype=np.float64)
+        for i, origin in enumerate(origins):
+            for j, destination in enumerate(destinations):
+                dist, _ = dijkstra(network, origin, target=destination)
+                out[i, j] = dist.get(destination, math.inf)
+        return out
+
+    per_query_s, reference = _best_of(config.repeats, per_query)
+    both_inf = np.isinf(matrix.costs) & np.isinf(reference)
+    diff = np.abs(matrix.costs - reference)
+    diff[both_inf] = 0.0
+    mismatches = int((diff > PARITY_TOLERANCE).sum())
+    return {
+        "origins": len(origins),
+        "destinations": len(destinations),
+        "pairs": matrix.num_pairs,
+        "method": matrix.method,
+        "sweeps": matrix.sweeps,
+        "batched_s": batched_s,
+        "per_query_s": per_query_s,
+        "speedup": per_query_s / batched_s if batched_s > 0 else math.inf,
+        "parity": {
+            "pairs": matrix.num_pairs,
+            "mismatches": mismatches,
+            "max_abs_diff": float(diff.max()),
+            "disconnected": matrix.num_disconnected,
+        },
+    }
+
+
+def _service_area_section(network, sources, budgets, config) -> dict:
+    batched_s, areas = _best_of(
+        config.repeats,
+        lambda: service_area(network, sources, budgets,
+                             chunk_size=config.chunk_size))
+
+    def per_query():
+        out = []
+        for source in sources:
+            dist, _ = dijkstra(network, source)
+            for budget in budgets:
+                vertices = {v for v, d in dist.items() if d <= budget}
+                edges = {
+                    edge.key for edge in network.edges()
+                    if dist.get(edge.key[0], math.inf) + edge.length <= budget
+                }
+                out.append((vertices, edges))
+        return out
+
+    per_query_s, reference = _best_of(config.repeats, per_query)
+    mismatches = 0
+    for area, (ref_vertices, ref_edges) in zip(areas, reference):
+        if area.vertices != ref_vertices or area.edges != ref_edges:
+            mismatches += 1
+    return {
+        "sources": len(sources),
+        "budgets": budgets,
+        "areas": len(areas),
+        "batched_s": batched_s,
+        "per_query_s": per_query_s,
+        "speedup": per_query_s / batched_s if batched_s > 0 else math.inf,
+        "parity": {"areas": len(areas), "mismatches": mismatches},
+    }
+
+
+def _route_freq_section(network, pairs, config) -> dict:
+    batched_s, frequencies = _best_of(
+        config.repeats, lambda: route_frequencies(network, pairs))
+
+    def per_query():
+        counts: dict[tuple[int, int], float] = {}
+        unreachable = 0
+        for origin, destination in pairs:
+            if origin == destination:
+                continue
+            try:
+                path = shortest_path(network, origin, destination,
+                                     backend="dict")
+            except NoPathError:
+                unreachable += 1
+                continue
+            for u, v in zip(path.vertices, path.vertices[1:]):
+                counts[(u, v)] = counts.get((u, v), 0.0) + 1.0
+        return counts, unreachable
+
+    per_query_s, (reference, ref_unreachable) = _best_of(config.repeats,
+                                                         per_query)
+    batched = dict(frequencies.items())
+    mismatches = sum(
+        1 for key in set(reference) | set(batched)
+        if abs(reference.get(key, 0.0) - batched.get(key, 0.0))
+        > PARITY_TOLERANCE)
+    return {
+        "pairs": len(pairs),
+        "distinct_sources": len({origin for origin, _ in pairs}),
+        "loaded_edges": len(batched),
+        "batched_s": batched_s,
+        "per_query_s": per_query_s,
+        "speedup": per_query_s / batched_s if batched_s > 0 else math.inf,
+        "parity": {
+            "edges_compared": len(set(reference) | set(batched)),
+            "mismatches": mismatches,
+            "unreachable_batched": frequencies.unreachable_pairs,
+            "unreachable_reference": ref_unreachable,
+        },
+    }
+
+
+def _tile_scaling_section(network, origins, destinations, config,
+                          inline_costs: np.ndarray, cores: int) -> dict:
+    sweep = []
+    pooled_mismatches = 0
+    for workers in config.worker_counts:
+        plane = ExecutionPlane(network, workers=workers)
+        try:
+            elapsed_s, matrix = _best_of(
+                config.repeats,
+                lambda: od_cost_matrix(network, origins, destinations,
+                                       method="sweep", plane=plane,
+                                       tile_size=config.tile_size,
+                                       chunk_size=config.chunk_size))
+            if workers == max(config.worker_counts):
+                pooled_mismatches = int(
+                    (matrix.costs != inline_costs).sum())
+        finally:
+            plane.close()
+        sweep.append({"workers": workers, "elapsed_s": elapsed_s})
+    base_s = sweep[0]["elapsed_s"]
+    for entry in sweep:
+        entry["speedup_vs_min_workers"] = (
+            base_s / entry["elapsed_s"] if entry["elapsed_s"] > 0
+            else math.inf)
+    achieved = sweep[-1]["speedup_vs_min_workers"]
+    required = (config.preset == "full" and cores >= 2
+                and len(config.worker_counts) >= 2)
+    return {
+        "sweep": sweep,
+        "pooled_parity_mismatches": pooled_mismatches,
+        "scaling_assertion": {
+            "required": required,
+            "target": POOL_SCALING_TARGET,
+            "workers": max(config.worker_counts),
+            "achieved": achieved,
+            "note": (f"enforced: host has {cores} cores"
+                     if required else
+                     f"skipped: preset={config.preset!r}, cores={cores} "
+                     f"(needs full preset, >= 2 cores, >= 2 worker "
+                     f"counts)"),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# The benchmark
+# ----------------------------------------------------------------------
+def run_analytics_benchmark(
+        config: AnalyticsBenchConfig | None = None) -> dict:
+    """Benchmark the analytics plane at the configured scale."""
+    config = config or full_config()
+    cores = os.cpu_count() or 1
+    network = grid_network(config.size, config.size, seed=config.seed)
+    rng = make_rng(config.seed)
+    vids = sorted(network.vertex_ids())
+
+    origins = _sample_vertices(vids, config.num_origins, rng)
+    destinations = _sample_vertices(vids, config.num_destinations, rng,
+                                    exclude=set(origins))
+    area_sources = _sample_vertices(vids, config.num_area_sources, rng)
+    route_sources = _sample_vertices(vids, config.num_route_sources, rng)
+    route_pairs = []
+    for _ in range(config.num_route_pairs):
+        source = route_sources[int(rng.integers(len(route_sources)))]
+        target = vids[int(rng.integers(len(vids)))]
+        if target != source:
+            route_pairs.append((source, target))
+
+    # Budgets spanning "around the corner" to "most of the grid": set
+    # from the measured distance field so every budget is non-trivial.
+    dist, _ = dijkstra(network, area_sources[0])
+    finite = sorted(d for d in dist.values() if d > 0.0)
+    budgets = [float(finite[int(len(finite) * fraction)])
+               for fraction in np.linspace(0.2, 0.8, config.num_budgets)]
+
+    od = _od_section(network, origins, destinations, config)
+    areas = _service_area_section(network, area_sources, budgets, config)
+    route_freq = _route_freq_section(network, route_pairs, config)
+    inline_costs = od_cost_matrix(network, origins, destinations,
+                                  method="sweep",
+                                  chunk_size=config.chunk_size).costs
+    tile_scaling = _tile_scaling_section(network, origins, destinations,
+                                         config, inline_costs, cores)
+    leaked = list_repro_segments()
+
+    od_required = config.preset == "full"
+    od_assertion = {
+        "required": od_required,
+        "target": OD_SPEEDUP_TARGET,
+        "achieved": od["speedup"],
+        "note": ("enforced: full preset"
+                 if od_required else
+                 f"skipped: preset={config.preset!r} (smoke timings are "
+                 f"start-up noise)"),
+    }
+
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "preset": config.preset,
+        "config": asdict(config),
+        "cores": cores,
+        "network": {"vertices": network.num_vertices,
+                    "edges": network.num_edges},
+        "od": od,
+        "service_area": areas,
+        "route_frequencies": route_freq,
+        "tile_scaling": tile_scaling,
+        "od_speedup_assertion": od_assertion,
+        "shm": {"leaked_segments": leaked},
+    }
+    report["headline"] = {
+        "cores": cores,
+        "od_pairs": od["pairs"],
+        "od_speedup": od["speedup"],
+        "od_speedup_enforced": od_assertion["required"],
+        "service_area_speedup": areas["speedup"],
+        "route_freq_speedup": route_freq["speedup"],
+        "pool_speedup_at_max_workers":
+            tile_scaling["scaling_assertion"]["achieved"],
+        "pool_speedup_enforced":
+            tile_scaling["scaling_assertion"]["required"],
+        "parity_mismatches": (
+            od["parity"]["mismatches"]
+            + areas["parity"]["mismatches"]
+            + route_freq["parity"]["mismatches"]
+            + tile_scaling["pooled_parity_mismatches"]),
+        "leaked_segments": len(leaked),
+    }
+    validate_report(report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Report schema
+# ----------------------------------------------------------------------
+_TOP_KEYS = ("schema_version", "preset", "config", "cores", "network",
+             "od", "service_area", "route_frequencies", "tile_scaling",
+             "od_speedup_assertion", "shm", "headline")
+_SPEEDUP_SECTIONS = ("od", "service_area", "route_frequencies")
+
+
+def validate_report(report: dict) -> None:
+    """Check a report parses as valid ``BENCH_analytics.json``.
+
+    Raises :class:`DataError` on a malformed document, any parity
+    mismatch in any product (pooled or inline), a leaked shared-memory
+    segment, or a violated armed floor; used both when a report is
+    produced and by the smoke test against re-parsed JSON.
+    """
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise DataError(
+            f"unexpected schema_version {report.get('schema_version')!r}")
+    missing = [key for key in _TOP_KEYS if key not in report]
+    if missing:
+        raise DataError(f"report missing keys: {missing}")
+    for section in _SPEEDUP_SECTIONS:
+        block = report[section]
+        for key in ("batched_s", "per_query_s", "speedup"):
+            value = block.get(key)
+            if not isinstance(value, (int, float)) or not value >= 0.0:
+                raise DataError(
+                    f"{section}.{key} must be a number >= 0, got {value!r}")
+        parity = block["parity"]
+        if parity["mismatches"] != 0:
+            raise DataError(
+                f"parity violation: {parity['mismatches']} {section} "
+                f"results differ from the per-query dict-backend loop")
+    od_parity = report["od"]["parity"]
+    if not od_parity["max_abs_diff"] <= PARITY_TOLERANCE:
+        raise DataError(
+            f"parity violation: od.max_abs_diff="
+            f"{od_parity['max_abs_diff']!r}")
+    freq_parity = report["route_frequencies"]["parity"]
+    if freq_parity["unreachable_batched"] \
+            != freq_parity["unreachable_reference"]:
+        raise DataError(
+            "parity violation: batched and reference runs disagree on "
+            "unreachable pair counts")
+    scaling = report["tile_scaling"]
+    if scaling["pooled_parity_mismatches"] != 0:
+        raise DataError(
+            f"parity violation: {scaling['pooled_parity_mismatches']} "
+            f"pooled OD cells differ from the inline sweep")
+    if not scaling["sweep"]:
+        raise DataError("tile scaling sweep must cover >= 1 worker count")
+    for entry in scaling["sweep"]:
+        for key in ("workers", "elapsed_s", "speedup_vs_min_workers"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                raise DataError(
+                    f"tile_scaling sweep[workers="
+                    f"{entry.get('workers')!r}].{key} must be a finite "
+                    f"number, got {value!r}")
+    leaked = report["shm"]["leaked_segments"]
+    if leaked:
+        raise DataError(
+            f"shared-memory leak: {len(leaked)} repro-exec segments "
+            f"survived teardown: {leaked}")
+    for name in ("od_speedup_assertion",):
+        assertion = report[name]
+        if assertion["required"] \
+                and not assertion["achieved"] >= assertion["target"]:
+            raise DataError(
+                f"{name} violation: {assertion['achieved']:.2f}x below "
+                f"the {assertion['target']}x floor")
+    assertion = scaling["scaling_assertion"]
+    if assertion["required"] \
+            and not assertion["achieved"] >= assertion["target"]:
+        raise DataError(
+            f"tile scaling floor violation: {assertion['achieved']:.2f}x "
+            f"at {assertion['workers']} workers, target "
+            f"{assertion['target']}x ({assertion['note']})")
+
+
+def write_report(report: dict, path: str | FilePath) -> FilePath:
+    """Validate and write the report; returns the output path."""
+    validate_report(report)
+    out = FilePath(path)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return out

@@ -1,0 +1,193 @@
+"""Tiling and the tile wire format for pool fan-out.
+
+A *tile* is one self-contained unit of batch-analytics work small
+enough to ship to a worker process: plain vertex ids, budgets, weights
+and a cost *name* — never arrays, edge objects, or cost closures.  The
+same :func:`run_tile_payload` executes a tile inline (the caller's
+kernel) and inside a pool worker (the shared-memory kernel installed
+at warmup), which is what makes pooled and inline results identical by
+construction.
+
+Shard-aware tiling: when a :class:`~repro.graph.partition.GraphPartition`
+is present, :func:`tile_sources` groups sources by home shard before
+chunking, so a tile's sweeps start in one region and its searches share
+touched pages instead of striding the whole graph.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+
+from repro.errors import AnalyticsError
+from repro.analytics.products import (
+    cost_from_name,
+    od_sweep_block,
+    route_frequency_counts,
+    service_area_blocks,
+)
+from repro.graph.csr import csr_for
+
+__all__ = [
+    "tile_sources",
+    "run_tile_payload",
+    "BackgroundAnalytics",
+    "DEFAULT_TILE_SIZE",
+]
+
+#: Sources per tile when neither the caller nor the pool suggests one.
+DEFAULT_TILE_SIZE = 32
+
+
+def tile_sources(sources: list[int], tile_size: int,
+                 partition=None) -> list[list[int]]:
+    """Split a source set into tiles of at most ``tile_size`` ids.
+
+    With a partition, sources are first grouped by home shard (shard
+    order, then input order within a shard) so each tile stays
+    region-local; without one, input order is preserved.
+    """
+    if tile_size < 1:
+        raise AnalyticsError(f"tile_size must be >= 1, got {tile_size}")
+    if partition is not None:
+        by_shard: dict[int, list[int]] = {}
+        for vid in sources:
+            by_shard.setdefault(partition.shard_of(vid), []).append(vid)
+        ordered = [vid for shard in sorted(by_shard) for vid in by_shard[shard]]
+    else:
+        ordered = list(sources)
+    return [ordered[i:i + tile_size]
+            for i in range(0, len(ordered), tile_size)]
+
+
+def run_tile_payload(network, payload: dict) -> dict:
+    """Execute one tile against ``network``'s kernel; returns plain
+    lists/numbers only (the wire format back to the parent).
+
+    Payloads by ``payload["product"]``:
+
+    - ``"od"``: ``sweep`` ids, ``cols`` ids, ``reverse``, ``cost`` name,
+      optional ``chunk_size`` → ``{"rows": [[float, ...], ...]}`` (one
+      row per sweep id; ``inf`` survives pickling).
+    - ``"service_area"``: ``sources``, ``budgets``, ``reverse``,
+      ``cost`` → ``{"areas": [{source, budget, reverse, vertices,
+      edges}, ...]}`` source-major, budget-minor.
+    - ``"route_freq"``: ``groups`` ``[[source, [[target, weight],
+      ...]], ...]``, ``cost`` → sparse ``{"positions": [...], "counts":
+      [...], "num_pairs": int, "unreachable": int}`` over CSR edge
+      positions (valid across processes — workers attach the identical
+      CSR arrays).
+    """
+    kernel = csr_for(network)
+    product = payload.get("product")
+    cost = cost_from_name(payload.get("cost"))
+    if product == "od":
+        rows = od_sweep_block(kernel, list(payload["sweep"]),
+                              list(payload["cols"]), cost=cost,
+                              reverse=bool(payload.get("reverse", False)),
+                              chunk_size=payload.get("chunk_size"))
+        return {"rows": rows.tolist()}
+    if product == "service_area":
+        areas = service_area_blocks(
+            kernel, list(payload["sources"]),
+            [float(b) for b in payload["budgets"]], cost=cost,
+            reverse=bool(payload.get("reverse", False)),
+            chunk_size=payload.get("chunk_size"))
+        return {"areas": [area.as_dict() for area in areas]}
+    if product == "route_freq":
+        groups = [(source, [(target, weight) for target, weight in targets])
+                  for source, targets in payload["groups"]]
+        counts, num_pairs, unreachable = route_frequency_counts(
+            kernel, groups, cost=cost)
+        positions = counts.nonzero()[0]
+        return {
+            "positions": positions.tolist(),
+            "counts": counts[positions].tolist(),
+            "num_pairs": num_pairs,
+            "unreachable": unreachable,
+        }
+    raise AnalyticsError(f"unknown analytics tile product {product!r}")
+
+
+class BackgroundAnalytics:
+    """Batch pressure for the loadgen: loop analytics tiles until told
+    to stop, then report what ran.
+
+    Instances are the ``background_analytics=`` hook of
+    :func:`repro.serving.loadgen.run_engine_workload` /
+    ``replay_open_loop``: a callable ``(stop_event) -> summary dict``
+    run on a side thread while online traffic flows, so benches can
+    measure online p95 under batch pressure.  Tiles go through
+    ``plane.submit_analytics`` when a plane is given (contending for
+    the same worker pool as serving), else run inline (contending for
+    the GIL and memory bandwidth — the honest single-process
+    comparison).
+    """
+
+    def __init__(self, network, sources: list[int], *, product: str = "od",
+                 budgets: list[float] | None = None,
+                 cost_name: str | None = None, plane=None, partition=None,
+                 tile_size: int | None = None,
+                 max_rounds: int | None = None) -> None:
+        if product not in ("od", "service_area"):
+            raise AnalyticsError(
+                f"background product must be 'od' or 'service_area', "
+                f"got {product!r}")
+        if not sources:
+            raise AnalyticsError("background analytics needs sources")
+        if product == "service_area" and not budgets:
+            raise AnalyticsError("background service_area needs budgets")
+        self.network = network
+        self.product = product
+        self.plane = plane
+        self.tiles = tile_sources(
+            list(sources), tile_size or DEFAULT_TILE_SIZE, partition)
+        self.max_rounds = max_rounds
+        cost_from_name(cost_name)  # validate early, not on the thread
+        if product == "od":
+            self._payloads = [
+                {"product": "od", "sweep": tile, "cols": list(sources),
+                 "reverse": False, "cost": cost_name}
+                for tile in self.tiles
+            ]
+        else:
+            self._payloads = [
+                {"product": "service_area", "sources": tile,
+                 "budgets": [float(b) for b in budgets], "reverse": False,
+                 "cost": cost_name}
+                for tile in self.tiles
+            ]
+
+    def __call__(self, stop: threading.Event) -> dict:
+        began = perf_counter()
+        rounds = tiles_run = 0
+        errors = 0
+        while not stop.is_set():
+            if self.max_rounds is not None and rounds >= self.max_rounds:
+                break
+            for payload in self._payloads:
+                if stop.is_set():
+                    break
+                try:
+                    if self.plane is not None:
+                        self.plane.submit_analytics(payload).wait()
+                    else:
+                        run_tile_payload(self.network, payload)
+                except AnalyticsError:
+                    raise
+                except Exception:  # noqa: BLE001 - pool teardown races
+                    # A tile failing because the pool is closing mid-
+                    # replay is expected shutdown noise, not a result.
+                    errors += 1
+                    if stop.is_set():
+                        break
+                tiles_run += 1
+            rounds += 1
+        return {
+            "product": self.product,
+            "rounds": rounds,
+            "tiles": tiles_run,
+            "tile_errors": errors,
+            "elapsed_s": perf_counter() - began,
+            "pooled": self.plane is not None,
+        }

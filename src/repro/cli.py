@@ -29,6 +29,13 @@ without writing Python::
     python -m repro.cli bench-observability --out BENCH_observability.json
     python -m repro.cli bench-robustness --out BENCH_robustness.json
     python -m repro.cli bench-parallel --out BENCH_parallel.json
+    python -m repro.cli od-matrix --network /tmp/net.json \
+        --origins 3,9,12 --destinations 47,58 --cost travel_time
+    python -m repro.cli service-area --network /tmp/net.json \
+        --sources 3,9 --budgets 500,1500 --reverse
+    python -m repro.cli route-frequencies --network /tmp/net.json \
+        --pairs 3:47,9:58,12:47 --top 10
+    python -m repro.cli bench-analytics --out BENCH_analytics.json
     python -m repro.cli metrics-dump --timeline /tmp/run.jsonl --format summary
 """
 
@@ -83,7 +90,14 @@ from repro.obs.export import (
     prometheus_snapshot_lines,
     summarise_timeline,
 )
-from repro.exec import parallel_bench
+from repro.analytics import (
+    analytics_bench,
+    cost_from_name,
+    od_cost_matrix,
+    route_frequencies,
+    service_area,
+)
+from repro.exec import ExecutionPlane, parallel_bench
 from repro.serving import robustness_bench, sharding_bench
 from repro.trajectories.dataset import TrajectoryDataset
 from repro.trajectories.drivers import sample_population
@@ -366,6 +380,73 @@ def build_parser() -> argparse.ArgumentParser:
     parallel.add_argument("--out", default=None,
                           help="also write the report to this path")
 
+    od = commands.add_parser(
+        "od-matrix",
+        help="batched origin-destination least-cost matrix")
+    od.add_argument("--network", required=True)
+    od.add_argument("--origins", required=True,
+                    help="comma-separated origin vertex ids, e.g. 3,9,12")
+    od.add_argument("--destinations", default=None,
+                    help="comma-separated destination vertex ids "
+                         "(default: the origins)")
+    od.add_argument("--method", choices=("auto", "sweep", "ch"),
+                    default="auto",
+                    help="auto: CH per-pair queries for sparse sets when a "
+                         "hierarchy is built, batched multi-source sweep "
+                         "otherwise")
+    od.add_argument("--chunk-size", type=int, default=None,
+                    help="sweep rows per slab (default: sized for ~32 MB)")
+    _add_analytics_flags(od)
+
+    area = commands.add_parser(
+        "service-area",
+        help="batched isochrones: vertices/edges within cost budgets")
+    area.add_argument("--network", required=True)
+    area.add_argument("--sources", required=True,
+                      help="comma-separated source vertex ids")
+    area.add_argument("--budgets", required=True,
+                      help="comma-separated cost budgets, e.g. 500,1500")
+    area.add_argument("--reverse", action="store_true",
+                      help="catchments instead of reach: everything that "
+                           "can get *to* each source within the budget")
+    _add_analytics_flags(area)
+
+    freq = commands.add_parser(
+        "route-frequencies",
+        help="per-edge load over a workload of shortest-path pairs")
+    freq.add_argument("--network", required=True)
+    freq.add_argument("--pairs", default=None,
+                      help="comma-separated origin:destination pairs, "
+                           "e.g. 3:47,9:58")
+    freq.add_argument("--pairs-file", default=None,
+                      help="JSON workload: a list of [source, target] "
+                           'pairs or {"source": ..., "target": ...} objects')
+    freq.add_argument("--top", type=int, default=10,
+                      help="print the N most-loaded edges (0 = all)")
+    _add_analytics_flags(freq)
+
+    analytics = commands.add_parser(
+        "bench-analytics",
+        help="measure the batch-analytics plane against per-query loops "
+             "(OD matrix, service areas, route frequencies; element-wise "
+             "parity), report JSON")
+    analytics.add_argument("--smoke", action="store_true",
+                           help="tiny preset (seconds, not minutes)")
+    analytics.add_argument("--size", type=int, default=None,
+                           help="grid side length (vertices = size^2)")
+    analytics.add_argument("--origins", type=int, default=None,
+                           help="OD matrix origin count")
+    analytics.add_argument("--destinations", type=int, default=None,
+                           help="OD matrix destination count")
+    analytics.add_argument("--pairs", type=int, default=None,
+                           help="route-frequency workload pair count")
+    analytics.add_argument("--workers", default=None,
+                           help="comma-separated pool worker counts to "
+                                "sweep, e.g. 1,2,4")
+    analytics.add_argument("--seed", type=int, default=None)
+    analytics.add_argument("--out", default=None,
+                           help="also write the report to this path")
+
     dump = commands.add_parser(
         "metrics-dump",
         help="read a SnapshotExporter JSONL timeline back out")
@@ -404,6 +485,28 @@ def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument("--fault-seed", type=int, default=0,
                            help="determinism seed for --fault-spec firing "
                                 "draws")
+
+
+def _add_analytics_flags(subparser: argparse.ArgumentParser) -> None:
+    """Batch-context flags shared by the analytics subcommands."""
+    subparser.add_argument("--cost", choices=("length", "travel_time"),
+                           default="length",
+                           help="edge cost the products optimise")
+    subparser.add_argument("--workers", type=int, default=0,
+                           help="fan tiles across a process pool with this "
+                                "many workers (0 = run inline)")
+    subparser.add_argument("--shards", type=int, default=0,
+                           help="shard-aware tiling: partition the network "
+                                "into this many region shards so each tile "
+                                "stays shard-local (0 = plain tiling)")
+    subparser.add_argument("--partition-method",
+                           choices=sorted(PARTITION_METHODS),
+                           default="voronoi",
+                           help="partitioner behind --shards")
+    subparser.add_argument("--seed", type=int, default=0,
+                           help="partitioner determinism seed")
+    subparser.add_argument("--json", action="store_true",
+                           help="print the full product as JSON")
 
 
 def _add_trace_flags(subparser: argparse.ArgumentParser) -> None:
@@ -866,6 +969,176 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_id_list(text: str, flag: str) -> list[int]:
+    try:
+        ids = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise DataError(
+            f"{flag} must be comma-separated vertex ids, got {text!r}"
+        ) from None
+    if not ids:
+        raise DataError(f"{flag} named no vertices")
+    return ids
+
+
+def _parse_budget_list(text: str) -> list[float]:
+    try:
+        budgets = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise DataError(
+            f"--budgets must be comma-separated numbers, got {text!r}"
+        ) from None
+    if not budgets:
+        raise DataError("--budgets named no budgets")
+    return budgets
+
+
+def _parse_pair_workload(args: argparse.Namespace) -> list[tuple[int, int]]:
+    """The route-frequency workload from ``--pairs`` or ``--pairs-file``."""
+    if args.pairs_file is not None:
+        with open(args.pairs_file, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, list) or not payload:
+            raise DataError(
+                f"{args.pairs_file} must hold a non-empty JSON list of pairs")
+        pairs = []
+        for position, entry in enumerate(payload):
+            if isinstance(entry, dict):
+                if "source" not in entry or "target" not in entry:
+                    raise DataError(f"pair #{position} must have "
+                                    "source/target")
+                pairs.append((int(entry["source"]), int(entry["target"])))
+            elif isinstance(entry, (list, tuple)) and len(entry) == 2:
+                pairs.append((int(entry[0]), int(entry[1])))
+            else:
+                raise DataError(f"pair #{position} must be [source, target] "
+                                "or an object with source/target")
+        return pairs
+    if args.pairs is None:
+        raise DataError("route-frequencies needs --pairs or --pairs-file")
+    pairs = []
+    for part in args.pairs.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        origin, sep, destination = part.partition(":")
+        if not sep or not origin or not destination:
+            raise DataError(f"malformed --pairs entry {part!r}; expected "
+                            "origin:destination")
+        try:
+            pairs.append((int(origin), int(destination)))
+        except ValueError:
+            raise DataError(
+                f"--pairs entry {part!r} must name two vertex ids") from None
+    if not pairs:
+        raise DataError("--pairs named no pairs")
+    return pairs
+
+
+def _analytics_context(args: argparse.Namespace, network):
+    """The (plane, partition) batch context behind --workers/--shards."""
+    partition = None
+    if args.shards and args.shards > 1:
+        partition = partition_network(network, args.shards,
+                                      method=args.partition_method,
+                                      rng=args.seed)
+    plane = None
+    if args.workers and args.workers > 0:
+        plane = ExecutionPlane(network, workers=args.workers)
+    return plane, partition
+
+
+def _cmd_od_matrix(args: argparse.Namespace) -> int:
+    network = load_network_json(args.network)
+    origins = _parse_id_list(args.origins, "--origins")
+    destinations = (None if args.destinations is None
+                    else _parse_id_list(args.destinations, "--destinations"))
+    plane, partition = _analytics_context(args, network)
+    try:
+        matrix = od_cost_matrix(network, origins, destinations,
+                                cost=cost_from_name(args.cost),
+                                method=args.method,
+                                chunk_size=args.chunk_size,
+                                plane=plane, partition=partition)
+    finally:
+        if plane is not None:
+            plane.close()
+    if args.json:
+        print(json.dumps(matrix.as_dict()))
+        return 0
+    for row, origin in enumerate(matrix.origins):
+        cells = " ".join(
+            f"{destination}={'inf' if c == float('inf') else f'{c:.1f}'}"
+            for destination, c in zip(matrix.destinations, matrix.costs[row]))
+        print(f"origin {origin}: {cells}")
+    print(f"{matrix.num_pairs} pairs via {matrix.method} "
+          f"({matrix.sweeps} sweeps, "
+          f"{matrix.num_disconnected} disconnected)")
+    return 0
+
+
+def _cmd_service_area(args: argparse.Namespace) -> int:
+    network = load_network_json(args.network)
+    sources = _parse_id_list(args.sources, "--sources")
+    budgets = _parse_budget_list(args.budgets)
+    plane, partition = _analytics_context(args, network)
+    try:
+        areas = service_area(network, sources, budgets,
+                             cost=cost_from_name(args.cost),
+                             reverse=args.reverse,
+                             plane=plane, partition=partition)
+    finally:
+        if plane is not None:
+            plane.close()
+    if args.json:
+        print(json.dumps([area.as_dict() for area in areas]))
+        return 0
+    for area in areas:
+        kind = "catchment" if area.reverse else "reach"
+        print(f"source {area.source} budget {area.budget:g} ({kind}): "
+              f"{area.num_vertices} vertices, {area.num_edges} edges")
+    return 0
+
+
+def _cmd_route_frequencies(args: argparse.Namespace) -> int:
+    network = load_network_json(args.network)
+    pairs = _parse_pair_workload(args)
+    plane, partition = _analytics_context(args, network)
+    try:
+        frequencies = route_frequencies(network, pairs,
+                                        cost=cost_from_name(args.cost),
+                                        plane=plane, partition=partition)
+    finally:
+        if plane is not None:
+            plane.close()
+    if args.json:
+        print(json.dumps(frequencies.as_dict()))
+        return 0
+    loaded = sorted(frequencies.items(), key=lambda item: -item[1])
+    shown = loaded if args.top <= 0 else loaded[:args.top]
+    for (u, v), load in shown:
+        print(f"edge {u}->{v}: {load:g}")
+    if len(loaded) > len(shown):
+        print(f"... {len(loaded) - len(shown)} more loaded edges")
+    print(f"{frequencies.num_pairs} pairs over {len(loaded)} loaded edges "
+          f"({frequencies.unreachable_pairs} unreachable)")
+    return 0
+
+
+def _cmd_bench_analytics(args: argparse.Namespace) -> int:
+    config = analytics_bench.apply_overrides(
+        analytics_bench.smoke_config() if args.smoke
+        else analytics_bench.full_config(),
+        size=args.size, origins=args.origins,
+        destinations=args.destinations, pairs=args.pairs,
+        workers=args.workers, seed=args.seed)
+    report = analytics_bench.run_analytics_benchmark(config)
+    if args.out:
+        analytics_bench.write_report(report, args.out)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 def _cmd_metrics_dump(args: argparse.Namespace) -> int:
     snapshots = load_timeline(args.timeline)
     if not snapshots:
@@ -897,6 +1170,10 @@ _COMMANDS = {
     "bench-observability": _cmd_bench_observability,
     "bench-robustness": _cmd_bench_robustness,
     "bench-parallel": _cmd_bench_parallel,
+    "od-matrix": _cmd_od_matrix,
+    "service-area": _cmd_service_area,
+    "route-frequencies": _cmd_route_frequencies,
+    "bench-analytics": _cmd_bench_analytics,
     "metrics-dump": _cmd_metrics_dump,
 }
 

@@ -74,6 +74,12 @@ class TrainingError(ReproError):
     """Raised when model training cannot proceed (e.g. empty dataset)."""
 
 
+class AnalyticsError(ReproError):
+    """Raised for batch-analytics failures (empty source sets, tiles
+    referencing costs that cannot cross a process boundary, or a plane
+    whose pool rejects a tile)."""
+
+
 class ServingError(ReproError):
     """Raised for online-serving failures (bad registry state, unflushed
     batch tickets, or a service without a usable model and no fallback)."""

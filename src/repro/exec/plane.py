@@ -154,6 +154,20 @@ class ExecutionPlane:
         return [Path(self.network, vertices) for vertices in vertex_lists]
 
     # ------------------------------------------------------------------
+    # Batch analytics
+    # ------------------------------------------------------------------
+    def submit_analytics(self, payload: dict):
+        """Dispatch one batch-analytics tile to the pool.
+
+        ``payload`` is a :mod:`repro.analytics.tiling` wire dict (plain
+        ids and a cost *name*, never a callable — custom cost closures
+        cannot cross the process boundary).  The worker runs the tile
+        against the shared-memory kernel it attached at warmup and
+        returns plain lists; see ``run_tile_payload`` for the formats.
+        """
+        return self.pool.submit("analytics", payload)
+
+    # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
     @property

@@ -68,6 +68,7 @@ def _worker_main(index: int, network, csr_name: str | None,
                  csr_key: str | None, inqueue, outqueue) -> None:
     """Worker process entry point (module-level: spawn pickles by name)."""
     try:
+        from repro.analytics.tiling import run_tile_payload
         from repro.core.batching import encode_path_buckets
         from repro.core.ranker import generate_candidates
         from repro.graph.csr import CSRGraph, install_csr
@@ -120,6 +121,11 @@ def _worker_main(index: int, network, csr_name: str | None,
                             encode_path_buckets(paths):
                         scores[bucket] = kernel.forward(vertex_ids, mask)
                     result.append(scores.tolist())
+            elif kind == "analytics":
+                # One batch-analytics tile against the shared-memory
+                # kernel installed at warmup; returns plain arrays/lists
+                # (see repro.analytics.tiling for the wire format).
+                result = run_tile_payload(network, payload)
             elif kind == "ping":
                 result = "pong"
             elif kind == "hang":

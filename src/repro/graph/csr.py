@@ -80,6 +80,7 @@ __all__ = [
     "resolve_backend",
     "ALT_NUM_LANDMARKS",
     "ALT_MIN_VERTICES",
+    "MULTI_SOURCE_SLAB_ELEMENTS",
 ]
 
 #: Landmarks built per (network, cost) pair for the ALT heuristic.
@@ -92,6 +93,12 @@ ALT_MIN_VERTICES = 128
 #: Custom cost functions get their per-edge weight arrays memoised in a
 #: bounded FIFO so e.g. per-driver cost closures do not grow unbounded.
 _CUSTOM_WEIGHT_CAP = 16
+
+#: Elements (float64) per multi-source distance slab: the default
+#: ``chunk_size`` of :meth:`CSRGraph.multi_source` is derived from this
+#: so a batched sweep never allocates more than ~32 MB per scipy call,
+#: no matter how many sources the caller passes.
+MULTI_SOURCE_SLAB_ELEMENTS = 4_000_000
 
 
 class CSRGraph:
@@ -298,25 +305,64 @@ class CSRGraph:
         adj = self._reverse(cost) if reverse else self._forward(cost)
         return self._sssp_array(source, adj)
 
-    def _multi_source_idx(self, sources: list[int], cost: CostFunction | None,
-                          reverse: bool = False) -> np.ndarray:
-        """Distance rows for many CSR-index sources in one sweep.
+    def default_chunk_size(self) -> int:
+        """Sources per multi-source slab so one slab stays ~bounded.
 
-        Returns a ``(len(sources), n)`` matrix.  With scipy, all sources
-        go through a single ``dijkstra`` call, amortising the per-call
-        validation/dispatch overhead that dominates batch table builds
-        (ALT landmarks, analysis sweeps); without it, the pure-Python
-        kernel runs once per source.
+        Each scipy sweep materialises a ``(chunk, n)`` float64 block;
+        capping the element count (rather than the row count) keeps the
+        transient allocation near :data:`MULTI_SOURCE_SLAB_ELEMENTS`
+        (~32 MB) regardless of graph size.
+        """
+        return max(1, MULTI_SOURCE_SLAB_ELEMENTS // max(1, self.num_vertices))
+
+    def _multi_source_idx(self, sources: list[int], cost: CostFunction | None,
+                          reverse: bool = False,
+                          chunk_size: int | None = None) -> np.ndarray:
+        """Distance rows for many CSR-index sources, in bounded slabs.
+
+        Returns a ``(len(sources), n)`` matrix.  With scipy, sources go
+        through batched ``dijkstra`` calls of at most ``chunk_size``
+        rows each (default :meth:`default_chunk_size`), amortising the
+        per-call validation/dispatch overhead that dominates batch
+        table builds (ALT landmarks, analysis sweeps) without ever
+        materialising more than one slab beyond the result itself;
+        without scipy, the pure-Python kernel runs once per source.
         """
         n = self.num_vertices
         if not sources:
             return np.zeros((0, n), dtype=np.float64)
-        if _HAVE_SCIPY:
-            distances = _sp_dijkstra(self._matrix(cost, reverse),
-                                     directed=True, indices=sources)
-            return np.atleast_2d(distances)
-        adj = self._reverse(cost) if reverse else self._forward(cost)
-        return np.vstack([self._sssp_array(source, adj) for source in sources])
+        out = np.empty((len(sources), n), dtype=np.float64)
+        for start, rows in self._iter_multi_source_idx(
+                sources, cost, reverse=reverse, chunk_size=chunk_size):
+            out[start:start + rows.shape[0]] = rows
+        return out
+
+    def _iter_multi_source_idx(self, sources: list[int],
+                               cost: CostFunction | None,
+                               reverse: bool = False,
+                               chunk_size: int | None = None):
+        """Yield ``(start, rows)`` distance slabs for CSR-index sources.
+
+        ``rows`` is a ``(<= chunk_size, n)`` float64 block covering
+        ``sources[start:start + rows.shape[0]]``; only one slab is live
+        at a time, which is what bounds multi-source memory.
+        """
+        if chunk_size is None:
+            chunk_size = self.default_chunk_size()
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        adj = None
+        if not _HAVE_SCIPY:
+            adj = self._reverse(cost) if reverse else self._forward(cost)
+        for start in range(0, len(sources), chunk_size):
+            chunk = sources[start:start + chunk_size]
+            if _HAVE_SCIPY:
+                rows = np.atleast_2d(_sp_dijkstra(self._matrix(cost, reverse),
+                                                  directed=True, indices=chunk))
+            else:
+                rows = np.vstack([self._sssp_array(source, adj)
+                                  for source in chunk])
+            yield start, rows
 
     # ------------------------------------------------------------------
     # Core searches (CSR indices)
@@ -547,9 +593,10 @@ class CSRGraph:
 
         # Farthest-point selection is inherently sequential in the
         # *forward* distances (each pick depends on the previous rows),
-        # but the reverse half of the tables is not: it runs as one
-        # batched multi-source sweep once the landmark set is fixed,
-        # halving the number of Dijkstra calls per build.
+        # but the reverse half of the tables is not: it runs as a
+        # batched multi-source sweep (bounded slabs via the default
+        # chunk size) once the landmark set is fixed, halving the
+        # number of Dijkstra calls per build.
         landmarks = [int(generator.integers(n))]
         from_rows = [self._single_source_idx(landmarks[0], cost)]
         while len(landmarks) < num_landmarks:
@@ -772,17 +819,94 @@ class CSRGraph:
 
     def multi_source(self, source_ids: Iterable[int],
                      cost: CostFunction | None = None,
-                     reverse: bool = False) -> np.ndarray:
-        """Distance rows for many sources in one batched sweep.
+                     reverse: bool = False,
+                     chunk_size: int | None = None) -> np.ndarray:
+        """Distance rows for many sources in batched sweeps.
 
         Returns a ``(num_sources, num_vertices)`` matrix indexed by CSR
         index (``numpy.inf`` where unreachable); row ``i`` holds the
         distances *from* ``source_ids[i]`` (or *to* it when
-        ``reverse``).  One scipy call covers all sources, so table
-        builds and analysis sweeps amortise the per-call overhead.
+        ``reverse``).  Sources are swept in slabs of at most
+        ``chunk_size`` rows (default :meth:`default_chunk_size`, sized
+        so one slab stays ~32 MB), so batch products stay bounded in
+        transient memory while still amortising the per-call overhead.
+        Callers that reduce rows as they go should prefer
+        :meth:`iter_multi_source`, which never holds the full matrix.
         """
         sources = [self.index_of(vid) for vid in source_ids]
-        return self._multi_source_idx(sources, cost, reverse=reverse)
+        return self._multi_source_idx(sources, cost, reverse=reverse,
+                                      chunk_size=chunk_size)
+
+    def iter_multi_source(self, source_ids: Iterable[int],
+                          cost: CostFunction | None = None,
+                          reverse: bool = False,
+                          chunk_size: int | None = None,
+                          ) -> Iterator[tuple[int, np.ndarray]]:
+        """Stream multi-source distance slabs as ``(start, rows)`` pairs.
+
+        ``rows[i]`` holds the distances for ``source_ids[start + i]``;
+        at most ``chunk_size`` rows (default :meth:`default_chunk_size`)
+        are live per step.  This is the memory-bounded primitive behind
+        :meth:`multi_source` and the ``repro.analytics`` batch products,
+        which reduce each slab (isochrone membership, OD columns) and
+        drop it before the next sweep.
+        """
+        sources = [self.index_of(vid) for vid in source_ids]
+        yield from self._iter_multi_source_idx(sources, cost, reverse=reverse,
+                                               chunk_size=chunk_size)
+
+    def sssp_parents(self, source_id: int, cost: CostFunction | None = None,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Full SSSP tree: ``(dist, parent)`` arrays by CSR index.
+
+        ``parent[v]`` is the CSR index of ``v``'s predecessor on the
+        least-cost path from ``source_id`` (-1 for the source itself and
+        for unreachable vertices, whose ``dist`` is ``inf``).  The heap
+        orders ties by CSR index — which equals ascending-vertex-id
+        order, the same tie-break as the dict-backend reference
+        :func:`repro.graph.shortest_path.dijkstra` — so batched path
+        reconstructions (route frequencies) match the per-query
+        reference tree exactly, not just in cost.
+        """
+        source = self.index_of(source_id)
+        adj = self._forward(cost)
+        with self._lock:
+            self._gen += 1
+            gen = self._gen
+            dist, seen, done, parent = (self._dist, self._seen, self._done,
+                                        self._parent)
+            dist[source] = 0.0
+            seen[source] = gen
+            parent[source] = -1
+            heap = [(0.0, source)]
+            push, pop = heappush, heappop
+            pops = settled = 0
+            while heap:
+                d, u = pop(heap)
+                pops += 1
+                if done[u] == gen:
+                    continue
+                done[u] = gen
+                settled += 1
+                for v, w in adj[u]:
+                    if done[v] == gen:
+                        continue
+                    nd = d + w
+                    if seen[v] != gen or nd < dist[v]:
+                        dist[v] = nd
+                        seen[v] = gen
+                        parent[v] = u
+                        push(heap, (nd, v))
+            profile = self._profile
+            profile["sssp_runs"] += 1
+            profile["heap_pops"] += pops
+            profile["settled"] += settled
+            out_dist = np.array(dist, dtype=np.float64)
+            out_parent = np.array(parent, dtype=np.int64)
+            unreached = np.asarray(seen) != gen
+            out_dist[unreached] = np.inf
+            out_parent[unreached] = -1
+            return out_dist, out_parent
 
     def single_source_dict(self, source_id: int,
                            cost: CostFunction | None = None) -> dict[int, float]:

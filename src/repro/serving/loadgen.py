@@ -367,6 +367,50 @@ def _resilience_summary(service: RankingService,
         summary["resilience"] = counts
 
 
+@contextmanager
+def _background_pressure(background_analytics):
+    """Run a batch-analytics hook on a side thread for one replay.
+
+    The mixed online+batch scenario: ``background_analytics`` is a
+    callable ``(stop_event) -> summary dict`` — typically a
+    :class:`repro.analytics.BackgroundAnalytics` — started when the
+    replay starts and told to stop when it ends, so online latency is
+    measured *while* OD / service-area tiles are running.  Yields a
+    mutable box; after the block exits (hook stopped and joined) the
+    box holds ``"summary"`` or ``"error"``.
+    """
+    if background_analytics is None:
+        yield None
+        return
+    stop = threading.Event()
+    box: dict[str, object] = {}
+
+    def runner() -> None:
+        try:
+            box["summary"] = background_analytics(stop)
+        except BaseException as exc:  # noqa: BLE001 - report, not raise
+            box["error"] = f"{type(exc).__name__}: {exc}"
+
+    thread = threading.Thread(target=runner, name="loadgen-analytics",
+                              daemon=True)
+    thread.start()
+    try:
+        yield box
+    finally:
+        stop.set()
+        thread.join(30.0)
+        if thread.is_alive():
+            box.setdefault("error", "background analytics hook did not "
+                                    "stop within 30s")
+
+
+def _attach_background(summary: dict[str, object], box) -> None:
+    if box is None:
+        return
+    summary["background_analytics"] = box.get(
+        "summary", {"error": box.get("error", "hook returned nothing")})
+
+
 def _timeline_exporter(metrics, metrics_out,
                        interval_s: float):
     """A running :class:`SnapshotExporter` for the replay, or a no-op.
@@ -422,7 +466,8 @@ def run_engine_workload(engine, requests: Sequence[RankRequest],
                         concurrency: int = 32, metrics_out=None,
                         metrics_interval_s: float = 0.25, fault_spec=None,
                         fault_seed: int = 0,
-                        wait_timeout_s: float | None = None
+                        wait_timeout_s: float | None = None,
+                        background_analytics=None
                         ) -> dict[str, object]:
     """Closed-loop drive: ``concurrency`` clients hammer the engine.
 
@@ -434,7 +479,10 @@ def run_engine_workload(engine, requests: Sequence[RankRequest],
     deterministic fault injection for the replay; ``wait_timeout_s``
     bounds each client's wait (a request still unanswered then is
     counted under ``"hung"`` instead of blocking the client forever —
-    chaos replays should always set it).
+    chaos replays should always set it).  ``background_analytics``
+    runs batch tiles concurrently with the clients (see
+    :func:`_background_pressure`); its report lands in the summary
+    under ``"background_analytics"``.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -478,7 +526,8 @@ def run_engine_workload(engine, requests: Sequence[RankRequest],
     started = time.perf_counter()
     with _armed_faults(engine.service, fault_spec, fault_seed), \
             _timeline_exporter(engine.service.metrics, metrics_out,
-                               metrics_interval_s):
+                               metrics_interval_s), \
+            _background_pressure(background_analytics) as bg_box:
         for thread in threads:
             thread.start()
         for thread in threads:
@@ -491,6 +540,7 @@ def run_engine_workload(engine, requests: Sequence[RankRequest],
     summary["refused"] = refused[0]
     _resilience_summary(engine.service, summary)
     summary["occupancy"] = engine.occupancy.as_dict()
+    _attach_background(summary, bg_box)
     return summary
 
 
@@ -498,7 +548,8 @@ def replay_open_loop(engine, timed: Sequence[TimedRequest],
                      time_scale: float = 1.0, metrics_out=None,
                      metrics_interval_s: float = 0.25, fault_spec=None,
                      fault_seed: int = 0,
-                     wait_timeout_s: float | None = None
+                     wait_timeout_s: float | None = None,
+                     background_analytics=None
                      ) -> dict[str, object]:
     """Open-loop drive: submit each request at its arrival timestamp.
 
@@ -509,6 +560,10 @@ def replay_open_loop(engine, timed: Sequence[TimedRequest],
     ``fault_spec`` arms deterministic fault injection for the replay;
     ``wait_timeout_s`` bounds each ticket's collection wait (still-
     unanswered requests count under ``"hung"``).
+    ``background_analytics`` runs batch tiles concurrently with the
+    timeline (see :func:`_background_pressure`), so the summary's p95
+    is online latency *under batch pressure*; the hook's report lands
+    under ``"background_analytics"``.
     """
     if time_scale <= 0.0:
         raise ValueError(f"time_scale must be > 0, got {time_scale}")
@@ -522,7 +577,8 @@ def replay_open_loop(engine, timed: Sequence[TimedRequest],
     started = time.perf_counter()
     with _armed_faults(engine.service, fault_spec, fault_seed), \
             _timeline_exporter(engine.service.metrics, metrics_out,
-                               metrics_interval_s):
+                               metrics_interval_s), \
+            _background_pressure(background_analytics) as bg_box:
         for item in ordered:
             due = started + item.arrival_s / time_scale
             delay = due - time.perf_counter()
@@ -552,4 +608,5 @@ def replay_open_loop(engine, timed: Sequence[TimedRequest],
     summary["refused"] = refused
     _resilience_summary(engine.service, summary)
     summary["occupancy"] = engine.occupancy.as_dict()
+    _attach_background(summary, bg_box)
     return summary

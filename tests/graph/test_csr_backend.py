@@ -287,3 +287,94 @@ class TestBackendSeam:
         assert isinstance(kernel, CSRGraph)
         assert len(kernel.indptr) == kernel.num_vertices + 1
         assert len(kernel.indices) == kernel.num_edges
+
+
+class TestChunkedMultiSource:
+    """Bounded-memory multi-source sweeps: chunking must be invisible
+    in the result, and slab sizes must follow the vertex count."""
+
+    def test_chunked_equals_unchunked(self, random_grid):
+        kernel = csr_for(random_grid)
+        sources = random_grid.vertex_ids()[:5]
+        full = kernel.multi_source(sources)
+        for chunk_size in (1, 2, len(sources), len(sources) + 7):
+            chunked = kernel.multi_source(sources, chunk_size=chunk_size)
+            assert np.array_equal(chunked, full)
+
+    def test_chunked_reverse_equals_unchunked(self, random_grid):
+        kernel = csr_for(random_grid)
+        sources = random_grid.vertex_ids()[:4]
+        full = kernel.multi_source(sources, reverse=True)
+        chunked = kernel.multi_source(sources, reverse=True, chunk_size=2)
+        assert np.array_equal(chunked, full)
+
+    def test_iter_multi_source_slabs(self, random_grid):
+        kernel = csr_for(random_grid)
+        sources = random_grid.vertex_ids()[:5]
+        full = kernel.multi_source(sources)
+        starts = []
+        for start, rows in kernel.iter_multi_source(sources, None,
+                                                    chunk_size=2):
+            starts.append(start)
+            assert rows.shape[1] == kernel.num_vertices
+            assert np.array_equal(rows, full[start:start + rows.shape[0]])
+        assert starts == [0, 2, 4]
+
+    def test_default_chunk_size_tracks_vertex_count(self, random_grid):
+        from repro.graph.csr import MULTI_SOURCE_SLAB_ELEMENTS
+
+        kernel = csr_for(random_grid)
+        expected = max(1, MULTI_SOURCE_SLAB_ELEMENTS // kernel.num_vertices)
+        assert kernel.default_chunk_size() == expected
+
+    def test_chunk_size_validated(self, random_grid):
+        kernel = csr_for(random_grid)
+        with pytest.raises(ValueError):
+            kernel.multi_source(random_grid.vertex_ids()[:2], chunk_size=0)
+
+
+class TestSsspParents:
+    """The full-settle parent tree must reproduce the dict reference
+    exactly — same distances, same tie-break, same parents — because
+    batched route reconstructions ride it."""
+
+    def test_tree_matches_dict_dijkstra(self, random_grid):
+        kernel = csr_for(random_grid)
+        for source in random_grid.vertex_ids()[:3]:
+            ref_dist, ref_prev = dijkstra(random_grid, source)
+            dist, parent = kernel.sssp_parents(source)
+            for vid in random_grid.vertex_ids():
+                idx = kernel.index_of(vid)
+                if vid in ref_dist:
+                    assert dist[idx] == pytest.approx(ref_dist[vid],
+                                                      rel=1e-12)
+                else:
+                    assert not np.isfinite(dist[idx])
+                if vid in ref_prev:
+                    assert kernel.ids[parent[idx]] == ref_prev[vid]
+                else:
+                    assert parent[idx] == -1
+
+    def test_parent_edges_are_tight(self, random_grid):
+        kernel = csr_for(random_grid)
+        source = random_grid.vertex_ids()[0]
+        dist, parent = kernel.sssp_parents(source)
+        weights = np.asarray(kernel.edge_weights(None), dtype=np.float64)
+        for idx in range(kernel.num_vertices):
+            p = parent[idx]
+            if p < 0:
+                continue
+            lo, hi = int(kernel.indptr[p]), int(kernel.indptr[p + 1])
+            positions = [pos for pos in range(lo, hi)
+                         if kernel.indices[pos] == idx]
+            assert positions, "parent edge must exist in the CSR"
+            assert dist[p] + weights[positions[0]] == pytest.approx(
+                dist[idx], rel=1e-12)
+
+    def test_source_is_its_own_root(self, random_grid):
+        kernel = csr_for(random_grid)
+        source = random_grid.vertex_ids()[0]
+        dist, parent = kernel.sssp_parents(source)
+        idx = kernel.index_of(source)
+        assert dist[idx] == 0.0
+        assert parent[idx] == -1

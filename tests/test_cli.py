@@ -317,3 +317,78 @@ class TestBenchScoring:
         assert payload["parity"]["coalesced_max_abs_diff"] <= 1e-5
         written = json.loads(out.read_text(encoding="utf-8"))
         assert written["schema_version"] == payload["schema_version"]
+
+
+class TestAnalyticsCommands:
+    @pytest.fixture(scope="class")
+    def grid_file(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("analytics") / "grid.json"
+        assert main(["build-network", "--kind", "grid", "--rows", "5",
+                     "--cols", "5", "--seed", "3", "--out", str(out)]) == 0
+        return out
+
+    def test_od_matrix_text(self, grid_file, capsys):
+        assert main(["od-matrix", "--network", str(grid_file),
+                     "--origins", "0,7", "--destinations", "24,12"]) == 0
+        out = capsys.readouterr().out
+        assert "origin 0:" in out
+        assert "4 pairs via" in out
+
+    def test_od_matrix_json(self, grid_file, capsys):
+        assert main(["od-matrix", "--network", str(grid_file),
+                     "--origins", "0,7", "--method", "sweep",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["origins"] == [0, 7]
+        assert payload["destinations"] == [0, 7]
+        assert payload["costs"][0][0] == 0.0
+
+    def test_service_area(self, grid_file, capsys):
+        assert main(["service-area", "--network", str(grid_file),
+                     "--sources", "0,12", "--budgets", "200,500"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("source 0 budget") == 2
+        assert out.count("source 12 budget") == 2
+
+    def test_service_area_json_reverse(self, grid_file, capsys):
+        assert main(["service-area", "--network", str(grid_file),
+                     "--sources", "12", "--budgets", "300",
+                     "--reverse", "--json"]) == 0
+        [area] = json.loads(capsys.readouterr().out)
+        assert area["reverse"] is True
+        assert 12 in area["vertices"]
+
+    def test_route_frequencies(self, grid_file, capsys):
+        assert main(["route-frequencies", "--network", str(grid_file),
+                     "--pairs", "0:24,7:24", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "2 pairs over" in out
+
+    def test_route_frequencies_pairs_file(self, grid_file, tmp_path,
+                                          capsys):
+        pairs = tmp_path / "pairs.json"
+        pairs.write_text(json.dumps([[0, 24], {"source": 7, "target": 24}]),
+                         encoding="utf-8")
+        assert main(["route-frequencies", "--network", str(grid_file),
+                     "--pairs-file", str(pairs), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_pairs"] == 2
+        assert payload["unreachable_pairs"] == 0
+        assert all(load >= 1.0 for _, _, load in payload["edges"])
+
+    def test_malformed_inputs_exit_2(self, grid_file, capsys):
+        assert main(["od-matrix", "--network", str(grid_file),
+                     "--origins", "zero,one"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["route-frequencies", "--network", str(grid_file),
+                     "--pairs", "1-2"]) == 2
+        assert main(["route-frequencies", "--network",
+                     str(grid_file)]) == 2
+        assert main(["service-area", "--network", str(grid_file),
+                     "--sources", "0", "--budgets", "cheap"]) == 2
+
+    def test_bench_analytics_parser_wired(self):
+        args = build_parser().parse_args(
+            ["bench-analytics", "--smoke", "--workers", "1,2"])
+        assert args.command == "bench-analytics"
+        assert args.smoke is True
